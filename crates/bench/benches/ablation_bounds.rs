@@ -1,0 +1,79 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//!
+//! * clique-tightened SIP bounds vs greedy first-fit selection,
+//! * unconditional event probabilities vs the Algorithm 3 conditional
+//!   estimator (the paper-faithful configuration),
+//! * greedy weighted set cover (Algorithm 1) vs the naive per-element sum for
+//!   the `Usim(q)` upper bound.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgs_bench::build_setup_with;
+use pgs_datagen::ppi::CorrelationModel;
+use pgs_datagen::scenarios::DatasetScale;
+use pgs_graph::relax::relax_query;
+use pgs_index::sip_bounds::{sip_bounds, BoundsConfig};
+use pgs_query::prune::{BoundInstance, CrossTermRule};
+use pgs_query::setcover::greedy_weighted_set_cover;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let setup = build_setup_with(DatasetScale::Tiny, None, 5, 1, CorrelationModel::MaxRule);
+    let pg = &setup.engine.db()[setup.queries[0].source_graph];
+    let feature = &setup.engine.pmi().features()[0].graph;
+
+    let mut group = c.benchmark_group("ablation_bounds");
+
+    group.bench_function("sip_bounds_clique", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| sip_bounds(pg, feature, &BoundsConfig::default(), &mut rng))
+    });
+    group.bench_function("sip_bounds_greedy", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| sip_bounds(pg, feature, &BoundsConfig::greedy(), &mut rng))
+    });
+    group.bench_function("sip_bounds_paper_conditional", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| sip_bounds(pg, feature, &BoundsConfig::paper_faithful(), &mut rng))
+    });
+
+    // Usim: greedy set cover (Algorithm 1) vs naive per-element minimum sum.
+    let relaxed = relax_query(&setup.queries[0].graph, 1);
+    let instance = BoundInstance::build(setup.engine.pmi(), setup.queries[0].source_graph, &relaxed);
+    group.bench_function("usim_greedy_set_cover", |b| {
+        b.iter(|| instance.usim_optimal())
+    });
+    group.bench_function("usim_random_pick", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| instance.usim_random(&mut rng))
+    });
+    group.bench_function("lsim_qp_rounding", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| instance.lsim_optimal(CrossTermRule::SafeMin, &mut rng))
+    });
+
+    // Raw set-cover kernel on a synthetic instance.
+    let sets: Vec<(Vec<usize>, f64)> = (0..30)
+        .map(|i| (vec![i % 10, (i * 3) % 10, (i * 7) % 10], 0.1 + (i as f64) * 0.01))
+        .collect();
+    group.bench_function("set_cover_kernel_30x10", |b| {
+        b.iter(|| greedy_weighted_set_cover(10, &sets))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ablations
+}
+criterion_main!(benches);

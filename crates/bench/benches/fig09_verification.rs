@@ -1,0 +1,52 @@
+//! Figure 9(a): verification cost — exact SSP evaluation vs the Algorithm 5
+//! sampler (SMP) — as the query grows.  (Figure 9(b), the precision/recall of
+//! SMP, is produced by the `experiments` binary since it is a quality metric,
+//! not a timing.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgs_bench::{bench_engine_config, build_setup_with};
+use pgs_datagen::ppi::CorrelationModel;
+use pgs_datagen::scenarios::DatasetScale;
+use pgs_query::verify::{verify_ssp_exact, verify_ssp_sampled, VerifyOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_verification");
+    for &query_size in &[3usize, 5, 7] {
+        let setup = build_setup_with(DatasetScale::Tiny, None, query_size, 2, CorrelationModel::MaxRule);
+        let wq = &setup.queries[0];
+        let delta = 1usize;
+        // Verify against the query's own source graph (always a candidate).
+        let pg = &setup.engine.db()[wq.source_graph];
+        group.bench_with_input(BenchmarkId::new("exact", query_size), &query_size, |b, _| {
+            b.iter(|| {
+                verify_ssp_exact(pg, &wq.graph, delta, 24).ok();
+            })
+        });
+        let smp_options = VerifyOptions {
+            exact_cutoff: 0,
+            ..bench_engine_config(1).verify
+        };
+        group.bench_with_input(BenchmarkId::new("smp", query_size), &query_size, |b, _| {
+            let mut rng = StdRng::seed_from_u64(11);
+            b.iter(|| verify_ssp_sampled(pg, &wq.graph, delta, &smp_options, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_verification
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 10(b): pruning time as the probability threshold ε varies, for the
+//! three pruning stacks (Structure, SSPBound, OPT-SSPBound).  Candidate sizes
+//! (Figure 10(a)) are reported by the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgs_bench::build_setup_with;
+use pgs_datagen::ppi::CorrelationModel;
+use pgs_datagen::scenarios::DatasetScale;
+use pgs_query::pipeline::{PruningVariant, QueryParams};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_pruning_by_threshold(c: &mut Criterion) {
+    let setup = build_setup_with(DatasetScale::Tiny, None, 5, 2, CorrelationModel::MaxRule);
+    let wq = &setup.queries[0];
+    let mut group = c.benchmark_group("fig10_prob_threshold");
+    for &epsilon in &[0.3f64, 0.5, 0.7] {
+        for (label, variant) in [
+            ("structure", PruningVariant::Structure),
+            ("ssp_bound", PruningVariant::SspBound),
+            ("opt_ssp_bound", PruningVariant::OptSspBound),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("eps={epsilon:.1}")),
+                &epsilon,
+                |b, &eps| {
+                    let params = QueryParams {
+                        epsilon: eps,
+                        delta: 2,
+                        variant,
+                    };
+                    b.iter(|| setup.engine.query(&wq.graph, &params))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pruning_by_threshold
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 11(b): pruning time as the subgraph distance threshold δ varies,
+//! with the two SIP-bound variants behind the PMI: greedy first-fit selection
+//! (SIPBound) and the clique-tightened bounds (OPT-SIPBound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgs_bench::bench_engine_config;
+use pgs_datagen::ppi::generate_ppi_dataset;
+use pgs_datagen::queries::{generate_query_workload, QueryWorkloadConfig};
+use pgs_datagen::scenarios::{paper_scale, DatasetScale};
+use pgs_index::sip_bounds::BoundsConfig;
+use pgs_query::pipeline::{PruningVariant, QueryEngine, QueryParams};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_pruning_by_distance(c: &mut Criterion) {
+    let dataset = generate_ppi_dataset(&paper_scale(DatasetScale::Tiny));
+    let queries = generate_query_workload(
+        &dataset,
+        &QueryWorkloadConfig {
+            query_size: 5,
+            count: 1,
+            seed: 0xABCD,
+        },
+    );
+    let q = &queries[0].graph;
+
+    let mut greedy_cfg = bench_engine_config(0xFEED);
+    greedy_cfg.pmi.bounds = BoundsConfig::greedy();
+    let greedy_engine = QueryEngine::build(dataset.graphs.clone(), greedy_cfg);
+    let opt_engine = QueryEngine::build(dataset.graphs.clone(), bench_engine_config(0xFEED));
+
+    let mut group = c.benchmark_group("fig11_distance_threshold");
+    for &delta in &[1usize, 2, 3] {
+        for (label, engine) in [("sip_bound", &greedy_engine), ("opt_sip_bound", &opt_engine)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("delta={delta}")),
+                &delta,
+                |b, &d| {
+                    let params = QueryParams {
+                        epsilon: 0.5,
+                        delta: d,
+                        variant: PruningVariant::OptSspBound,
+                    };
+                    b.iter(|| engine.query(q, &params))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pruning_by_distance
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 12(c): index building time as the feature-generation parameters
+//! change (maxL and β shown here; the candidate-size panels (a)/(b) and the
+//! index-size panel (d) are reported by the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgs_bench::bench_feature_params;
+use pgs_datagen::ppi::generate_ppi_dataset;
+use pgs_datagen::scenarios::{paper_scale, DatasetScale};
+use pgs_index::pmi::{Pmi, PmiBuildParams};
+use pgs_index::sip_bounds::BoundsConfig;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let dataset = generate_ppi_dataset(&paper_scale(DatasetScale::Tiny));
+    let mut group = c.benchmark_group("fig12_feature_params");
+
+    for &max_l in &[2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("build_by_maxL", max_l), &max_l, |b, &ml| {
+            let mut features = bench_feature_params();
+            features.max_l = ml;
+            let params = PmiBuildParams {
+                features,
+                bounds: BoundsConfig::default(),
+                threads: 1,
+                seed: 7,
+            };
+            b.iter(|| Pmi::build(&dataset.graphs, &params))
+        });
+    }
+    for &beta in &[0.05f64, 0.25] {
+        group.bench_with_input(
+            BenchmarkId::new("build_by_beta", format!("{beta:.2}")),
+            &beta,
+            |b, &bt| {
+                let mut features = bench_feature_params();
+                features.beta = bt;
+                let params = PmiBuildParams {
+                    features,
+                    bounds: BoundsConfig::default(),
+                    threads: 1,
+                    seed: 7,
+                };
+                b.iter(|| Pmi::build(&dataset.graphs, &params))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_index_build
+}
+criterion_main!(benches);

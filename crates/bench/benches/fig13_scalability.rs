@@ -1,0 +1,49 @@
+//! Figure 13: total query processing time as the database grows — the complete
+//! PMI pipeline vs the Exact scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgs_bench::build_setup_with;
+use pgs_datagen::ppi::CorrelationModel;
+use pgs_datagen::scenarios::DatasetScale;
+use pgs_query::pipeline::{PruningVariant, QueryParams};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_scalability");
+    for &db_size in &[24usize, 48, 96] {
+        let setup = build_setup_with(
+            DatasetScale::Tiny,
+            Some(db_size),
+            5,
+            1,
+            CorrelationModel::MaxRule,
+        );
+        let q = &setup.queries[0].graph;
+        let params = QueryParams {
+            epsilon: 0.5,
+            delta: 2,
+            variant: PruningVariant::OptSspBound,
+        };
+        group.bench_with_input(BenchmarkId::new("pmi", db_size), &db_size, |b, _| {
+            b.iter(|| setup.engine.query(q, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("exact", db_size), &db_size, |b, _| {
+            b.iter(|| setup.engine.exact_scan(q, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scalability
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 14: query processing under the correlated (COR) model vs the
+//! independent (IND) model.  The paper's figure reports precision/recall (a
+//! quality metric produced by the `experiments` binary); this bench measures
+//! the query-time cost of the two models, which the paper discusses alongside.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgs_bench::bench_engine_config;
+use pgs_datagen::ppi::{generate_ppi_dataset, CorrelationModel, PpiDatasetConfig};
+use pgs_datagen::queries::{generate_query_workload, QueryWorkloadConfig};
+use pgs_datagen::scenarios::{paper_scale, DatasetScale};
+use pgs_prob::independent::to_independent_model;
+use pgs_query::pipeline::{PruningVariant, QueryEngine, QueryParams};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_cor_vs_ind(c: &mut Criterion) {
+    let dataset = generate_ppi_dataset(&PpiDatasetConfig {
+        correlation: CorrelationModel::StrongPositive,
+        ..paper_scale(DatasetScale::Tiny)
+    });
+    let queries = generate_query_workload(
+        &dataset,
+        &QueryWorkloadConfig {
+            query_size: 5,
+            count: 1,
+            seed: 0x14,
+        },
+    );
+    let q = &queries[0].graph;
+    let cor_engine = QueryEngine::build(dataset.graphs.clone(), bench_engine_config(14));
+    let ind_graphs: Vec<_> = dataset.graphs.iter().map(to_independent_model).collect();
+    let ind_engine = QueryEngine::build(ind_graphs, bench_engine_config(14));
+
+    let mut group = c.benchmark_group("fig14_cor_vs_ind");
+    for &epsilon in &[0.3f64, 0.5, 0.7] {
+        let params = QueryParams {
+            epsilon,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("correlated", format!("eps={epsilon:.1}")),
+            &epsilon,
+            |b, _| b.iter(|| cor_engine.query(q, &params)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("independent", format!("eps={epsilon:.1}")),
+            &epsilon,
+            |b, _| b.iter(|| ind_engine.query(q, &params)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cor_vs_ind
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the substrates the pipeline is built from: VF2
+//! matching, embedding enumeration, maximum-weight clique, minimal-cut
+//! enumeration, JPT sampling and possible-world sampling.  Not a paper figure;
+//! used to track regressions in the building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgs_graph::clique::{max_weight_clique, CliqueOptions};
+use pgs_graph::cuts::{minimal_cuts, CutEnumOptions};
+use pgs_graph::generate::{random_connected_graph, random_connected_subgraph, RandomGraphConfig};
+use pgs_graph::model::EdgeId;
+use pgs_graph::vf2::{contains_subgraph, enumerate_embeddings, MatchOptions};
+use pgs_prob::jpt::JointProbTable;
+use pgs_prob::model::ProbabilisticGraph;
+use pgs_prob::neighbor::partition_with_triangles;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn setup_graph() -> (pgs_graph::model::Graph, pgs_graph::model::Graph) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = random_connected_graph(
+        &RandomGraphConfig {
+            vertices: 40,
+            edges: 70,
+            vertex_labels: 6,
+            edge_labels: 2,
+            preferential: true,
+        },
+        &mut rng,
+    );
+    let q = random_connected_subgraph(&g, 5, &mut rng).expect("query extraction");
+    (g, q)
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let (g, q) = setup_graph();
+    let mut group = c.benchmark_group("micro_substrates");
+
+    group.bench_function("vf2_containment", |b| {
+        b.iter(|| contains_subgraph(&q, &g))
+    });
+
+    group.bench_function("vf2_enumerate_embeddings", |b| {
+        b.iter(|| enumerate_embeddings(&q, &g, MatchOptions::capped(32)))
+    });
+
+    // Max-weight clique on a 24-node compatibility graph.
+    let n = 24usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..2.0)).collect();
+    let mut adjacent = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = rng.gen_bool(0.4);
+            adjacent[i][j] = a;
+            adjacent[j][i] = a;
+        }
+    }
+    group.bench_function("max_weight_clique_24", |b| {
+        b.iter(|| max_weight_clique(&weights, &adjacent, CliqueOptions::default()))
+    });
+
+    // Minimal cuts over 6 overlapping embeddings.
+    let embeddings: Vec<Vec<EdgeId>> = (0..6)
+        .map(|i| vec![EdgeId(i), EdgeId(i + 1), EdgeId(i + 2)])
+        .collect();
+    group.bench_function("minimal_cuts_chain6", |b| {
+        b.iter(|| minimal_cuts(&embeddings, CutEnumOptions::default()))
+    });
+
+    // JPT construction + sampling and world sampling.
+    let groups = partition_with_triangles(&g, 3);
+    let tables: Vec<JointProbTable> = groups
+        .iter()
+        .map(|grp| {
+            let ep: Vec<(EdgeId, f64)> = grp.iter().map(|&e| (e, 0.4)).collect();
+            JointProbTable::from_max_rule(&ep).unwrap()
+        })
+        .collect();
+    let pg = ProbabilisticGraph::new(g.clone(), tables, true).unwrap();
+    group.bench_function("sample_possible_world_70edges", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| pg.sample_world(&mut rng))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_substrates
+}
+criterion_main!(benches);

@@ -1,0 +1,324 @@
+//! # pgs-core — probabilistic subgraph similarity search
+//!
+//! The public facade of the workspace: a batteries-included
+//! [`ProbGraphDatabase`] that stores probabilistic graphs, builds the
+//! Probabilistic Matrix Index (PMI) and answers **threshold-based probabilistic
+//! subgraph similarity queries (T-PS)** as defined by Yuan, Wang, Chen and Wang,
+//! *"Efficient Subgraph Similarity Search on Large Probabilistic Graph
+//! Databases"*, VLDB 2012.
+//!
+//! ```
+//! use pgs_core::prelude::*;
+//!
+//! // Build two tiny probabilistic graphs (a triangle and a path) and query them.
+//! let mut db = ProbGraphDatabase::new();
+//! for (name, edges) in [("triangle", vec![(0, 1), (1, 2), (0, 2)]), ("path", vec![(0, 1), (1, 2)])] {
+//!     let mut builder = GraphBuilder::new().name(name).vertices(&[0, 0, 0]);
+//!     for &(u, v) in &edges {
+//!         builder = builder.edge(u, v, 0);
+//!     }
+//!     let skeleton = builder.build();
+//!     let probs = vec![0.9; skeleton.edge_count()];
+//!     db.insert(ProbabilisticGraph::independent(skeleton, &probs).unwrap());
+//! }
+//! db.build_index();
+//!
+//! let query = GraphBuilder::new().vertices(&[0, 0, 0]).edge(0, 1, 0).edge(1, 2, 0).build();
+//! let matches = db.query(&query, 0.5, 0).unwrap();
+//! assert_eq!(matches.len(), 2); // both graphs contain a 2-edge path with high probability
+//! ```
+//!
+//! The lower-level building blocks (graph model, probabilistic model, PMI,
+//! pruning, verification, dataset generation) are re-exported from the
+//! sub-crates for users who need finer control.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use pgs_graph::model::Graph;
+use pgs_prob::model::ProbabilisticGraph;
+use pgs_query::pipeline::{EngineConfig, PruningVariant, QueryEngine, QueryParams, QueryResult};
+use std::fmt;
+
+pub use pgs_datagen as datagen;
+pub use pgs_graph as graph;
+pub use pgs_index as index;
+pub use pgs_prob as prob;
+pub use pgs_query as query;
+
+/// Convenience prelude with the types most applications need.
+pub mod prelude {
+    pub use crate::{DbError, ProbGraphDatabase, QueryMatch};
+    pub use pgs_datagen::ppi::{generate_ppi_dataset, PpiDatasetConfig};
+    pub use pgs_datagen::scenarios::{paper_scale, DatasetScale};
+    pub use pgs_graph::model::{EdgeId, Graph, GraphBuilder, Label, VertexId};
+    pub use pgs_prob::jpt::JointProbTable;
+    pub use pgs_prob::model::ProbabilisticGraph;
+    pub use pgs_query::pipeline::{EngineConfig, PruningVariant, QueryParams, QueryResult};
+}
+
+/// Errors surfaced by the facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// `query` was called before `build_index`.
+    IndexNotBuilt,
+    /// The query graph is empty.
+    EmptyQuery,
+    /// The probability threshold is outside `(0, 1]`.
+    InvalidThreshold,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::IndexNotBuilt => write!(f, "the PMI has not been built; call build_index()"),
+            DbError::EmptyQuery => write!(f, "the query graph has no edges"),
+            DbError::InvalidThreshold => {
+                write!(f, "the probability threshold must lie in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// One query answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMatch {
+    /// Index of the matching graph in the database (insertion order).
+    pub graph_index: usize,
+    /// Name of the matching graph.
+    pub name: String,
+}
+
+/// A database of probabilistic graphs supporting T-PS queries.
+#[derive(Debug, Clone, Default)]
+pub struct ProbGraphDatabase {
+    graphs: Vec<ProbabilisticGraph>,
+    config: EngineConfig,
+    engine: Option<QueryEngine>,
+}
+
+impl ProbGraphDatabase {
+    /// Creates an empty database with the default engine configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty database with a custom engine configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        ProbGraphDatabase {
+            graphs: Vec::new(),
+            config,
+            engine: None,
+        }
+    }
+
+    /// Inserts a probabilistic graph and returns its index.  Invalidates any
+    /// previously built index.
+    pub fn insert(&mut self, graph: ProbabilisticGraph) -> usize {
+        self.engine = None;
+        self.graphs.push(graph);
+        self.graphs.len() - 1
+    }
+
+    /// Inserts many graphs at once.
+    pub fn extend(&mut self, graphs: impl IntoIterator<Item = ProbabilisticGraph>) {
+        self.engine = None;
+        self.graphs.extend(graphs);
+    }
+
+    /// Number of stored graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True if the database holds no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The stored graph at `index`.
+    pub fn graph(&self, index: usize) -> Option<&ProbabilisticGraph> {
+        self.graphs.get(index)
+    }
+
+    /// All stored graphs.
+    pub fn graphs(&self) -> &[ProbabilisticGraph] {
+        &self.graphs
+    }
+
+    /// Builds (or rebuilds) the PMI over the current contents.
+    pub fn build_index(&mut self) {
+        self.engine = Some(QueryEngine::build(self.graphs.clone(), self.config));
+    }
+
+    /// True once the index has been built for the current contents.
+    pub fn is_indexed(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// The underlying query engine (available after [`Self::build_index`]).
+    pub fn engine(&self) -> Option<&QueryEngine> {
+        self.engine.as_ref()
+    }
+
+    /// Answers a T-PS query: all graphs whose subgraph similarity probability
+    /// to `query` under distance threshold `delta` is at least `epsilon`.
+    pub fn query(&self, query: &Graph, epsilon: f64, delta: usize) -> Result<Vec<QueryMatch>, DbError> {
+        let result = self.query_detailed(
+            query,
+            &QueryParams {
+                epsilon,
+                delta,
+                variant: PruningVariant::OptSspBound,
+            },
+        )?;
+        Ok(result
+            .answers
+            .iter()
+            .map(|&gi| QueryMatch {
+                graph_index: gi,
+                name: self.graphs[gi].name().to_string(),
+            })
+            .collect())
+    }
+
+    /// Answers a T-PS query with full control over the parameters and access to
+    /// the per-phase statistics.
+    pub fn query_detailed(&self, query: &Graph, params: &QueryParams) -> Result<QueryResult, DbError> {
+        let engine = self.engine.as_ref().ok_or(DbError::IndexNotBuilt)?;
+        if query.edge_count() == 0 {
+            return Err(DbError::EmptyQuery);
+        }
+        if !(params.epsilon > 0.0 && params.epsilon <= 1.0) {
+            return Err(DbError::InvalidThreshold);
+        }
+        Ok(engine.query(query, params))
+    }
+
+    /// The `Exact` baseline: scans the whole database computing the SSP of
+    /// every graph (no index involvement beyond holding the data).
+    pub fn exact_scan(&self, query: &Graph, params: &QueryParams) -> Result<QueryResult, DbError> {
+        let engine = self.engine.as_ref().ok_or(DbError::IndexNotBuilt)?;
+        if query.edge_count() == 0 {
+            return Err(DbError::EmptyQuery);
+        }
+        Ok(engine.exact_scan(query, params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn triangle(name: &str, p: f64) -> ProbabilisticGraph {
+        let g = GraphBuilder::new()
+            .name(name)
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(0, 2, 0)
+            .build();
+        ProbabilisticGraph::independent(g, &[p, p, p]).unwrap()
+    }
+
+    #[test]
+    fn insert_build_query_roundtrip() {
+        let mut db = ProbGraphDatabase::new();
+        assert!(db.is_empty());
+        db.insert(triangle("strong", 0.95));
+        db.insert(triangle("weak", 0.1));
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_indexed());
+        db.build_index();
+        assert!(db.is_indexed());
+
+        let q = GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(0, 2, 0)
+            .build();
+        // The strong triangle has SSP = 0.95^3 ≈ 0.857 at δ = 0; the weak one 0.001.
+        let matches = db.query(&q, 0.5, 0).unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].name, "strong");
+        assert_eq!(matches[0].graph_index, 0);
+    }
+
+    #[test]
+    fn query_before_index_errors() {
+        let db = ProbGraphDatabase::new();
+        let q = GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 0).build();
+        assert_eq!(db.query(&q, 0.5, 0).unwrap_err(), DbError::IndexNotBuilt);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let mut db = ProbGraphDatabase::new();
+        db.insert(triangle("a", 0.5));
+        db.build_index();
+        let q = GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 0).build();
+        assert_eq!(
+            db.query(&q, 0.0, 0).unwrap_err(),
+            DbError::InvalidThreshold
+        );
+        assert_eq!(
+            db.query(&q, 1.5, 0).unwrap_err(),
+            DbError::InvalidThreshold
+        );
+        let empty = Graph::new();
+        assert_eq!(db.query(&empty, 0.5, 0).unwrap_err(), DbError::EmptyQuery);
+    }
+
+    #[test]
+    fn inserting_invalidates_the_index() {
+        let mut db = ProbGraphDatabase::new();
+        db.insert(triangle("a", 0.9));
+        db.build_index();
+        assert!(db.is_indexed());
+        db.insert(triangle("b", 0.9));
+        assert!(!db.is_indexed());
+        db.build_index();
+        assert_eq!(db.engine().unwrap().pmi().graph_count(), 2);
+    }
+
+    #[test]
+    fn detailed_query_and_exact_scan_agree() {
+        let mut db = ProbGraphDatabase::new();
+        db.extend([triangle("a", 0.9), triangle("b", 0.4), triangle("c", 0.05)]);
+        db.build_index();
+        let q = GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .build();
+        let params = QueryParams {
+            epsilon: 0.3,
+            delta: 0,
+            variant: PruningVariant::OptSspBound,
+        };
+        let fast = db.query_detailed(&q, &params).unwrap();
+        let exact = db.exact_scan(&q, &params).unwrap();
+        assert_eq!(fast.answers, exact.answers);
+        assert!(fast.stats.structural_candidates <= db.len());
+    }
+
+    #[test]
+    fn graph_accessors() {
+        let mut db = ProbGraphDatabase::new();
+        db.insert(triangle("only", 0.7));
+        assert_eq!(db.graph(0).unwrap().name(), "only");
+        assert!(db.graph(1).is_none());
+        assert_eq!(db.graphs().len(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DbError::IndexNotBuilt.to_string().contains("build_index"));
+        assert!(DbError::EmptyQuery.to_string().contains("no edges"));
+        assert!(DbError::InvalidThreshold.to_string().contains("(0, 1]"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # pgs-datagen — synthetic probabilistic graph datasets and query workloads
+//!
+//! The paper evaluates on 5K protein–protein interaction networks extracted
+//! from the STRING database (average 385 vertices / 612 edges per graph, COG
+//! functional annotations as vertex labels, average edge existence probability
+//! 0.383, joint probability tables built with the "max rule" over neighbor
+//! edges).  STRING/BioGRID extracts are not redistributable here, so this crate
+//! synthesises datasets with the same statistical knobs — graph/vertex/edge
+//! counts, label alphabet, edge-probability distribution, correlation model and
+//! an "organism" cluster structure used by the Figure 14 quality experiment.
+//! See `DESIGN.md` §3 for the substitution rationale.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ppi;
+pub mod queries;
+pub mod scenarios;
+
+pub use ppi::{generate_ppi_dataset, CorrelationModel, PpiDataset, PpiDatasetConfig};
+pub use queries::{generate_queries, generate_query_workload, QueryWorkloadConfig};
+pub use scenarios::{paper_scale, DatasetScale};

@@ -1,0 +1,177 @@
+//! Query workload generation.
+//!
+//! Section 6: "Each query set q_i has 100 connected query graphs and query
+//! graphs in q_i are size-i graphs (the edge number in each query is i), which
+//! are extracted from corresponding deterministic graphs of probabilistic
+//! graphs randomly".  [`generate_query_workload`] reproduces this, also
+//! recording which database graph each query was extracted from (needed by the
+//! Figure 14 organism-quality experiment).
+
+use crate::ppi::PpiDataset;
+use pgs_graph::generate::random_connected_subgraph;
+use pgs_graph::model::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a query workload.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryWorkloadConfig {
+    /// Number of edges per query (the paper's query size `i`).
+    pub query_size: usize,
+    /// Number of queries.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryWorkloadConfig {
+    fn default() -> Self {
+        QueryWorkloadConfig {
+            query_size: 6,
+            count: 20,
+            seed: 0xbeef,
+        }
+    }
+}
+
+/// One generated query with its provenance.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// The query graph (connected, `query_size` edges).
+    pub graph: Graph,
+    /// Index of the database graph it was extracted from.
+    pub source_graph: usize,
+    /// Organism (cluster) of the source graph.
+    pub source_organism: usize,
+}
+
+/// Generates `count` connected queries of `query_size` edges, extracted from
+/// random dataset graphs.
+pub fn generate_query_workload(dataset: &PpiDataset, config: &QueryWorkloadConfig) -> Vec<WorkloadQuery> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.count);
+    if dataset.graphs.is_empty() || config.count == 0 {
+        return out;
+    }
+    let mut guard = 0usize;
+    while out.len() < config.count && guard < config.count * 50 {
+        guard += 1;
+        let source = rng.gen_range(0..dataset.graphs.len());
+        let skeleton = dataset.graphs[source].skeleton();
+        if skeleton.edge_count() < config.query_size {
+            continue;
+        }
+        if let Some(q) = random_connected_subgraph(skeleton, config.query_size, &mut rng) {
+            let mut q = q;
+            q.set_name(format!("q{}-{}", config.query_size, out.len()));
+            out.push(WorkloadQuery {
+                graph: q,
+                source_graph: source,
+                source_organism: dataset.organism_of[source],
+            });
+        }
+    }
+    out
+}
+
+/// Convenience wrapper returning only the query graphs.
+pub fn generate_queries(dataset: &PpiDataset, config: &QueryWorkloadConfig) -> Vec<Graph> {
+    generate_query_workload(dataset, config)
+        .into_iter()
+        .map(|w| w.graph)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppi::{generate_ppi_dataset, PpiDatasetConfig};
+    use pgs_graph::vf2::contains_subgraph;
+
+    fn dataset() -> PpiDataset {
+        generate_ppi_dataset(&PpiDatasetConfig {
+            graph_count: 10,
+            vertices_per_graph: 16,
+            edges_per_graph: 24,
+            ..PpiDatasetConfig::default()
+        })
+    }
+
+    #[test]
+    fn queries_have_requested_size_and_embed_in_their_source() {
+        let ds = dataset();
+        let workload = generate_query_workload(
+            &ds,
+            &QueryWorkloadConfig {
+                query_size: 5,
+                count: 12,
+                seed: 3,
+            },
+        );
+        assert_eq!(workload.len(), 12);
+        for wq in &workload {
+            assert_eq!(wq.graph.edge_count(), 5);
+            assert!(wq.graph.is_connected());
+            assert!(wq.source_graph < ds.graphs.len());
+            assert_eq!(ds.organism_of[wq.source_graph], wq.source_organism);
+            assert!(contains_subgraph(
+                &wq.graph,
+                ds.graphs[wq.source_graph].skeleton()
+            ));
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let ds = dataset();
+        let cfg = QueryWorkloadConfig {
+            query_size: 4,
+            count: 6,
+            seed: 11,
+        };
+        let a = generate_queries(&ds, &cfg);
+        let b = generate_queries(&ds, &cfg);
+        assert_eq!(a, b);
+        let c = generate_queries(
+            &ds,
+            &QueryWorkloadConfig {
+                seed: 12,
+                ..cfg
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn oversized_queries_yield_fewer_results() {
+        let ds = dataset();
+        let workload = generate_query_workload(
+            &ds,
+            &QueryWorkloadConfig {
+                query_size: 10_000,
+                count: 5,
+                seed: 1,
+            },
+        );
+        assert!(workload.is_empty());
+    }
+
+    #[test]
+    fn empty_dataset_or_zero_count() {
+        let ds = dataset();
+        assert!(generate_query_workload(
+            &ds,
+            &QueryWorkloadConfig {
+                count: 0,
+                ..QueryWorkloadConfig::default()
+            }
+        )
+        .is_empty());
+        let empty = PpiDataset {
+            graphs: Vec::new(),
+            organism_of: Vec::new(),
+            config: PpiDatasetConfig::default(),
+        };
+        assert!(generate_query_workload(&empty, &QueryWorkloadConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Predefined dataset scales.
+//!
+//! The paper's dataset is 5K graphs with ~385 vertices and ~612 edges each —
+//! far beyond what a test suite or a CI benchmark should chew on.  The scales
+//! below keep the *ratios* (edges ≈ 1.6 × vertices, mean probability 0.383,
+//! label alphabet comparable to the COG categories) while shrinking absolute
+//! sizes.  `DatasetScale::Paper` exists for completeness and is only meant for
+//! long offline runs.
+
+use crate::ppi::{CorrelationModel, PpiDatasetConfig};
+
+/// Named dataset scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetScale {
+    /// A few dozen small graphs; unit/integration tests.
+    Tiny,
+    /// Hundreds of graphs with tens of edges; default benchmark scale.
+    Small,
+    /// Around a thousand graphs; the scalability sweep's upper end.
+    Medium,
+    /// The paper's published scale (5K graphs, ~385 vertices, ~612 edges).
+    Paper,
+}
+
+/// Returns the dataset configuration for a named scale.
+pub fn paper_scale(scale: DatasetScale) -> PpiDatasetConfig {
+    match scale {
+        DatasetScale::Tiny => PpiDatasetConfig {
+            graph_count: 24,
+            vertices_per_graph: 14,
+            edges_per_graph: 22,
+            vertex_label_count: 10,
+            edge_label_count: 2,
+            organism_count: 3,
+            ..PpiDatasetConfig::default()
+        },
+        DatasetScale::Small => PpiDatasetConfig {
+            graph_count: 200,
+            vertices_per_graph: 25,
+            edges_per_graph: 40,
+            vertex_label_count: 14,
+            edge_label_count: 2,
+            organism_count: 5,
+            ..PpiDatasetConfig::default()
+        },
+        DatasetScale::Medium => PpiDatasetConfig {
+            graph_count: 1_000,
+            vertices_per_graph: 30,
+            edges_per_graph: 48,
+            vertex_label_count: 16,
+            edge_label_count: 3,
+            organism_count: 8,
+            ..PpiDatasetConfig::default()
+        },
+        DatasetScale::Paper => PpiDatasetConfig {
+            graph_count: 5_000,
+            vertices_per_graph: 385,
+            edges_per_graph: 612,
+            vertex_label_count: 25,
+            edge_label_count: 3,
+            organism_count: 12,
+            mean_edge_probability: 0.383,
+            correlation: CorrelationModel::MaxRule,
+            ..PpiDatasetConfig::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppi::generate_ppi_dataset;
+
+    #[test]
+    fn scales_are_ordered_by_size() {
+        let tiny = paper_scale(DatasetScale::Tiny);
+        let small = paper_scale(DatasetScale::Small);
+        let medium = paper_scale(DatasetScale::Medium);
+        let paper = paper_scale(DatasetScale::Paper);
+        assert!(tiny.graph_count < small.graph_count);
+        assert!(small.graph_count < medium.graph_count);
+        assert!(medium.graph_count < paper.graph_count);
+        assert_eq!(paper.graph_count, 5_000);
+        assert_eq!(paper.vertices_per_graph, 385);
+        assert_eq!(paper.edges_per_graph, 612);
+        assert!((paper.mean_edge_probability - 0.383).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_scale_generates_quickly() {
+        let ds = generate_ppi_dataset(&paper_scale(DatasetScale::Tiny));
+        assert_eq!(ds.graphs.len(), 24);
+    }
+}

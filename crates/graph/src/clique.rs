@@ -1,0 +1,255 @@
+//! Maximum weight clique search.
+//!
+//! Section 4.1 turns "pick the best set of pairwise-disjoint embeddings (resp.
+//! cuts)" into a **maximum weight clique** problem on a compatibility graph
+//! `fG` whose nodes are embeddings/cuts, whose links connect disjoint pairs and
+//! whose node weights are `-ln(1 - Pr(Bf_i | COR))` (resp. `-ln(1 - Pr(Bc_i |
+//! COM))`).  The paper uses the Balas–Xue branch-and-bound \[7\]; the instances
+//! here are tiny (at most a few dozen embeddings per feature/graph pair), so we
+//! implement a Carraghan–Pardalos style weighted branch-and-bound with a
+//! sum-of-remaining-weights upper bound, which is exact and more than fast
+//! enough.
+//!
+//! The compatibility graph is passed as an adjacency matrix to keep this module
+//! independent of the labelled [`crate::model::Graph`] type (the clique instance
+//! is not a labelled data graph).
+
+/// Options for the clique search.
+#[derive(Debug, Clone, Copy)]
+pub struct CliqueOptions {
+    /// Abort after this many search nodes and return the best clique found so
+    /// far (the result is then a valid clique but possibly not maximum).
+    pub max_steps: u64,
+}
+
+impl Default for CliqueOptions {
+    fn default() -> Self {
+        CliqueOptions { max_steps: 2_000_000 }
+    }
+}
+
+/// Result of a maximum weight clique search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliqueResult {
+    /// Indices of the chosen nodes (sorted ascending).
+    pub members: Vec<usize>,
+    /// Total weight of the clique.
+    pub weight: f64,
+    /// True if the search ran to completion (result is provably maximum).
+    pub optimal: bool,
+}
+
+/// Finds a maximum weight clique of the compatibility graph.
+///
+/// * `weights[i]` — non-negative weight of node `i` (nodes with non-positive
+///   weight are never selected: they cannot improve a clique).
+/// * `adjacent[i][j]` — true if nodes `i` and `j` are compatible (may appear in
+///   the same clique). The diagonal is ignored.
+pub fn max_weight_clique(weights: &[f64], adjacent: &[Vec<bool>], options: CliqueOptions) -> CliqueResult {
+    let n = weights.len();
+    assert_eq!(adjacent.len(), n, "adjacency matrix must be n x n");
+    for row in adjacent {
+        assert_eq!(row.len(), n, "adjacency matrix must be n x n");
+    }
+    let mut search = CliqueSearch {
+        weights,
+        adjacent,
+        best: Vec::new(),
+        best_weight: 0.0,
+        steps: 0,
+        max_steps: options.max_steps,
+        aborted: false,
+    };
+    // Candidate order: descending weight, so good cliques are found early and
+    // the bound prunes more.
+    let mut candidates: Vec<usize> = (0..n).filter(|&i| weights[i] > 0.0).collect();
+    candidates.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut current = Vec::new();
+    search.expand(&mut current, 0.0, &candidates);
+    let mut members = search.best.clone();
+    members.sort_unstable();
+    CliqueResult {
+        members,
+        weight: search.best_weight,
+        optimal: !search.aborted,
+    }
+}
+
+struct CliqueSearch<'a> {
+    weights: &'a [f64],
+    adjacent: &'a [Vec<bool>],
+    best: Vec<usize>,
+    best_weight: f64,
+    steps: u64,
+    max_steps: u64,
+    aborted: bool,
+}
+
+impl CliqueSearch<'_> {
+    fn expand(&mut self, current: &mut Vec<usize>, current_weight: f64, candidates: &[usize]) {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            self.aborted = true;
+            return;
+        }
+        if current_weight > self.best_weight {
+            self.best_weight = current_weight;
+            self.best = current.clone();
+        }
+        if candidates.is_empty() {
+            return;
+        }
+        // Upper bound: current weight + everything still available.
+        let available: f64 = candidates.iter().map(|&c| self.weights[c]).sum();
+        if current_weight + available <= self.best_weight {
+            return;
+        }
+        for (pos, &c) in candidates.iter().enumerate() {
+            if self.aborted {
+                return;
+            }
+            // Bound again for the suffix starting at pos.
+            let suffix: f64 = candidates[pos..].iter().map(|&x| self.weights[x]).sum();
+            if current_weight + suffix <= self.best_weight {
+                return;
+            }
+            let next: Vec<usize> = candidates[pos + 1..]
+                .iter()
+                .copied()
+                .filter(|&x| self.adjacent[c][x])
+                .collect();
+            current.push(c);
+            self.expand(current, current_weight + self.weights[c], &next);
+            current.pop();
+        }
+    }
+}
+
+/// Builds the disjointness adjacency matrix for a family of sorted edge sets:
+/// nodes are the sets, two nodes are adjacent iff their sets are disjoint.
+/// This is the `fG` construction of Section 4.1 applied to either embeddings or
+/// cuts.
+pub fn disjointness_matrix(sets: &[Vec<crate::model::EdgeId>]) -> Vec<Vec<bool>> {
+    let n = sets.len();
+    let mut adj = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = crate::embeddings::edge_sets_disjoint(&sets[i], &sets[j]);
+            adj[i][j] = d;
+            adj[j][i] = d;
+        }
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EdgeId;
+
+    #[test]
+    fn single_node_graph() {
+        let r = max_weight_clique(&[2.5], &[vec![false]], CliqueOptions::default());
+        assert_eq!(r.members, vec![0]);
+        assert!((r.weight - 2.5).abs() < 1e-12);
+        assert!(r.optimal);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = max_weight_clique(&[], &[], CliqueOptions::default());
+        assert!(r.members.is_empty());
+        assert_eq!(r.weight, 0.0);
+    }
+
+    #[test]
+    fn triangle_plus_heavy_isolated_node() {
+        // Nodes 0,1,2 form a triangle with weight 1 each; node 3 is isolated
+        // with weight 2.5. The triangle (weight 3) wins.
+        let weights = vec![1.0, 1.0, 1.0, 2.5];
+        let mut adj = vec![vec![false; 4]; 4];
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2)] {
+            adj[a][b] = true;
+            adj[b][a] = true;
+        }
+        let r = max_weight_clique(&weights, &adj, CliqueOptions::default());
+        assert_eq!(r.members, vec![0, 1, 2]);
+        assert!((r.weight - 3.0).abs() < 1e-12);
+
+        // Make the isolated node heavier than the triangle: it wins.
+        let weights = vec![1.0, 1.0, 1.0, 3.5];
+        let r = max_weight_clique(&weights, &adj, CliqueOptions::default());
+        assert_eq!(r.members, vec![3]);
+    }
+
+    #[test]
+    fn zero_weight_nodes_are_ignored() {
+        let weights = vec![0.0, 1.0, 0.0];
+        let adj = vec![
+            vec![false, true, true],
+            vec![true, false, true],
+            vec![true, true, false],
+        ];
+        let r = max_weight_clique(&weights, &adj, CliqueOptions::default());
+        assert_eq!(r.members, vec![1]);
+    }
+
+    #[test]
+    fn figure_7_embedding_clique() {
+        // Example 6: embeddings EM1={e1,e2}, EM2={e2,e3}, EM3={e3,e4}. The two
+        // maximal cliques of fG are {EM1,EM3} and {EM2}. With equal weights the
+        // pair wins.
+        let sets = vec![
+            vec![EdgeId(1), EdgeId(2)],
+            vec![EdgeId(2), EdgeId(3)],
+            vec![EdgeId(3), EdgeId(4)],
+        ];
+        let adj = disjointness_matrix(&sets);
+        assert!(adj[0][2] && adj[2][0]);
+        assert!(!adj[0][1] && !adj[1][2]);
+        let w = vec![0.5, 0.6, 0.5];
+        let r = max_weight_clique(&w, &adj, CliqueOptions::default());
+        assert_eq!(r.members, vec![0, 2]);
+        assert!((r.weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_cap_still_returns_valid_clique() {
+        // A moderately sized random-ish instance with a tiny step budget.
+        let n = 20;
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 % 3.0)).collect();
+        let mut adj = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && (i + j) % 3 != 0 {
+                    adj[i][j] = true;
+                }
+            }
+        }
+        let r = max_weight_clique(&weights, &adj, CliqueOptions { max_steps: 5 });
+        // Whatever was found must be a clique.
+        for (x, &a) in r.members.iter().enumerate() {
+            for &b in &r.members[x + 1..] {
+                assert!(adj[a][b], "returned nodes {a},{b} are not adjacent");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_drive_selection_not_cardinality() {
+        // Two disjoint pairs {0,1} (weight 1+1) vs single node 2 (weight 5).
+        let weights = vec![1.0, 1.0, 5.0];
+        let adj = vec![
+            vec![false, true, false],
+            vec![true, false, false],
+            vec![false, false, false],
+        ];
+        let r = max_weight_clique(&weights, &adj, CliqueOptions::default());
+        assert_eq!(r.members, vec![2]);
+        assert!((r.weight - 5.0).abs() < 1e-12);
+    }
+}

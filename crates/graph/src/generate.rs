@@ -1,0 +1,253 @@
+//! Random graph generation and connected-subgraph extraction.
+//!
+//! The synthetic dataset generator (`pgs-datagen`) and the benchmark workloads
+//! need (a) random labelled connected graphs whose size/label distributions can
+//! be dialled to the paper's STRING/BioGRID statistics, and (b) random
+//! connected query subgraphs extracted from data graphs ("query graphs in `qi`
+//! are size-`i` graphs ... extracted from corresponding deterministic graphs of
+//! probabilistic graphs randomly", Section 6).
+
+use crate::model::{EdgeId, Graph, Label, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters for random labelled graph generation.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomGraphConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of edges (at least `vertices - 1`; the generator first builds a
+    /// random spanning tree so the result is connected).
+    pub edges: usize,
+    /// Size of the vertex label alphabet.
+    pub vertex_labels: u32,
+    /// Size of the edge label alphabet.
+    pub edge_labels: u32,
+    /// If true, extra edges are attached preferentially to high-degree vertices
+    /// (power-law-ish, closer to PPI topology); otherwise uniformly.
+    pub preferential: bool,
+}
+
+impl Default for RandomGraphConfig {
+    fn default() -> Self {
+        RandomGraphConfig {
+            vertices: 30,
+            edges: 45,
+            vertex_labels: 8,
+            edge_labels: 1,
+            preferential: true,
+        }
+    }
+}
+
+/// Generates a random connected labelled graph.
+///
+/// The construction is: random vertex labels, a random spanning tree (uniform
+/// attachment), then extra edges sampled either preferentially (by current
+/// degree) or uniformly, skipping duplicates. If the requested edge count
+/// exceeds the simple-graph maximum it is clamped.
+pub fn random_connected_graph<R: Rng>(config: &RandomGraphConfig, rng: &mut R) -> Graph {
+    let n = config.vertices.max(1);
+    let max_edges = n * (n - 1) / 2;
+    let m = config.edges.clamp(n.saturating_sub(1), max_edges);
+    let mut g = Graph::new();
+    for _ in 0..n {
+        g.add_vertex(Label(rng.gen_range(0..config.vertex_labels.max(1))));
+    }
+    // Random spanning tree: connect vertex i to a random earlier vertex.
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        let label = Label(rng.gen_range(0..config.edge_labels.max(1)));
+        g.add_edge(VertexId(i as u32), VertexId(j as u32), label)
+            .expect("spanning tree edges are unique");
+    }
+    let mut attempts = 0usize;
+    let attempt_cap = 50 * m.max(1);
+    while g.edge_count() < m && attempts < attempt_cap {
+        attempts += 1;
+        let (u, v) = if config.preferential {
+            // Pick an endpoint of a random existing edge (degree-proportional),
+            // and a second vertex uniformly.
+            let e = EdgeId(rng.gen_range(0..g.edge_count() as u32));
+            let edge = *g.edge(e);
+            let u = if rng.gen_bool(0.5) { edge.u } else { edge.v };
+            let v = VertexId(rng.gen_range(0..n as u32));
+            (u, v)
+        } else {
+            (
+                VertexId(rng.gen_range(0..n as u32)),
+                VertexId(rng.gen_range(0..n as u32)),
+            )
+        };
+        if u == v || g.has_edge(u, v) {
+            continue;
+        }
+        let label = Label(rng.gen_range(0..config.edge_labels.max(1)));
+        g.add_edge(u, v, label).expect("checked for duplicates");
+    }
+    g
+}
+
+/// Extracts a random connected subgraph with `edge_count` edges from `g`
+/// (vertices renumbered densely). Returns `None` if `g` has fewer edges or the
+/// random walk cannot reach the requested size (e.g. `g` is disconnected and
+/// the start component is too small).
+pub fn random_connected_subgraph<R: Rng>(
+    g: &Graph,
+    edge_count: usize,
+    rng: &mut R,
+) -> Option<Graph> {
+    if edge_count == 0 || g.edge_count() < edge_count {
+        return None;
+    }
+    for _attempt in 0..16 {
+        // Seed with a random edge, then grow by repeatedly adding a random edge
+        // adjacent to the current vertex set.
+        let seed = EdgeId(rng.gen_range(0..g.edge_count() as u32));
+        let mut chosen_edges: Vec<EdgeId> = vec![seed];
+        let mut vertices: Vec<VertexId> = vec![g.edge(seed).u, g.edge(seed).v];
+        while chosen_edges.len() < edge_count {
+            // Frontier: edges incident to a chosen vertex but not yet chosen.
+            let mut frontier: Vec<EdgeId> = Vec::new();
+            for &v in &vertices {
+                for &(_, e) in g.neighbors(v) {
+                    if !chosen_edges.contains(&e) && !frontier.contains(&e) {
+                        frontier.push(e);
+                    }
+                }
+            }
+            if frontier.is_empty() {
+                break;
+            }
+            let &e = frontier.choose(rng).expect("frontier is non-empty");
+            chosen_edges.push(e);
+            let edge = g.edge(e);
+            if !vertices.contains(&edge.u) {
+                vertices.push(edge.u);
+            }
+            if !vertices.contains(&edge.v) {
+                vertices.push(edge.v);
+            }
+        }
+        if chosen_edges.len() == edge_count {
+            let sub = g.edge_subgraph(&chosen_edges);
+            return Some(crate::relax::drop_isolated(&sub));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_graph_is_connected_and_sized() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(n, m) in &[(1usize, 0usize), (5, 4), (20, 40), (40, 60)] {
+            let cfg = RandomGraphConfig {
+                vertices: n,
+                edges: m,
+                vertex_labels: 5,
+                edge_labels: 2,
+                preferential: true,
+            };
+            let g = random_connected_graph(&cfg, &mut rng);
+            assert_eq!(g.vertex_count(), n);
+            assert!(g.is_connected(), "graph with {n} vertices must be connected");
+            assert!(g.edge_count() >= n.saturating_sub(1));
+            assert!(g.edge_count() <= m.max(n.saturating_sub(1)));
+        }
+    }
+
+    #[test]
+    fn uniform_attachment_also_works() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = RandomGraphConfig {
+            vertices: 25,
+            edges: 50,
+            vertex_labels: 3,
+            edge_labels: 1,
+            preferential: false,
+        };
+        let g = random_connected_graph(&cfg, &mut rng);
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), 50);
+    }
+
+    #[test]
+    fn edge_count_is_clamped_to_simple_graph_maximum() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = RandomGraphConfig {
+            vertices: 4,
+            edges: 100,
+            vertex_labels: 1,
+            edge_labels: 1,
+            preferential: false,
+        };
+        let g = random_connected_graph(&cfg, &mut rng);
+        assert_eq!(g.edge_count(), 6); // K4
+    }
+
+    #[test]
+    fn labels_are_within_alphabet() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = RandomGraphConfig {
+            vertices: 30,
+            edges: 60,
+            vertex_labels: 4,
+            edge_labels: 3,
+            preferential: true,
+        };
+        let g = random_connected_graph(&cfg, &mut rng);
+        assert!(g.vertex_labels().iter().all(|l| l.value() < 4));
+        for (_, e) in g.edge_entries() {
+            assert!(e.label.value() < 3);
+        }
+    }
+
+    #[test]
+    fn subgraph_extraction_produces_connected_queries() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg = RandomGraphConfig {
+            vertices: 40,
+            edges: 80,
+            vertex_labels: 6,
+            edge_labels: 2,
+            preferential: true,
+        };
+        let g = random_connected_graph(&cfg, &mut rng);
+        for size in [1usize, 3, 6, 10] {
+            let q = random_connected_subgraph(&g, size, &mut rng).expect("extraction succeeds");
+            assert_eq!(q.edge_count(), size);
+            assert!(q.is_connected());
+            // Every extracted query must embed back into its source graph.
+            assert!(crate::vf2::contains_subgraph(&q, &g));
+        }
+    }
+
+    #[test]
+    fn subgraph_extraction_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = crate::model::GraphBuilder::new()
+            .vertices(&[0, 1])
+            .edge(0, 1, 0)
+            .build();
+        assert!(random_connected_subgraph(&g, 0, &mut rng).is_none());
+        assert!(random_connected_subgraph(&g, 2, &mut rng).is_none());
+        let q = random_connected_subgraph(&g, 1, &mut rng).unwrap();
+        assert_eq!(q.edge_count(), 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = RandomGraphConfig::default();
+        let g1 = random_connected_graph(&cfg, &mut StdRng::seed_from_u64(42));
+        let g2 = random_connected_graph(&cfg, &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1, g2);
+        let g3 = random_connected_graph(&cfg, &mut StdRng::seed_from_u64(43));
+        assert_ne!(g1, g3);
+    }
+}

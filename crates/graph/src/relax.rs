@@ -1,0 +1,290 @@
+//! Query relaxation: the set `U = {rq_1, ..., rq_a}` of graphs obtained by
+//! deleting `δ` edges from the query.
+//!
+//! Lemma 1 rewrites the subgraph similarity probability as
+//! `Pr(q ⊆sim g) = Pr(Brq_1 ∨ ... ∨ Brq_a)` where `rq_i` ranges over the
+//! relaxations of `q` with exactly `δ` edges removed; both pruning rules and
+//! the verification sampler operate on this set.  Following the paper (and
+//! \[38\], which it borrows the relaxation procedure from) we relax by **edge
+//! deletion**; relabelings are a straightforward extension and insertions never
+//! apply to similarity search (footnote 4 of the paper).
+//!
+//! Relaxed graphs are deduplicated up to isomorphism (deleting symmetric edges
+//! yields identical patterns) and isolated vertices are dropped because the
+//! subgraph distance of Definition 8 counts edges only.
+
+use crate::dfs_code::{are_isomorphic, canonical_code, CanonicalCode};
+use crate::model::{EdgeId, Graph};
+
+/// Options controlling relaxation.
+#[derive(Debug, Clone, Copy)]
+pub struct RelaxOptions {
+    /// Number of edges to delete (the paper's `δ`).
+    pub deletions: usize,
+    /// Keep only relaxations whose edges form a connected subgraph.
+    /// The paper keeps disconnected relaxations (a possible world just has to
+    /// contain *all* components), so the default is `false`.
+    pub require_connected: bool,
+    /// Drop vertices left with no incident edge.
+    pub drop_isolated_vertices: bool,
+    /// Deduplicate relaxations up to isomorphism.
+    pub dedup: bool,
+    /// Hard cap on the number of generated relaxations (0 = unlimited).
+    pub max_results: usize,
+}
+
+impl Default for RelaxOptions {
+    fn default() -> Self {
+        RelaxOptions {
+            deletions: 1,
+            require_connected: false,
+            drop_isolated_vertices: true,
+            dedup: true,
+            max_results: 0,
+        }
+    }
+}
+
+/// Generates every graph obtained from `q` by deleting exactly
+/// `options.deletions` edges, subject to the options.
+pub fn delete_edge_subsets(q: &Graph, options: &RelaxOptions) -> Vec<Graph> {
+    let m = q.edge_count();
+    let k = options.deletions;
+    if k > m {
+        return Vec::new();
+    }
+    let all_edges: Vec<EdgeId> = q.edges().collect();
+    let mut results: Vec<Graph> = Vec::new();
+    let mut seen: Vec<(CanonicalCode, usize)> = Vec::new(); // (code, index into results)
+    let mut subset = Vec::with_capacity(k);
+    enumerate_subsets(
+        &all_edges,
+        k,
+        0,
+        &mut subset,
+        &mut |deleted: &[EdgeId]| -> bool {
+            let keep: Vec<EdgeId> = all_edges
+                .iter()
+                .copied()
+                .filter(|e| !deleted.contains(e))
+                .collect();
+            let mut g = q.edge_subgraph(&keep);
+            if options.drop_isolated_vertices {
+                g = drop_isolated(&g);
+            }
+            if options.require_connected && !g.is_connected() {
+                return true;
+            }
+            if options.dedup {
+                let code = canonical_code(&g);
+                let duplicate = seen.iter().any(|(c, idx)| {
+                    c == &code && (code.exact || are_isomorphic(&results[*idx], &g))
+                });
+                if duplicate {
+                    return true;
+                }
+                seen.push((code, results.len()));
+            }
+            results.push(g);
+            options.max_results == 0 || results.len() < options.max_results
+        },
+    );
+    results
+}
+
+/// The paper's relaxed query set `U`: all pairwise non-isomorphic graphs
+/// obtained from `q` by deleting exactly `delta` edges (isolated vertices
+/// dropped).  `delta = 0` returns the query itself.
+pub fn relax_query(q: &Graph, delta: usize) -> Vec<Graph> {
+    let options = RelaxOptions {
+        deletions: delta,
+        ..RelaxOptions::default()
+    };
+    delete_edge_subsets(q, &options)
+}
+
+/// Removes isolated vertices, renumbering the rest densely.
+pub fn drop_isolated(g: &Graph) -> Graph {
+    let keep: Vec<_> = g.vertices().filter(|&v| g.degree(v) > 0).collect();
+    if keep.len() == g.vertex_count() {
+        return g.clone();
+    }
+    g.induced_subgraph(&keep).0
+}
+
+/// Enumerates all `k`-subsets of `items`, invoking `f` on each; `f` returns
+/// `false` to stop the enumeration early.
+fn enumerate_subsets<T: Copy>(
+    items: &[T],
+    k: usize,
+    start: usize,
+    current: &mut Vec<T>,
+    f: &mut impl FnMut(&[T]) -> bool,
+) -> bool {
+    if current.len() == k {
+        return f(current);
+    }
+    let needed = k - current.len();
+    if items.len() - start < needed {
+        return true;
+    }
+    for i in start..items.len() {
+        current.push(items[i]);
+        let keep_going = enumerate_subsets(items, k, i + 1, current, f);
+        current.pop();
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GraphBuilder;
+
+    fn triangle_q() -> Graph {
+        // Figure 1 query: triangle with vertex labels a(0), b(1), c(2).
+        GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 9)
+            .edge(1, 2, 9)
+            .edge(0, 2, 9)
+            .build()
+    }
+
+    #[test]
+    fn figure_5_relaxation_of_the_query() {
+        // Figure 5: relaxing q (triangle a-b-c) by one edge yields exactly three
+        // distinct 2-edge paths rq1, rq2, rq3 (they differ by which vertex is in
+        // the middle, so none are isomorphic).
+        let u = relax_query(&triangle_q(), 1);
+        assert_eq!(u.len(), 3);
+        for rq in &u {
+            assert_eq!(rq.edge_count(), 2);
+            assert_eq!(rq.vertex_count(), 3);
+            assert!(rq.is_connected());
+        }
+    }
+
+    #[test]
+    fn delta_zero_returns_query_itself() {
+        let q = triangle_q();
+        let u = relax_query(&q, 0);
+        assert_eq!(u.len(), 1);
+        assert!(crate::dfs_code::are_isomorphic(&u[0], &q));
+    }
+
+    #[test]
+    fn delta_larger_than_edges_returns_nothing() {
+        let q = triangle_q();
+        assert!(relax_query(&q, 4).is_empty());
+    }
+
+    #[test]
+    fn delta_equal_to_edges_returns_single_empty_graph() {
+        let q = triangle_q();
+        let u = relax_query(&q, 3);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].edge_count(), 0);
+        assert_eq!(u[0].vertex_count(), 0); // isolated vertices dropped
+    }
+
+    #[test]
+    fn symmetric_deletions_are_deduplicated() {
+        // Unlabelled triangle: all three single-edge deletions give isomorphic
+        // 2-edge paths, so |U| = 1.
+        let tri = GraphBuilder::new()
+            .vertices(&[0, 0, 0])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(0, 2, 0)
+            .build();
+        let u = relax_query(&tri, 1);
+        assert_eq!(u.len(), 1);
+
+        // Without dedup we get all three.
+        let opts = RelaxOptions {
+            deletions: 1,
+            dedup: false,
+            ..RelaxOptions::default()
+        };
+        assert_eq!(delete_edge_subsets(&tri, &opts).len(), 3);
+    }
+
+    #[test]
+    fn disconnected_relaxations_are_kept_by_default() {
+        // Path of 3 edges: deleting the middle edge leaves two disjoint edges.
+        let p = GraphBuilder::new()
+            .vertices(&[0, 1, 2, 3])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(2, 3, 0)
+            .build();
+        let u = relax_query(&p, 1);
+        assert_eq!(u.len(), 3);
+        assert!(u.iter().any(|g| !g.is_connected()));
+
+        let opts = RelaxOptions {
+            deletions: 1,
+            require_connected: true,
+            ..RelaxOptions::default()
+        };
+        let connected_only = delete_edge_subsets(&p, &opts);
+        assert_eq!(connected_only.len(), 2);
+        assert!(connected_only.iter().all(|g| g.is_connected()));
+    }
+
+    #[test]
+    fn max_results_cap() {
+        let p = GraphBuilder::new()
+            .vertices(&[0, 1, 2, 3, 4])
+            .edge(0, 1, 0)
+            .edge(1, 2, 1)
+            .edge(2, 3, 2)
+            .edge(3, 4, 3)
+            .build();
+        let opts = RelaxOptions {
+            deletions: 2,
+            max_results: 3,
+            ..RelaxOptions::default()
+        };
+        assert_eq!(delete_edge_subsets(&p, &opts).len(), 3);
+    }
+
+    #[test]
+    fn drop_isolated_preserves_labels() {
+        let mut g = triangle_q();
+        let extra = g.add_vertex(crate::model::Label(42));
+        assert_eq!(g.degree(extra), 0);
+        let cleaned = drop_isolated(&g);
+        assert_eq!(cleaned.vertex_count(), 3);
+        assert_eq!(cleaned.edge_count(), 3);
+        assert!(cleaned
+            .vertex_labels()
+            .iter()
+            .all(|l| l.value() != 42));
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let items: Vec<u32> = (0..5).collect();
+        let mut count = 0;
+        let mut cur = Vec::new();
+        enumerate_subsets(&items, 3, 0, &mut cur, &mut |_s| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 10);
+
+        // Early stop after 4 subsets.
+        let mut count = 0;
+        let mut cur = Vec::new();
+        enumerate_subsets(&items, 2, 0, &mut cur, &mut |_s| {
+            count += 1;
+            count < 4
+        });
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,189 @@
+//! Plain-text serialization of graph databases.
+//!
+//! The format is the classic gSpan transaction format, which keeps datasets
+//! diffable and easy to generate from external tools:
+//!
+//! ```text
+//! t # <name>
+//! v <vertex-id> <label>
+//! e <u> <v> <label>
+//! ```
+//!
+//! Vertex ids inside one transaction must be `0..n` in order; edges reference
+//! those ids.  [`write_database`] / [`read_database`] round-trip a `Vec<Graph>`.
+
+use crate::error::GraphError;
+use crate::model::{Graph, Label, VertexId};
+use std::fmt::Write as _;
+
+/// Serializes one graph in gSpan transaction format.
+pub fn write_graph(g: &Graph) -> String {
+    let mut out = String::new();
+    writeln!(out, "t # {}", g.name()).expect("writing to String cannot fail");
+    for v in g.vertices() {
+        writeln!(out, "v {} {}", v.0, g.vertex_label(v).0).expect("writing to String cannot fail");
+    }
+    for (_, e) in g.edge_entries() {
+        writeln!(out, "e {} {} {}", e.u.0, e.v.0, e.label.0).expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Serializes a database of graphs.
+pub fn write_database(db: &[Graph]) -> String {
+    let mut out = String::new();
+    for g in db {
+        out.push_str(&write_graph(g));
+    }
+    out
+}
+
+/// Parses a database of graphs from gSpan transaction format.
+pub fn read_database(text: &str) -> Result<Vec<Graph>, GraphError> {
+    let mut db: Vec<Graph> = Vec::new();
+    let mut current: Option<Graph> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("non-empty line has a first token");
+        match tag {
+            "t" => {
+                if let Some(g) = current.take() {
+                    db.push(g);
+                }
+                // format: t # name
+                let name: String = parts.skip(1).collect::<Vec<_>>().join(" ");
+                current = Some(Graph::with_name(name));
+            }
+            "v" => {
+                let g = current.as_mut().ok_or(GraphError::Parse {
+                    line: lineno,
+                    message: "vertex line before any 't' line".into(),
+                })?;
+                let id: usize = parse_field(parts.next(), lineno, "vertex id")?;
+                let label: u32 = parse_field(parts.next(), lineno, "vertex label")?;
+                if id != g.vertex_count() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        message: format!(
+                            "vertex ids must be consecutive: expected {}, got {id}",
+                            g.vertex_count()
+                        ),
+                    });
+                }
+                g.add_vertex(Label(label));
+            }
+            "e" => {
+                let g = current.as_mut().ok_or(GraphError::Parse {
+                    line: lineno,
+                    message: "edge line before any 't' line".into(),
+                })?;
+                let u: u32 = parse_field(parts.next(), lineno, "edge endpoint")?;
+                let v: u32 = parse_field(parts.next(), lineno, "edge endpoint")?;
+                let label: u32 = parse_field(parts.next(), lineno, "edge label")?;
+                g.add_edge(VertexId(u), VertexId(v), Label(label))
+                    .map_err(|e| GraphError::Parse {
+                        line: lineno,
+                        message: e.to_string(),
+                    })?;
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("unknown record tag '{other}'"),
+                })
+            }
+        }
+    }
+    if let Some(g) = current.take() {
+        db.push(g);
+    }
+    Ok(db)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphError> {
+    field
+        .ok_or_else(|| GraphError::Parse {
+            line,
+            message: format!("missing {what}"),
+        })?
+        .parse()
+        .map_err(|_| GraphError::Parse {
+            line,
+            message: format!("invalid {what}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GraphBuilder;
+
+    fn sample_db() -> Vec<Graph> {
+        vec![
+            GraphBuilder::new()
+                .name("alpha")
+                .vertices(&[0, 1, 2])
+                .edge(0, 1, 5)
+                .edge(1, 2, 6)
+                .build(),
+            GraphBuilder::new()
+                .name("beta")
+                .vertices(&[3, 3])
+                .edge(0, 1, 0)
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_graphs() {
+        let db = sample_db();
+        let text = write_database(&db);
+        let back = read_database(&text).unwrap();
+        assert_eq!(db, back);
+        assert_eq!(back[0].name(), "alpha");
+        assert_eq!(back[1].name(), "beta");
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_ignored() {
+        let text = "\n# a comment\nt # g0\nv 0 1\nv 1 2\n\ne 0 1 3\n";
+        let db = read_database(text).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db[0].vertex_count(), 2);
+        assert_eq!(db[0].edge_count(), 1);
+    }
+
+    #[test]
+    fn vertex_before_transaction_is_an_error() {
+        let err = read_database("v 0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn non_consecutive_vertex_ids_are_rejected() {
+        let err = read_database("t # g\nv 0 1\nv 2 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn malformed_edges_are_rejected() {
+        assert!(read_database("t # g\nv 0 1\ne 0 5 1\n").is_err());
+        assert!(read_database("t # g\nv 0 1\ne 0\n").is_err());
+        assert!(read_database("t # g\nv 0 x\n").is_err());
+        assert!(read_database("q 0 0\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_database() {
+        assert!(read_database("").unwrap().is_empty());
+    }
+}

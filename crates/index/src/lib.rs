@@ -1,0 +1,23 @@
+//! # pgs-index — the Probabilistic Matrix Index (PMI)
+//!
+//! Section 4 of the paper: the PMI is a feature × graph matrix whose entries
+//! are tight lower/upper bounds of the subgraph-isomorphism probability (SIP)
+//! `Pr(f ⊆iso g)`.  This crate implements
+//!
+//! * feature selection (Algorithm 4; frequency with the disjoint-embedding
+//!   ratio `α`, discriminativity `γ`, size cap `maxL`) in [`feature`],
+//! * the SIP bounds of Section 4.1 — lower bound from disjoint embeddings,
+//!   upper bound from disjoint minimal embedding cuts, both tightened with a
+//!   maximum-weight-clique search — in [`sip_bounds`],
+//! * PMI construction, lookup, statistics and text serialization in [`pmi`].
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod feature;
+pub mod pmi;
+pub mod sip_bounds;
+
+pub use feature::{select_features, Feature, FeatureSelectionParams};
+pub use pmi::{Pmi, PmiBuildParams, PmiStats};
+pub use sip_bounds::{sip_bounds, BoundsConfig, DisjointnessRule, SipBounds};

@@ -1,0 +1,405 @@
+//! The Probabilistic Matrix Index (PMI).
+//!
+//! One column per database graph, one row per feature; each cell stores the
+//! SIP bounds `⟨LowerB(f), UpperB(f)⟩` of the feature in that graph, or nothing
+//! when the feature is not even a subgraph of the skeleton (the paper writes
+//! `⟨0⟩` for that case).  Figure 4 shows the layout for the Figure 1 database.
+//!
+//! Construction mines/selects features (Algorithm 4), then fills the matrix
+//! with [`crate::sip_bounds::sip_bounds`], parallelised over database graphs
+//! with scoped threads.  The index also records the statistics the paper's
+//! Figure 12(c)/(d) report: build time and index size.
+
+use crate::feature::{select_features, Feature, FeatureSelectionParams};
+use crate::sip_bounds::{sip_bounds, BoundsConfig, SipBounds};
+use pgs_graph::model::Graph;
+use pgs_graph::vf2::contains_subgraph;
+use pgs_prob::model::ProbabilisticGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Build parameters of the PMI.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PmiBuildParams {
+    /// Feature selection parameters (Algorithm 4).
+    pub features: FeatureSelectionParams,
+    /// SIP bound computation parameters (Section 4.1).
+    pub bounds: BoundsConfig,
+    /// Number of worker threads for the matrix fill (0 = automatic).
+    pub threads: usize,
+    /// RNG seed for the Monte-Carlo estimators.
+    pub seed: u64,
+}
+
+/// Statistics recorded while building the index (Figure 12(c)/(d)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmiStats {
+    /// Number of indexed features (rows).
+    pub feature_count: usize,
+    /// Number of database graphs (columns).
+    pub graph_count: usize,
+    /// Number of non-empty cells (feature occurs in the graph skeleton).
+    pub occupied_cells: usize,
+    /// Wall-clock seconds spent building the index.
+    pub build_seconds: f64,
+    /// Approximate index size in bytes (features + occupied cells).
+    pub size_bytes: usize,
+}
+
+/// The probabilistic matrix index.
+#[derive(Debug, Clone)]
+pub struct Pmi {
+    features: Vec<Feature>,
+    /// `matrix[graph][feature]` — `None` when the feature is not a subgraph of
+    /// the skeleton.
+    matrix: Vec<Vec<Option<SipBounds>>>,
+    stats: PmiStats,
+}
+
+impl Pmi {
+    /// Builds the PMI for a database of probabilistic graphs.
+    pub fn build(db: &[ProbabilisticGraph], params: &PmiBuildParams) -> Pmi {
+        let start = Instant::now();
+        let skeletons: Vec<Graph> = db.iter().map(|g| g.skeleton().clone()).collect();
+        let features = select_features(&skeletons, &params.features);
+        let matrix = fill_matrix(db, &features, params);
+        let occupied = matrix
+            .iter()
+            .map(|row| row.iter().filter(|c| c.is_some()).count())
+            .sum();
+        let feature_bytes: usize = features
+            .iter()
+            .map(|f| 16 * f.graph.vertex_count() + 24 * f.graph.edge_count())
+            .sum();
+        let stats = PmiStats {
+            feature_count: features.len(),
+            graph_count: db.len(),
+            occupied_cells: occupied,
+            build_seconds: start.elapsed().as_secs_f64(),
+            size_bytes: feature_bytes + occupied * std::mem::size_of::<SipBounds>(),
+        };
+        Pmi {
+            features,
+            matrix,
+            stats,
+        }
+    }
+
+    /// The indexed features (row order).
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Number of database graphs the index covers.
+    pub fn graph_count(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// The SIP bounds of `feature` in `graph`, or `None` when the feature does
+    /// not occur in the graph skeleton.
+    pub fn bounds(&self, graph: usize, feature: usize) -> Option<SipBounds> {
+        self.matrix.get(graph).and_then(|row| row.get(feature)).copied().flatten()
+    }
+
+    /// All non-empty `(feature index, bounds)` entries of one graph column —
+    /// the paper's `D_g`.
+    pub fn graph_entries(&self, graph: usize) -> Vec<(usize, SipBounds)> {
+        self.matrix
+            .get(graph)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter_map(|(fi, cell)| cell.map(|b| (fi, b)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> PmiStats {
+        self.stats
+    }
+
+    /// Serializes the index to a plain-text form (one line per occupied cell).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "pmi features={} graphs={}",
+            self.features.len(),
+            self.matrix.len()
+        )
+        .expect("writing to String cannot fail");
+        for f in &self.features {
+            writeln!(
+                out,
+                "feature {} edges={} frequency={:.4}",
+                f.id,
+                f.graph.edge_count(),
+                f.frequency
+            )
+            .expect("writing to String cannot fail");
+        }
+        for (gi, row) in self.matrix.iter().enumerate() {
+            for (fi, cell) in row.iter().enumerate() {
+                if let Some(b) = cell {
+                    writeln!(out, "cell {gi} {fi} {:.6} {:.6}", b.lower, b.upper)
+                        .expect("writing to String cannot fail");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Fills the feature × graph matrix, parallelised over graphs.
+fn fill_matrix(
+    db: &[ProbabilisticGraph],
+    features: &[Feature],
+    params: &PmiBuildParams,
+) -> Vec<Vec<Option<SipBounds>>> {
+    let threads = if params.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+            .max(1)
+    } else {
+        params.threads
+    };
+    let chunk_size = db.len().div_ceil(threads.max(1)).max(1);
+    let mut matrix: Vec<Vec<Option<SipBounds>>> = Vec::with_capacity(db.len());
+    if db.is_empty() {
+        return matrix;
+    }
+    let chunks: Vec<(usize, &[ProbabilisticGraph])> = db
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(i, c)| (i * chunk_size, c))
+        .collect();
+    let results: Vec<(usize, Vec<Vec<Option<SipBounds>>>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(offset, chunk)| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(offset as u64));
+                    let rows: Vec<Vec<Option<SipBounds>>> = chunk
+                        .iter()
+                        .map(|pg| compute_row(pg, features, &params.bounds, &mut rng))
+                        .collect();
+                    (offset, rows)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("PMI worker thread panicked"))
+            .collect()
+    });
+    let mut sorted = results;
+    sorted.sort_by_key(|(offset, _)| *offset);
+    for (_, rows) in sorted {
+        matrix.extend(rows);
+    }
+    matrix
+}
+
+fn compute_row(
+    pg: &ProbabilisticGraph,
+    features: &[Feature],
+    bounds_config: &BoundsConfig,
+    rng: &mut StdRng,
+) -> Vec<Option<SipBounds>> {
+    features
+        .iter()
+        .map(|f| {
+            if contains_subgraph(&f.graph, pg.skeleton()) {
+                Some(sip_bounds(pg, &f.graph, bounds_config, rng))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_graph::model::{EdgeId, GraphBuilder};
+    use pgs_prob::exact::exact_sip;
+    use pgs_prob::jpt::JointProbTable;
+    use pgs_graph::vf2::{enumerate_embeddings, MatchOptions};
+
+    /// A 3-graph database mirroring Figure 1/Figure 4: graph 001 (triangle
+    /// a-b-d), graph 002 (the 5-edge graph) and a third graph without any a-b
+    /// edge so some cells stay empty.
+    fn database() -> Vec<ProbabilisticGraph> {
+        let g001 = GraphBuilder::new()
+            .name("001")
+            .vertices(&[0, 1, 3])
+            .edge(0, 1, 9)
+            .edge(1, 2, 9)
+            .edge(0, 2, 9)
+            .build();
+        let t001 = JointProbTable::from_max_rule(&[
+            (EdgeId(0), 0.6),
+            (EdgeId(1), 0.5),
+            (EdgeId(2), 0.7),
+        ])
+        .unwrap();
+        let pg001 = ProbabilisticGraph::new(g001, vec![t001], true).unwrap();
+
+        let g002 = GraphBuilder::new()
+            .name("002")
+            .vertices(&[0, 0, 1, 1, 2])
+            .edge(0, 1, 9)
+            .edge(0, 2, 9)
+            .edge(1, 2, 9)
+            .edge(2, 3, 9)
+            .edge(2, 4, 9)
+            .build();
+        let t1 = JointProbTable::from_max_rule(&[
+            (EdgeId(0), 0.7),
+            (EdgeId(1), 0.6),
+            (EdgeId(2), 0.8),
+        ])
+        .unwrap();
+        let t2 = JointProbTable::from_max_rule(&[(EdgeId(3), 0.5), (EdgeId(4), 0.4)]).unwrap();
+        let pg002 = ProbabilisticGraph::new(g002, vec![t1, t2], true).unwrap();
+
+        let g003 = GraphBuilder::new()
+            .name("003")
+            .vertices(&[3, 3, 3])
+            .edge(0, 1, 9)
+            .edge(1, 2, 9)
+            .build();
+        let t003 =
+            JointProbTable::from_max_rule(&[(EdgeId(0), 0.9), (EdgeId(1), 0.2)]).unwrap();
+        let pg003 = ProbabilisticGraph::new(g003, vec![t003], true).unwrap();
+
+        vec![pg001, pg002, pg003]
+    }
+
+    fn params() -> PmiBuildParams {
+        PmiBuildParams {
+            features: FeatureSelectionParams {
+                beta: 0.3,
+                gamma: 0.0,
+                alpha: 0.0,
+                max_l: 3,
+                max_features: 16,
+                max_embeddings: 16,
+            },
+            bounds: BoundsConfig::default(),
+            threads: 2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn build_produces_a_consistent_matrix() {
+        let db = database();
+        let pmi = Pmi::build(&db, &params());
+        assert!(pmi.features().len() >= 2);
+        assert_eq!(pmi.graph_count(), 3);
+        let stats = pmi.stats();
+        assert_eq!(stats.graph_count, 3);
+        assert_eq!(stats.feature_count, pmi.features().len());
+        assert!(stats.occupied_cells > 0);
+        assert!(stats.size_bytes > 0);
+        assert!(stats.build_seconds >= 0.0);
+        // Cells are present exactly when the feature embeds in the skeleton.
+        for (gi, pg) in db.iter().enumerate() {
+            for f in pmi.features() {
+                let expect = contains_subgraph(&f.graph, pg.skeleton());
+                assert_eq!(pmi.bounds(gi, f.id).is_some(), expect);
+                if let Some(b) = pmi.bounds(gi, f.id) {
+                    assert!(b.is_valid());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_cell_brackets_the_exact_sip() {
+        let db = database();
+        let pmi = Pmi::build(&db, &params());
+        for (gi, pg) in db.iter().enumerate() {
+            for f in pmi.features() {
+                if let Some(b) = pmi.bounds(gi, f.id) {
+                    let outcome =
+                        enumerate_embeddings(&f.graph, pg.skeleton(), MatchOptions::default());
+                    let sets: Vec<_> = outcome.embeddings.iter().map(|e| e.edges.clone()).collect();
+                    let exact = exact_sip(pg, &sets).unwrap();
+                    assert!(
+                        b.lower <= exact + 1e-9 && exact <= b.upper + 1e-9,
+                        "graph {gi} feature {}: [{}, {}] vs exact {exact}",
+                        f.id,
+                        b.lower,
+                        b.upper
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graph_entries_return_dg() {
+        let db = database();
+        let pmi = Pmi::build(&db, &params());
+        let dg = pmi.graph_entries(1); // graph 002 contains every frequent feature
+        assert!(!dg.is_empty());
+        for (fi, b) in &dg {
+            assert_eq!(pmi.bounds(1, *fi), Some(*b));
+        }
+        // Out-of-range graph index yields an empty Dg.
+        assert!(pmi.graph_entries(99).is_empty());
+        assert_eq!(pmi.bounds(99, 0), None);
+    }
+
+    #[test]
+    fn single_threaded_and_multi_threaded_builds_agree() {
+        let db = database();
+        let mut p1 = params();
+        p1.threads = 1;
+        let mut p2 = params();
+        p2.threads = 3;
+        let a = Pmi::build(&db, &p1);
+        let b = Pmi::build(&db, &p2);
+        assert_eq!(a.features().len(), b.features().len());
+        for gi in 0..db.len() {
+            for fi in 0..a.features().len() {
+                match (a.bounds(gi, fi), b.bounds(gi, fi)) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        // Bounds are computed exactly (no sampling) under the
+                        // default config, so they must agree bit-for-bit.
+                        assert!((x.lower - y.lower).abs() < 1e-12);
+                        assert!((x.upper - y.upper).abs() < 1e-12);
+                    }
+                    other => panic!("occupancy mismatch at ({gi},{fi}): {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn text_serialization_mentions_every_occupied_cell() {
+        let db = database();
+        let pmi = Pmi::build(&db, &params());
+        let text = pmi.to_text();
+        assert!(text.starts_with("pmi features="));
+        let cell_lines = text.lines().filter(|l| l.starts_with("cell ")).count();
+        assert_eq!(cell_lines, pmi.stats().occupied_cells);
+    }
+
+    #[test]
+    fn empty_database_builds_an_empty_index() {
+        let pmi = Pmi::build(&[], &PmiBuildParams::default());
+        assert_eq!(pmi.graph_count(), 0);
+        assert_eq!(pmi.features().len(), 0);
+        assert_eq!(pmi.stats().occupied_cells, 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Algorithm 3: Monte-Carlo estimation of `Pr(Bf_i | COR)` / `Pr(Bc_i | COM)`.
+//!
+//! The SIP bounds of Section 4.1 need, for every selected embedding `f_i` (or
+//! cut `c_i`), the probability that its event occurs *conditioned on none of
+//! the overlapping embeddings (cuts) occurring*:
+//!
+//! * embeddings — event: all edges of `f_i` present; conditioning: no
+//!   overlapping embedding has all of its edges present;
+//! * cuts — event: all edges of `c_i` absent; conditioning: no overlapping cut
+//!   has all of its edges absent.
+//!
+//! Algorithm 3 samples possible worlds and returns the ratio `n1/n2` of
+//! "event ∧ condition" to "condition" counts.  We implement it verbatim plus an
+//! exact variant (restricted-assignment enumeration) used as a test oracle and
+//! automatically selected when the relevant edge set is small.
+
+use crate::model::ProbabilisticGraph;
+use crate::montecarlo::MonteCarloConfig;
+use crate::sample::{all_absent, all_present};
+use crate::world::enumerate_assignments_over;
+use pgs_graph::embeddings::EdgeSet;
+use pgs_graph::model::EdgeId;
+use rand::Rng;
+
+/// Which event family the estimator works on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Embedding events: "all edges of the set are present".
+    Embedding,
+    /// Cut events: "all edges of the set are absent".
+    Cut,
+}
+
+impl EventKind {
+    fn holds(self, world_is_present: &dyn Fn(EdgeId) -> bool, edges: &[EdgeId]) -> bool {
+        match self {
+            EventKind::Embedding => edges.iter().all(|&e| world_is_present(e)),
+            EventKind::Cut => edges.iter().all(|&e| !world_is_present(e)),
+        }
+    }
+}
+
+/// Estimates `Pr(event(target) | ¬event(c) ∀ c ∈ competitors)` by sampling
+/// possible worlds (Algorithm 3).
+///
+/// When the conditioning event never occurs in the sample (n2 = 0) the
+/// unconditional probability of the target event is returned as a fallback —
+/// with a valid model this only happens for extremely unlikely conditionings,
+/// where either value leaves the bounds conservative.
+pub fn conditional_event_probability<R: Rng + ?Sized>(
+    pg: &ProbabilisticGraph,
+    target: &[EdgeId],
+    competitors: &[EdgeSet],
+    kind: EventKind,
+    config: &MonteCarloConfig,
+    rng: &mut R,
+) -> f64 {
+    // Small instances: compute exactly over the union of the relevant edges.
+    let relevant = relevant_edges(target, competitors);
+    if relevant.len() <= 16 {
+        if let Ok(value) = exact_conditional_event_probability(pg, target, competitors, kind) {
+            return value;
+        }
+    }
+    let n = config.num_samples();
+    let mut n1 = 0usize;
+    let mut n2 = 0usize;
+    for _ in 0..n {
+        let world = pg.sample_world(rng);
+        let present = |e: EdgeId| world[e.index()];
+        let competitor_hit = competitors
+            .iter()
+            .any(|c| kind.holds(&present, c));
+        if !competitor_hit {
+            n2 += 1;
+            if kind.holds(&present, target) {
+                n1 += 1;
+            }
+        }
+    }
+    if n2 == 0 {
+        return match kind {
+            EventKind::Embedding => pg.prob_all_present(target),
+            EventKind::Cut => pg.prob_all_absent(target),
+        };
+    }
+    n1 as f64 / n2 as f64
+}
+
+/// Exact version of [`conditional_event_probability`]: enumerates all
+/// assignments of the union of the relevant edges (errors if that union is too
+/// large to enumerate).
+pub fn exact_conditional_event_probability(
+    pg: &ProbabilisticGraph,
+    target: &[EdgeId],
+    competitors: &[EdgeSet],
+    kind: EventKind,
+) -> Result<f64, crate::error::ProbError> {
+    let relevant = relevant_edges(target, competitors);
+    let assignments = enumerate_assignments_over(pg, &relevant, 22)?;
+    let mut p_condition = 0.0;
+    let mut p_joint = 0.0;
+    for a in &assignments {
+        let present = |e: EdgeId| a.is_present(e);
+        let competitor_hit = competitors.iter().any(|c| match kind {
+            EventKind::Embedding => c.iter().all(|&e| present(e)),
+            EventKind::Cut => c.iter().all(|&e| !present(e)),
+        });
+        if competitor_hit {
+            continue;
+        }
+        p_condition += a.probability;
+        let target_holds = match kind {
+            EventKind::Embedding => target.iter().all(|&e| present(e)),
+            EventKind::Cut => target.iter().all(|&e| !present(e)),
+        };
+        if target_holds {
+            p_joint += a.probability;
+        }
+    }
+    if p_condition <= 0.0 {
+        return Ok(match kind {
+            EventKind::Embedding => pg.prob_all_present(target),
+            EventKind::Cut => pg.prob_all_absent(target),
+        });
+    }
+    Ok(p_joint / p_condition)
+}
+
+/// Convenience wrappers matching the helper predicates used by Algorithm 5.
+pub fn world_has_embedding(world: &[bool], embedding: &[EdgeId]) -> bool {
+    all_present(world, embedding)
+}
+
+/// True if the cut is "active" in the world (all of its edges absent).
+pub fn world_has_cut(world: &[bool], cut: &[EdgeId]) -> bool {
+    all_absent(world, cut)
+}
+
+fn relevant_edges(target: &[EdgeId], competitors: &[EdgeSet]) -> Vec<EdgeId> {
+    let mut all: Vec<EdgeId> = target.to_vec();
+    for c in competitors {
+        all.extend_from_slice(c);
+    }
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jpt::JointProbTable;
+    use pgs_graph::model::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 4-edge path with two independent-table groups so both exact and
+    /// sampled paths are exercised.
+    fn pg() -> ProbabilisticGraph {
+        let g = GraphBuilder::new()
+            .vertices(&[0, 0, 0, 0, 0])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(2, 3, 0)
+            .edge(3, 4, 0)
+            .build();
+        let t1 = JointProbTable::from_max_rule(&[(EdgeId(0), 0.6), (EdgeId(1), 0.5)]).unwrap();
+        let t2 = JointProbTable::from_max_rule(&[(EdgeId(2), 0.7), (EdgeId(3), 0.3)]).unwrap();
+        ProbabilisticGraph::new(g, vec![t1, t2], true).unwrap()
+    }
+
+    #[test]
+    fn no_competitors_reduces_to_unconditional() {
+        let pg = pg();
+        let mut rng = StdRng::seed_from_u64(7);
+        let target = vec![EdgeId(0), EdgeId(1)];
+        let est = conditional_event_probability(
+            &pg,
+            &target,
+            &[],
+            EventKind::Embedding,
+            &MonteCarloConfig::default(),
+            &mut rng,
+        );
+        let exact = pg.prob_all_present(&target);
+        assert!((est - exact).abs() < 1e-9, "exact path should be taken: {est} vs {exact}");
+    }
+
+    #[test]
+    fn conditioning_on_disjoint_competitor_changes_nothing_for_independent_groups() {
+        let pg = pg();
+        let mut rng = StdRng::seed_from_u64(11);
+        let target = vec![EdgeId(0)];
+        let competitors = vec![vec![EdgeId(2), EdgeId(3)]];
+        let got = conditional_event_probability(
+            &pg,
+            &target,
+            &competitors,
+            EventKind::Embedding,
+            &MonteCarloConfig::default(),
+            &mut rng,
+        );
+        // Edge 0 is independent of edges 2,3 (different tables), so the
+        // conditional equals the marginal.
+        let exact = pg.edge_presence_prob(EdgeId(0));
+        assert!((got - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditioning_on_overlapping_competitor_lowers_embedding_probability() {
+        let pg = pg();
+        // Target {e0}; competitor {e0, e1}. Conditioned on "not (e0 and e1)",
+        // the probability of e0 being present drops below its marginal.
+        let target = vec![EdgeId(0)];
+        let competitors = vec![vec![EdgeId(0), EdgeId(1)]];
+        let exact = exact_conditional_event_probability(&pg, &target, &competitors, EventKind::Embedding)
+            .unwrap();
+        assert!(exact < pg.edge_presence_prob(EdgeId(0)));
+        assert!(exact >= 0.0);
+    }
+
+    #[test]
+    fn cut_events_use_absence() {
+        let pg = pg();
+        let target = vec![EdgeId(0)];
+        let exact =
+            exact_conditional_event_probability(&pg, &target, &[], EventKind::Cut).unwrap();
+        assert!((exact - (1.0 - pg.edge_presence_prob(EdgeId(0)))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_matches_exact_on_moderate_instance() {
+        let pg = pg();
+        let mut rng = StdRng::seed_from_u64(23);
+        let target = vec![EdgeId(1)];
+        let competitors = vec![vec![EdgeId(0), EdgeId(1)], vec![EdgeId(1), EdgeId(2)]];
+        let exact = exact_conditional_event_probability(&pg, &target, &competitors, EventKind::Embedding)
+            .unwrap();
+        // Force the sampling path by calling the sampler loop directly via a
+        // large-relevant-edges workaround: here we just compare the public
+        // function (exact path) with a manual sampling estimate.
+        let config = MonteCarloConfig {
+            tau: 0.05,
+            xi: 0.01,
+            max_samples: 60_000,
+        };
+        let n = config.num_samples();
+        let mut n1 = 0usize;
+        let mut n2 = 0usize;
+        for _ in 0..n {
+            let world = pg.sample_world(&mut rng);
+            let competitor_hit = competitors.iter().any(|c| world_has_embedding(&world, c));
+            if !competitor_hit {
+                n2 += 1;
+                if world_has_embedding(&world, &target) {
+                    n1 += 1;
+                }
+            }
+        }
+        let sampled = n1 as f64 / n2 as f64;
+        assert!(
+            (sampled - exact).abs() < 0.03,
+            "sampled {sampled} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn world_event_helpers() {
+        let world = vec![true, false, true, false];
+        assert!(world_has_embedding(&world, &[EdgeId(0), EdgeId(2)]));
+        assert!(!world_has_embedding(&world, &[EdgeId(0), EdgeId(1)]));
+        assert!(world_has_cut(&world, &[EdgeId(1), EdgeId(3)]));
+        assert!(!world_has_cut(&world, &[EdgeId(0)]));
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for the probabilistic layer.
+
+use pgs_graph::model::EdgeId;
+use std::fmt;
+
+/// Errors produced while constructing probabilistic graphs and JPTs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbError {
+    /// A probability was negative, NaN or above one.
+    InvalidProbability(f64),
+    /// A joint probability table's entries do not sum to 1 (beyond tolerance).
+    NotNormalized {
+        /// The observed sum of the table entries.
+        sum: f64,
+    },
+    /// The table row count does not match `2^arity`.
+    WrongTableSize {
+        /// Number of variables in the table.
+        arity: usize,
+        /// Number of rows supplied.
+        rows: usize,
+    },
+    /// A JPT with no variables was supplied.
+    EmptyTable,
+    /// A JPT references an edge that is not in the skeleton.
+    UnknownEdge(EdgeId),
+    /// An edge appears in more than one neighbor-edge group.
+    OverlappingGroups(EdgeId),
+    /// An edge of the skeleton is not covered by any group.
+    UncoveredEdge(EdgeId),
+    /// A group is not a neighbor-edge set (edges neither share a vertex nor
+    /// form a triangle).
+    NotNeighborEdges {
+        /// Index of the offending group.
+        group: usize,
+    },
+    /// The requested exact computation would enumerate too many assignments.
+    TooManyWorlds {
+        /// Number of binary variables that would have to be enumerated.
+        variables: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A table has more variables than the supported maximum (bitmask width).
+    ArityTooLarge(usize),
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::InvalidProbability(p) => write!(f, "invalid probability {p}"),
+            ProbError::NotNormalized { sum } => {
+                write!(f, "joint probability table sums to {sum}, expected 1")
+            }
+            ProbError::WrongTableSize { arity, rows } => write!(
+                f,
+                "joint probability table over {arity} variables needs {} rows, got {rows}",
+                1usize << arity
+            ),
+            ProbError::EmptyTable => write!(f, "joint probability table has no variables"),
+            ProbError::UnknownEdge(e) => write!(f, "table references unknown edge {e}"),
+            ProbError::OverlappingGroups(e) => {
+                write!(f, "edge {e} appears in more than one neighbor-edge group")
+            }
+            ProbError::UncoveredEdge(e) => {
+                write!(f, "edge {e} is not covered by any neighbor-edge group")
+            }
+            ProbError::NotNeighborEdges { group } => {
+                write!(f, "group {group} is not a neighbor-edge set")
+            }
+            ProbError::TooManyWorlds { variables, limit } => write!(
+                f,
+                "exact enumeration over {variables} edges exceeds the limit of {limit}"
+            ),
+            ProbError::ArityTooLarge(a) => {
+                write!(f, "joint probability table arity {a} exceeds the supported maximum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ProbError::InvalidProbability(-0.5).to_string().contains("-0.5"));
+        assert!(ProbError::NotNormalized { sum: 0.9 }.to_string().contains("0.9"));
+        assert!(ProbError::WrongTableSize { arity: 3, rows: 7 }
+            .to_string()
+            .contains("8 rows"));
+        assert!(ProbError::UnknownEdge(EdgeId(4)).to_string().contains("e4"));
+        assert!(ProbError::TooManyWorlds {
+            variables: 40,
+            limit: 24
+        }
+        .to_string()
+        .contains("40"));
+    }
+}

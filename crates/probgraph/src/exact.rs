@@ -1,0 +1,236 @@
+//! Exact subgraph-isomorphism / similarity probabilities.
+//!
+//! These are the `Exact` baselines of the evaluation (Figures 9 and 13) and the
+//! oracles the test-suite checks every bound and sampler against.  Exact
+//! computation is #P-complete in general (Theorem 2); the implementations here
+//! therefore enumerate assignments only over the *relevant* edges — the union
+//! of the embedding edge sets the event actually depends on — which keeps the
+//! cost at `2^{|relevant|}` and makes the oracle usable for the paper's query
+//! sizes on skeleton neighbourhoods, while still being exponential in the worst
+//! case (as the paper's own Exact baseline is).
+
+use crate::error::ProbError;
+use crate::model::ProbabilisticGraph;
+use crate::world::{enumerate_assignments_over, enumerate_worlds};
+use pgs_graph::embeddings::EdgeSet;
+use pgs_graph::mcs::subgraph_similar;
+use pgs_graph::model::{EdgeId, Graph};
+use pgs_graph::relax::relax_query;
+use pgs_graph::vf2::{enumerate_embeddings, MatchOptions};
+
+/// Default cap on the number of relevant edges enumerated exactly.
+pub const DEFAULT_EXACT_LIMIT: usize = 22;
+
+/// Probability of a partial assignment under the model — re-exported helper
+/// (product of per-table marginals; exact thanks to the partitioned tables).
+pub fn prob_of_partial_assignment(pg: &ProbabilisticGraph, assignment: &[(EdgeId, bool)]) -> f64 {
+    pg.prob_of_assignment(assignment)
+}
+
+/// Exact subgraph-isomorphism probability `Pr(f ⊆iso g)` (Definition 6) given
+/// the embeddings of `f` in `gc`: the probability that at least one embedding
+/// has all of its edges present (Equation 10).
+pub fn exact_sip(pg: &ProbabilisticGraph, embeddings: &[EdgeSet]) -> Result<f64, ProbError> {
+    exact_union_probability(pg, embeddings, DEFAULT_EXACT_LIMIT)
+}
+
+/// Probability that at least one of the given edge sets is fully present.
+pub fn exact_union_probability(
+    pg: &ProbabilisticGraph,
+    edge_sets: &[EdgeSet],
+    limit: usize,
+) -> Result<f64, ProbError> {
+    if edge_sets.is_empty() {
+        return Ok(0.0);
+    }
+    if edge_sets.iter().any(|s| s.is_empty()) {
+        // The empty pattern is contained in every world.
+        return Ok(1.0);
+    }
+    let mut relevant: Vec<EdgeId> = edge_sets.iter().flatten().copied().collect();
+    relevant.sort_unstable();
+    relevant.dedup();
+    let assignments = enumerate_assignments_over(pg, &relevant, limit)?;
+    let mut p = 0.0;
+    for a in &assignments {
+        let hit = edge_sets
+            .iter()
+            .any(|s| s.iter().all(|&e| a.is_present(e)));
+        if hit {
+            p += a.probability;
+        }
+    }
+    Ok(p.clamp(0.0, 1.0))
+}
+
+/// Exact subgraph similarity probability `Pr(q ⊆sim g)` (Definition 9) for a
+/// query `q` and distance threshold `delta`, computed through Lemma 1: the
+/// probability that at least one relaxed query `rq ∈ U` embeds in the world.
+///
+/// `limit` bounds the number of relevant edges enumerated; `max_embeddings`
+/// bounds the embeddings enumerated per relaxed query (`0` = default).
+pub fn exact_ssp(
+    pg: &ProbabilisticGraph,
+    q: &Graph,
+    delta: usize,
+    limit: usize,
+) -> Result<f64, ProbError> {
+    if q.edge_count() <= delta {
+        // Relaxing q by delta edges leaves the empty pattern: every world matches.
+        return Ok(1.0);
+    }
+    let relaxed = relax_query(q, delta);
+    let mut all_embeddings: Vec<EdgeSet> = Vec::new();
+    for rq in &relaxed {
+        let outcome = enumerate_embeddings(rq, pg.skeleton(), MatchOptions::default());
+        for emb in outcome.embeddings {
+            if !all_embeddings.contains(&emb.edges) {
+                all_embeddings.push(emb.edges);
+            }
+        }
+    }
+    exact_union_probability(pg, &all_embeddings, limit)
+}
+
+/// Brute-force oracle: enumerates **every** possible world of `pg` and sums the
+/// weights of the worlds whose subgraph distance to `q` is at most `delta`
+/// (Definition 9 verbatim).  Only usable for tiny graphs; exists to validate
+/// [`exact_ssp`] (and thereby Lemma 1) in tests.
+pub fn exact_ssp_bruteforce(
+    pg: &ProbabilisticGraph,
+    q: &Graph,
+    delta: usize,
+    limit: usize,
+) -> Result<f64, ProbError> {
+    let worlds = enumerate_worlds(pg, limit)?;
+    let mut p = 0.0;
+    for w in &worlds {
+        let wg = pg.world_graph(&w.present);
+        if subgraph_similar(q, &wg, delta) {
+            p += w.probability;
+        }
+    }
+    Ok(p.clamp(0.0, 1.0))
+}
+
+/// Exact probability that a specific embedding (edge set) is fully present —
+/// `Pr(Bf_i)` in Algorithm 5, computed exactly from the factorised model.
+pub fn embedding_probability(pg: &ProbabilisticGraph, embedding: &[EdgeId]) -> f64 {
+    pg.prob_all_present(embedding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jpt::JointProbTable;
+    use pgs_graph::model::GraphBuilder;
+
+    /// Figure-1-style fixture: graph 002 with a triangle table and a pendant
+    /// table (see `model::tests::fixture_002` for the layout).
+    fn fixture_002() -> ProbabilisticGraph {
+        let skeleton = GraphBuilder::new()
+            .name("002")
+            .vertices(&[0, 0, 1, 1, 2])
+            .edge(0, 1, 9)
+            .edge(0, 2, 9)
+            .edge(1, 2, 9)
+            .edge(2, 3, 9)
+            .edge(2, 4, 9)
+            .build();
+        let t1 = JointProbTable::from_max_rule(&[
+            (EdgeId(0), 0.7),
+            (EdgeId(1), 0.6),
+            (EdgeId(2), 0.8),
+        ])
+        .unwrap();
+        let t2 = JointProbTable::from_max_rule(&[(EdgeId(3), 0.5), (EdgeId(4), 0.4)]).unwrap();
+        ProbabilisticGraph::new(skeleton, vec![t1, t2], true).unwrap()
+    }
+
+    fn query_triangle() -> Graph {
+        GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 9)
+            .edge(1, 2, 9)
+            .edge(0, 2, 9)
+            .build()
+    }
+
+    #[test]
+    fn sip_of_single_edge_feature_is_union_of_embedding_probabilities() {
+        let pg = fixture_002();
+        // Feature "a-b edge" has embeddings {e1} and {e2} in 002.
+        let sip = exact_sip(&pg, &[vec![EdgeId(1)], vec![EdgeId(2)]]).unwrap();
+        // Cross-check by inclusion–exclusion on the exact model.
+        let p1 = pg.prob_all_present(&[EdgeId(1)]);
+        let p2 = pg.prob_all_present(&[EdgeId(2)]);
+        let p12 = pg.prob_all_present(&[EdgeId(1), EdgeId(2)]);
+        assert!((sip - (p1 + p2 - p12)).abs() < 1e-9);
+        assert!(sip > p1.max(p2));
+        assert!(sip <= 1.0);
+    }
+
+    #[test]
+    fn sip_edge_cases() {
+        let pg = fixture_002();
+        assert_eq!(exact_sip(&pg, &[]).unwrap(), 0.0);
+        assert_eq!(exact_sip(&pg, &[vec![]]).unwrap(), 1.0);
+        let single = exact_sip(&pg, &[vec![EdgeId(3)]]).unwrap();
+        assert!((single - pg.edge_presence_prob(EdgeId(3))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssp_matches_bruteforce_oracle() {
+        let pg = fixture_002();
+        let q = query_triangle();
+        for delta in 0..=3 {
+            let via_lemma1 = exact_ssp(&pg, &q, delta, DEFAULT_EXACT_LIMIT).unwrap();
+            let brute = exact_ssp_bruteforce(&pg, &q, delta, DEFAULT_EXACT_LIMIT).unwrap();
+            assert!(
+                (via_lemma1 - brute).abs() < 1e-9,
+                "delta={delta}: lemma1 {via_lemma1} vs brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn ssp_is_monotone_in_delta() {
+        let pg = fixture_002();
+        let q = query_triangle();
+        let mut prev = 0.0;
+        for delta in 0..=3 {
+            let ssp = exact_ssp(&pg, &q, delta, DEFAULT_EXACT_LIMIT).unwrap();
+            assert!(ssp + 1e-12 >= prev, "SSP must not decrease with delta");
+            prev = ssp;
+        }
+        assert!((prev - 1.0).abs() < 1e-12, "delta = |q| gives probability 1");
+    }
+
+    #[test]
+    fn ssp_when_query_cannot_match_at_all() {
+        let pg = fixture_002();
+        // A query with a label that does not exist in 002.
+        let q = GraphBuilder::new().vertices(&[7, 8]).edge(0, 1, 9).build();
+        let ssp = exact_ssp(&pg, &q, 0, DEFAULT_EXACT_LIMIT).unwrap();
+        assert_eq!(ssp, 0.0);
+        // With delta = |q| it trivially matches.
+        assert_eq!(exact_ssp(&pg, &q, 1, DEFAULT_EXACT_LIMIT).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn embedding_probability_matches_model() {
+        let pg = fixture_002();
+        let p = embedding_probability(&pg, &[EdgeId(0), EdgeId(2)]);
+        assert!((p - pg.prob_all_present(&[EdgeId(0), EdgeId(2)])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let pg = fixture_002();
+        let sets: Vec<EdgeSet> = vec![vec![EdgeId(0)], vec![EdgeId(1)], vec![EdgeId(2)]];
+        assert!(matches!(
+            exact_union_probability(&pg, &sets, 2).unwrap_err(),
+            ProbError::TooManyWorlds { .. }
+        ));
+    }
+}

@@ -1,0 +1,219 @@
+//! Neighbor-edge-set construction.
+//!
+//! Definition 1: a set of edges are *neighbor edges* if they are incident to
+//! the same vertex or form a triangle.  The probabilistic model attaches one
+//! JPT to each neighbor-edge set; this module (a) partitions a skeleton's edge
+//! set into neighbor-edge groups (the partition form required by
+//! [`crate::model::ProbabilisticGraph`], see the crate-level docs for why), and
+//! (b) validates that a given group really is a neighbor-edge set.
+
+use pgs_graph::model::{EdgeId, Graph};
+use pgs_graph::traversal::triangles;
+
+/// True if `edges` is a valid neighbor-edge set in `g`: a single edge, a set of
+/// edges all incident to one common vertex, or the three edges of a triangle.
+pub fn is_neighbor_edge_set(g: &Graph, edges: &[EdgeId]) -> bool {
+    match edges.len() {
+        0 => false,
+        1 => true,
+        _ => {
+            // Common vertex?
+            let first = g.edge(edges[0]);
+            for &v in &[first.u, first.v] {
+                if edges.iter().all(|&e| g.edge(e).touches(v)) {
+                    return true;
+                }
+            }
+            // Triangle?
+            if edges.len() == 3 {
+                let mut sorted: Vec<EdgeId> = edges.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                if sorted.len() == 3 {
+                    return triangles(g)
+                        .into_iter()
+                        .any(|t| t.to_vec() == sorted);
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Partitions the edge set of `g` into neighbor-edge groups of size at most
+/// `max_group_size` (≥ 1).
+///
+/// Strategy: iterate vertices in descending degree order; at each vertex, take
+/// the not-yet-assigned incident edges in chunks of `max_group_size` (all of
+/// them share that vertex, so every chunk is a neighbor-edge set).  Any edge
+/// whose endpoints were exhausted earlier ends up in a singleton group, which
+/// is trivially valid.  The union of the groups is exactly the edge set and the
+/// groups are pairwise disjoint.
+pub fn partition_neighbor_edges(g: &Graph, max_group_size: usize) -> Vec<Vec<EdgeId>> {
+    let cap = max_group_size.max(1);
+    let mut assigned = vec![false; g.edge_count()];
+    let mut groups: Vec<Vec<EdgeId>> = Vec::new();
+    let mut vertices: Vec<_> = g.vertices().collect();
+    vertices.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    for v in vertices {
+        let unassigned: Vec<EdgeId> = g
+            .incident_edges(v)
+            .filter(|e| !assigned[e.index()])
+            .collect();
+        for chunk in unassigned.chunks(cap) {
+            let mut group: Vec<EdgeId> = chunk.to_vec();
+            group.sort_unstable();
+            for &e in &group {
+                assigned[e.index()] = true;
+            }
+            groups.push(group);
+        }
+    }
+    groups
+}
+
+/// Partitions preferring triangles: triangles whose three edges are all still
+/// unassigned become 3-edge groups first (capturing the strongest correlation
+/// structure), then the remaining edges are grouped per vertex as in
+/// [`partition_neighbor_edges`].
+pub fn partition_with_triangles(g: &Graph, max_group_size: usize) -> Vec<Vec<EdgeId>> {
+    let cap = max_group_size.max(1);
+    let mut assigned = vec![false; g.edge_count()];
+    let mut groups: Vec<Vec<EdgeId>> = Vec::new();
+    if cap >= 3 {
+        for tri in triangles(g) {
+            if tri.iter().all(|e| !assigned[e.index()]) {
+                for e in &tri {
+                    assigned[e.index()] = true;
+                }
+                groups.push(tri.to_vec());
+            }
+        }
+    }
+    let mut vertices: Vec<_> = g.vertices().collect();
+    vertices.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    for v in vertices {
+        let unassigned: Vec<EdgeId> = g
+            .incident_edges(v)
+            .filter(|e| !assigned[e.index()])
+            .collect();
+        for chunk in unassigned.chunks(cap) {
+            let mut group: Vec<EdgeId> = chunk.to_vec();
+            group.sort_unstable();
+            for &e in &group {
+                assigned[e.index()] = true;
+            }
+            groups.push(group);
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_graph::model::GraphBuilder;
+
+    fn graph_002() -> Graph {
+        // Figure 1 graph 002: a-a-b triangle plus pendant b and c on the b vertex.
+        GraphBuilder::new()
+            .vertices(&[0, 0, 1, 1, 2])
+            .edge(0, 1, 9) // e0
+            .edge(0, 2, 9) // e1
+            .edge(1, 2, 9) // e2
+            .edge(2, 3, 9) // e3
+            .edge(2, 4, 9) // e4
+            .build()
+    }
+
+    #[test]
+    fn neighbor_set_validation() {
+        let g = graph_002();
+        // Edges sharing vertex v2: e1,e2,e3,e4.
+        assert!(is_neighbor_edge_set(&g, &[EdgeId(1), EdgeId(2), EdgeId(3), EdgeId(4)]));
+        // Triangle e0,e1,e2 (the paper's {e1,e2,e3} of graph 002).
+        assert!(is_neighbor_edge_set(&g, &[EdgeId(0), EdgeId(1), EdgeId(2)]));
+        // Single edge.
+        assert!(is_neighbor_edge_set(&g, &[EdgeId(3)]));
+        // e0 (v0-v1) and e3 (v2-v3) share nothing.
+        assert!(!is_neighbor_edge_set(&g, &[EdgeId(0), EdgeId(3)]));
+        // Empty set is not valid.
+        assert!(!is_neighbor_edge_set(&g, &[]));
+    }
+
+    fn assert_is_partition(g: &Graph, groups: &[Vec<EdgeId>]) {
+        let mut seen = vec![false; g.edge_count()];
+        for group in groups {
+            assert!(!group.is_empty());
+            assert!(is_neighbor_edge_set(g, group), "group {group:?} invalid");
+            for &e in group {
+                assert!(!seen[e.index()], "edge {e} assigned twice");
+                seen[e.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some edge not covered");
+    }
+
+    #[test]
+    fn partition_covers_each_edge_once() {
+        let g = graph_002();
+        for cap in [1usize, 2, 3, 4, 8] {
+            let groups = partition_neighbor_edges(&g, cap);
+            assert_is_partition(&g, &groups);
+            assert!(groups.iter().all(|grp| grp.len() <= cap));
+        }
+    }
+
+    #[test]
+    fn partition_with_cap_one_is_all_singletons() {
+        let g = graph_002();
+        let groups = partition_neighbor_edges(&g, 1);
+        assert_eq!(groups.len(), g.edge_count());
+    }
+
+    #[test]
+    fn triangle_preferring_partition() {
+        let g = graph_002();
+        let groups = partition_with_triangles(&g, 3);
+        assert_is_partition(&g, &groups);
+        // The triangle e0,e1,e2 must form one group.
+        assert!(groups
+            .iter()
+            .any(|grp| grp == &vec![EdgeId(0), EdgeId(1), EdgeId(2)]));
+    }
+
+    #[test]
+    fn triangle_partition_degrades_gracefully_with_small_cap() {
+        let g = graph_002();
+        let groups = partition_with_triangles(&g, 2);
+        assert_is_partition(&g, &groups);
+        assert!(groups.iter().all(|grp| grp.len() <= 2));
+    }
+
+    #[test]
+    fn partition_on_larger_random_graph() {
+        use pgs_graph::generate::{random_connected_graph, RandomGraphConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = random_connected_graph(
+            &RandomGraphConfig {
+                vertices: 60,
+                edges: 120,
+                vertex_labels: 5,
+                edge_labels: 2,
+                preferential: true,
+            },
+            &mut rng,
+        );
+        let groups = partition_with_triangles(&g, 3);
+        assert_is_partition(&g, &groups);
+    }
+
+    #[test]
+    fn empty_graph_has_no_groups() {
+        let g = Graph::new();
+        assert!(partition_neighbor_edges(&g, 3).is_empty());
+        assert!(partition_with_triangles(&g, 3).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Possible-world sampling utilities.
+//!
+//! Thin wrappers around [`ProbabilisticGraph::sample_world`] used by the
+//! conditional estimator (Algorithm 3), the verification sampler (Algorithm 5)
+//! and by quality experiments that need empirical event frequencies.
+
+use crate::model::ProbabilisticGraph;
+use crate::montecarlo::MonteCarloConfig;
+use pgs_graph::model::EdgeId;
+use rand::Rng;
+
+/// Samples `n` worlds and returns the fraction in which `event` holds.
+pub fn estimate_event_probability<R, F>(
+    pg: &ProbabilisticGraph,
+    config: &MonteCarloConfig,
+    rng: &mut R,
+    mut event: F,
+) -> f64
+where
+    R: Rng + ?Sized,
+    F: FnMut(&[bool]) -> bool,
+{
+    let n = config.num_samples();
+    let mut hits = 0usize;
+    for _ in 0..n {
+        let world = pg.sample_world(rng);
+        if event(&world) {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+/// Returns true if every edge of `edges` is present in the world bitmap.
+pub fn all_present(world: &[bool], edges: &[EdgeId]) -> bool {
+    edges.iter().all(|e| world[e.index()])
+}
+
+/// Returns true if every edge of `edges` is absent in the world bitmap.
+pub fn all_absent(world: &[bool], edges: &[EdgeId]) -> bool {
+    edges.iter().all(|e| !world[e.index()])
+}
+
+/// Estimates the probability that all of `edges` are present by sampling
+/// (exact computation is available via
+/// [`ProbabilisticGraph::prob_all_present`]; this is used to cross-check the
+/// samplers in tests and benchmarks).
+pub fn estimate_all_present<R: Rng + ?Sized>(
+    pg: &ProbabilisticGraph,
+    edges: &[EdgeId],
+    config: &MonteCarloConfig,
+    rng: &mut R,
+) -> f64 {
+    estimate_event_probability(pg, config, rng, |world| all_present(world, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jpt::JointProbTable;
+    use pgs_graph::model::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pg() -> ProbabilisticGraph {
+        let g = GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .build();
+        let t = JointProbTable::from_max_rule(&[(EdgeId(0), 0.7), (EdgeId(1), 0.4)]).unwrap();
+        ProbabilisticGraph::new(g, vec![t], true).unwrap()
+    }
+
+    #[test]
+    fn estimated_probabilities_converge_to_exact() {
+        let pg = pg();
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = MonteCarloConfig {
+            tau: 0.05,
+            xi: 0.01,
+            max_samples: 50_000,
+        };
+        let est = estimate_all_present(&pg, &[EdgeId(0), EdgeId(1)], &config, &mut rng);
+        let exact = pg.prob_all_present(&[EdgeId(0), EdgeId(1)]);
+        assert!((est - exact).abs() < 0.02, "estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn event_helpers() {
+        let world = vec![true, false, true];
+        assert!(all_present(&world, &[EdgeId(0), EdgeId(2)]));
+        assert!(!all_present(&world, &[EdgeId(0), EdgeId(1)]));
+        assert!(all_absent(&world, &[EdgeId(1)]));
+        assert!(!all_absent(&world, &[EdgeId(0)]));
+        assert!(all_present(&world, &[]));
+        assert!(all_absent(&world, &[]));
+    }
+
+    #[test]
+    fn custom_event_estimation() {
+        let pg = pg();
+        let mut rng = StdRng::seed_from_u64(17);
+        let config = MonteCarloConfig::default();
+        // Event: at least one edge present. Exact = 1 - P(both absent).
+        let est = estimate_event_probability(&pg, &config, &mut rng, |w| w.iter().any(|&p| p));
+        let exact = 1.0 - pg.prob_all_absent(&[EdgeId(0), EdgeId(1)]);
+        assert!((est - exact).abs() < 0.05);
+    }
+}

@@ -1,0 +1,454 @@
+//! The full T-PS query pipeline (Section 1.2) and the experimental baselines.
+//!
+//! [`QueryEngine`] owns the database, the PMI and the configuration, and
+//! answers threshold-based probabilistic subgraph similarity queries in the
+//! paper's three phases, recording per-phase statistics (candidate counts and
+//! wall-clock time) so that the benchmark harness can regenerate Figures 9–13.
+//!
+//! The pruning variants of Section 6 map onto [`PruningVariant`]:
+//!
+//! * `Structure` — structural pruning only, every survivor is verified;
+//! * `SspBound` — probabilistic pruning with one arbitrary qualifying feature
+//!   per relaxed query;
+//! * `OptSspBound` — probabilistic pruning with the tightest bounds
+//!   (Algorithms 1 and 2); this is the complete `PMI` algorithm.
+//!
+//! The `Exact` baseline ([`QueryEngine::exact_scan`]) evaluates the SSP of
+//! every database graph directly.
+
+use crate::prune::{probabilistic_prune, CrossTermRule, PruneOutcome};
+use crate::structural::structural_candidates;
+use crate::verify::{verify_ssp_exact, verify_ssp_sampled, VerifyOptions};
+use pgs_graph::model::Graph;
+use pgs_graph::relax::relax_query;
+use pgs_index::pmi::{Pmi, PmiBuildParams};
+use pgs_prob::model::ProbabilisticGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Which pruning stack a query run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruningVariant {
+    /// Structural pruning only (the paper's `Structure` bars).
+    Structure,
+    /// Probabilistic pruning with arbitrary feature picks (`SSPBound`).
+    SspBound,
+    /// Probabilistic pruning with the tightest bounds (`OPT-SSPBound` — the
+    /// full PMI algorithm).
+    #[default]
+    OptSspBound,
+}
+
+/// Engine-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// PMI build parameters (features + SIP bounds).
+    pub pmi: PmiBuildParams,
+    /// Verification sampler options.
+    pub verify: VerifyOptions,
+    /// Cross-term rule of the lower bound (see [`CrossTermRule`]).
+    pub cross_term: CrossTermRule,
+    /// RNG seed for query-time randomness.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            pmi: PmiBuildParams::default(),
+            verify: VerifyOptions::default(),
+            cross_term: CrossTermRule::SafeMin,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Per-query parameters (the user-facing knobs of a T-PS query).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryParams {
+    /// Probability threshold `ε` (0 < ε ≤ 1).
+    pub epsilon: f64,
+    /// Subgraph distance threshold `δ`.
+    pub delta: usize,
+    /// Pruning stack to use.
+    pub variant: PruningVariant,
+}
+
+impl Default for QueryParams {
+    fn default() -> Self {
+        QueryParams {
+            epsilon: 0.5,
+            delta: 2,
+            variant: PruningVariant::OptSspBound,
+        }
+    }
+}
+
+/// Per-phase statistics of one query run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStats {
+    /// `|SC_q|` — graphs surviving structural pruning.
+    pub structural_candidates: usize,
+    /// Graphs discarded by Pruning rule 1.
+    pub pruned_by_upper: usize,
+    /// Graphs accepted by Pruning rule 2 without verification.
+    pub accepted_by_lower: usize,
+    /// Graphs sent to the verification sampler.
+    pub verified: usize,
+    /// Graphs surviving probabilistic pruning (accepted + to-verify); the
+    /// paper's "candidate size" for Figures 10–12.
+    pub probabilistic_candidates: usize,
+    /// Seconds spent in structural pruning.
+    pub structural_seconds: f64,
+    /// Seconds spent in probabilistic pruning.
+    pub probabilistic_seconds: f64,
+    /// Seconds spent in verification.
+    pub verification_seconds: f64,
+}
+
+impl PhaseStats {
+    /// Total query processing time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.structural_seconds + self.probabilistic_seconds + self.verification_seconds
+    }
+}
+
+/// The result of one T-PS query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Indices (into the database) of the answer graphs, ascending.
+    pub answers: Vec<usize>,
+    /// Per-phase statistics.
+    pub stats: PhaseStats,
+}
+
+/// The query engine: database + PMI + configuration.
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    db: Vec<ProbabilisticGraph>,
+    skeletons: Vec<Graph>,
+    pmi: Pmi,
+    config: EngineConfig,
+}
+
+impl QueryEngine {
+    /// Builds the engine (including the PMI) over a database.
+    pub fn build(db: Vec<ProbabilisticGraph>, config: EngineConfig) -> QueryEngine {
+        let pmi = Pmi::build(&db, &config.pmi);
+        let skeletons = db.iter().map(|g| g.skeleton().clone()).collect();
+        QueryEngine {
+            db,
+            skeletons,
+            pmi,
+            config,
+        }
+    }
+
+    /// The indexed database.
+    pub fn db(&self) -> &[ProbabilisticGraph] {
+        &self.db
+    }
+
+    /// The probabilistic matrix index.
+    pub fn pmi(&self) -> &Pmi {
+        &self.pmi
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Answers a T-PS query: all graphs `g` with `Pr(q ⊆sim g) ≥ ε`.
+    pub fn query(&self, q: &Graph, params: &QueryParams) -> QueryResult {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ hash_query(q));
+        let mut stats = PhaseStats::default();
+
+        // Phase 1: structural pruning.
+        let t0 = Instant::now();
+        let structural = structural_candidates(&self.skeletons, q, params.delta);
+        stats.structural_seconds = t0.elapsed().as_secs_f64();
+        stats.structural_candidates = structural.len();
+
+        // Phase 2: probabilistic pruning.
+        let t1 = Instant::now();
+        let relaxed = relax_query(q, params.delta.min(q.edge_count()));
+        let outcome = match params.variant {
+            PruningVariant::Structure => PruneOutcome {
+                accepted: Vec::new(),
+                candidates: structural.clone(),
+                pruned: Vec::new(),
+            },
+            PruningVariant::SspBound | PruningVariant::OptSspBound => {
+                let optimal = params.variant == PruningVariant::OptSspBound;
+                let (outcome, _) = probabilistic_prune(
+                    &self.pmi,
+                    &structural,
+                    &relaxed,
+                    params.epsilon,
+                    optimal,
+                    self.config.cross_term,
+                    &mut rng,
+                );
+                outcome
+            }
+        };
+        stats.probabilistic_seconds = t1.elapsed().as_secs_f64();
+        stats.pruned_by_upper = outcome.pruned.len();
+        stats.accepted_by_lower = outcome.accepted.len();
+        stats.probabilistic_candidates = outcome.surviving();
+
+        // Phase 3: verification.
+        let t2 = Instant::now();
+        let mut answers = outcome.accepted.clone();
+        stats.verified = outcome.candidates.len();
+        for &gi in &outcome.candidates {
+            let ssp = verify_ssp_sampled(
+                &self.db[gi],
+                q,
+                params.delta,
+                &self.config.verify,
+                &mut rng,
+            );
+            if ssp >= params.epsilon {
+                answers.push(gi);
+            }
+        }
+        stats.verification_seconds = t2.elapsed().as_secs_f64();
+        answers.sort_unstable();
+        QueryResult { answers, stats }
+    }
+
+    /// The `Exact` baseline: evaluates the SSP of every database graph with the
+    /// exact evaluator (falling back to high-accuracy sampling when the exact
+    /// enumeration is too large), without any index.
+    pub fn exact_scan(&self, q: &Graph, params: &QueryParams) -> QueryResult {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ hash_query(q) ^ 0x9E37);
+        let t0 = Instant::now();
+        let mut answers = Vec::new();
+        for (gi, pg) in self.db.iter().enumerate() {
+            let ssp = match verify_ssp_exact(pg, q, params.delta, 22) {
+                Ok(v) => v,
+                Err(_) => {
+                    let precise = VerifyOptions {
+                        mc: pgs_prob::montecarlo::MonteCarloConfig {
+                            tau: 0.05,
+                            xi: 0.01,
+                            max_samples: 50_000,
+                        },
+                        ..self.config.verify
+                    };
+                    verify_ssp_sampled(pg, q, params.delta, &precise, &mut rng)
+                }
+            };
+            if ssp >= params.epsilon {
+                answers.push(gi);
+            }
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        QueryResult {
+            answers,
+            stats: PhaseStats {
+                structural_candidates: self.db.len(),
+                probabilistic_candidates: self.db.len(),
+                verified: self.db.len(),
+                verification_seconds: elapsed,
+                ..PhaseStats::default()
+            },
+        }
+    }
+}
+
+/// A deterministic 64-bit hash of a query graph (seeding per-query RNGs).
+fn hash_query(q: &Graph) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    mix(q.vertex_count() as u64);
+    mix(q.edge_count() as u64);
+    for v in q.vertices() {
+        mix(q.vertex_label(v).0 as u64);
+    }
+    for (_, e) in q.edge_entries() {
+        mix(e.u.0 as u64);
+        mix(e.v.0 as u64);
+        mix(e.label.0 as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_datagen::ppi::{generate_ppi_dataset, PpiDatasetConfig};
+    use pgs_datagen::queries::{generate_query_workload, QueryWorkloadConfig};
+    use pgs_index::feature::FeatureSelectionParams;
+    use pgs_index::sip_bounds::BoundsConfig;
+
+    fn small_engine() -> (QueryEngine, Vec<pgs_datagen::queries::WorkloadQuery>) {
+        let dataset = generate_ppi_dataset(&PpiDatasetConfig {
+            graph_count: 16,
+            vertices_per_graph: 10,
+            edges_per_graph: 14,
+            vertex_label_count: 6,
+            organism_count: 2,
+            seed: 77,
+            ..PpiDatasetConfig::default()
+        });
+        let queries = generate_query_workload(
+            &dataset,
+            &QueryWorkloadConfig {
+                query_size: 4,
+                count: 4,
+                seed: 5,
+            },
+        );
+        let config = EngineConfig {
+            pmi: PmiBuildParams {
+                features: FeatureSelectionParams {
+                    alpha: 0.0,
+                    beta: 0.2,
+                    gamma: 0.0,
+                    max_l: 3,
+                    max_features: 24,
+                    max_embeddings: 12,
+                },
+                bounds: BoundsConfig::default(),
+                threads: 2,
+                seed: 3,
+            },
+            // The test graphs have at most ~18 edges, so verification can stay
+            // exact; the pipeline/exact-scan comparisons below are then free of
+            // sampling noise.
+            verify: VerifyOptions {
+                exact_cutoff: 18,
+                ..VerifyOptions::default()
+            },
+            ..EngineConfig::default()
+        };
+        (QueryEngine::build(dataset.graphs, config), queries)
+    }
+
+    #[test]
+    fn pmi_query_agrees_with_exact_scan() {
+        let (engine, queries) = small_engine();
+        for wq in &queries {
+            let params = QueryParams {
+                epsilon: 0.4,
+                delta: 1,
+                variant: PruningVariant::OptSspBound,
+            };
+            let fast = engine.query(&wq.graph, &params);
+            let exact = engine.exact_scan(&wq.graph, &params);
+            assert_eq!(
+                fast.answers, exact.answers,
+                "PMI pipeline and exact scan disagree for query {}",
+                wq.graph.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_variants_agree_on_answers_but_differ_in_candidates() {
+        let (engine, queries) = small_engine();
+        let q = &queries[0].graph;
+        let mk = |variant| QueryParams {
+            epsilon: 0.4,
+            delta: 1,
+            variant,
+        };
+        let structure = engine.query(q, &mk(PruningVariant::Structure));
+        let ssp = engine.query(q, &mk(PruningVariant::SspBound));
+        let opt = engine.query(q, &mk(PruningVariant::OptSspBound));
+        assert_eq!(structure.answers, opt.answers);
+        assert_eq!(ssp.answers, opt.answers);
+        // The probabilistic filters can only shrink the candidate set.
+        assert!(opt.stats.probabilistic_candidates <= structure.stats.probabilistic_candidates);
+        assert!(ssp.stats.probabilistic_candidates <= structure.stats.probabilistic_candidates);
+        // Structure does no probabilistic pruning at all.
+        assert_eq!(structure.stats.pruned_by_upper, 0);
+        assert_eq!(
+            structure.stats.probabilistic_candidates,
+            structure.stats.structural_candidates
+        );
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let (engine, queries) = small_engine();
+        let result = engine.query(&queries[0].graph, &QueryParams::default());
+        let s = result.stats;
+        assert_eq!(
+            s.structural_candidates,
+            s.pruned_by_upper + s.accepted_by_lower + s.verified
+        );
+        assert_eq!(s.probabilistic_candidates, s.accepted_by_lower + s.verified);
+        assert!(s.total_seconds() >= s.verification_seconds);
+        assert!(result.answers.windows(2).all(|w| w[0] < w[1]));
+        // Answers accepted by the lower bound are included.
+        assert!(result.answers.len() >= s.accepted_by_lower);
+    }
+
+    #[test]
+    fn higher_epsilon_returns_fewer_answers() {
+        let (engine, queries) = small_engine();
+        let q = &queries[0].graph;
+        let low = engine.query(
+            q,
+            &QueryParams {
+                epsilon: 0.1,
+                delta: 1,
+                variant: PruningVariant::OptSspBound,
+            },
+        );
+        let high = engine.query(
+            q,
+            &QueryParams {
+                epsilon: 0.9,
+                delta: 1,
+                variant: PruningVariant::OptSspBound,
+            },
+        );
+        assert!(high.answers.len() <= low.answers.len());
+        for a in &high.answers {
+            assert!(low.answers.contains(a), "answers must be nested across ε");
+        }
+    }
+
+    #[test]
+    fn larger_delta_returns_more_answers() {
+        let (engine, queries) = small_engine();
+        let q = &queries[0].graph;
+        let d1 = engine.query(
+            q,
+            &QueryParams {
+                epsilon: 0.5,
+                delta: 0,
+                variant: PruningVariant::OptSspBound,
+            },
+        );
+        let d2 = engine.query(
+            q,
+            &QueryParams {
+                epsilon: 0.5,
+                delta: 2,
+                variant: PruningVariant::OptSspBound,
+            },
+        );
+        assert!(d1.answers.len() <= d2.answers.len());
+        for a in &d1.answers {
+            assert!(d2.answers.contains(a), "answers must be nested across δ");
+        }
+    }
+
+    #[test]
+    fn engine_accessors() {
+        let (engine, _) = small_engine();
+        assert_eq!(engine.db().len(), 16);
+        assert_eq!(engine.pmi().graph_count(), 16);
+        assert!(engine.config().verify.max_embeddings > 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Structural pruning (the pipeline's first phase).
+//!
+//! Theorem 1: if the query is not subgraph-similar to the deterministic
+//! skeleton `gc`, the subgraph similarity probability is zero, so the graph can
+//! be discarded without touching any probability.  The paper delegates this
+//! phase to Grafil \[38\], a multi-filter feature-count framework; the same idea
+//! is implemented here in two stages:
+//!
+//! 1. **Feature-count filter** — for every edge signature (edge label +
+//!    endpoint labels) the data graph must contain at least
+//!    `count_q(sig) − δ` occurrences; a graph whose total signature deficit
+//!    exceeds `δ` cannot be within subgraph distance `δ` (each deleted edge
+//!    removes at most one occurrence).  This is Grafil's edge-feature filter.
+//! 2. **Exact check** — surviving graphs are confirmed with the subgraph
+//!    distance of Definition 8 (`pgs_graph::mcs::subgraph_similar`), so the
+//!    phase returns exactly `SC_q = {g | dis(q, gc) ≤ δ}` as assumed by
+//!    Section 1.2.
+
+use pgs_graph::mcs::subgraph_similar;
+use pgs_graph::model::Graph;
+
+/// Returns the indices of the skeleton graphs that are deterministically
+/// subgraph-similar to `q` under distance threshold `delta` (the set `SC_q`).
+pub fn structural_candidates(skeletons: &[Graph], q: &Graph, delta: usize) -> Vec<usize> {
+    skeletons
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| passes_feature_count_filter(q, g, delta))
+        .filter(|(_, g)| subgraph_similar(q, g, delta))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Grafil-style edge-signature count filter: a necessary condition for
+/// `dis(q, g) ≤ delta`.
+pub fn passes_feature_count_filter(q: &Graph, g: &Graph, delta: usize) -> bool {
+    if q.edge_count() <= delta {
+        return true;
+    }
+    // Every edge deletion removes exactly one edge-signature occurrence from
+    // the query, so if `q` minus at most `delta` edges embeds in `g`, the total
+    // per-signature deficit `Σ max(0, count_q(sig) − count_g(sig))` cannot
+    // exceed `delta`.
+    let qh = q.edge_signature_histogram();
+    let gh = g.edge_signature_histogram();
+    let mut deficit = 0usize;
+    for (sig, qc) in qh {
+        let gc = gh.get(&sig).copied().unwrap_or(0);
+        deficit += qc.saturating_sub(gc);
+        if deficit > delta {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_graph::model::GraphBuilder;
+
+    fn query() -> Graph {
+        // Triangle a-b-c (Figure 1's q).
+        GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 9)
+            .edge(1, 2, 9)
+            .edge(0, 2, 9)
+            .build()
+    }
+
+    fn database() -> Vec<Graph> {
+        vec![
+            // 0: graph 001 — triangle a, b, d: shares only the a-b edge (dis = 2).
+            GraphBuilder::new()
+                .vertices(&[0, 1, 3])
+                .edge(0, 1, 9)
+                .edge(1, 2, 9)
+                .edge(0, 2, 9)
+                .build(),
+            // 1: graph 002 — contains a-b and b-c edges (dis = 1).
+            GraphBuilder::new()
+                .vertices(&[0, 0, 1, 1, 2])
+                .edge(0, 1, 9)
+                .edge(0, 2, 9)
+                .edge(1, 2, 9)
+                .edge(2, 3, 9)
+                .edge(2, 4, 9)
+                .build(),
+            // 2: exact super-graph of the query (dis = 0).
+            GraphBuilder::new()
+                .vertices(&[0, 1, 2, 5])
+                .edge(0, 1, 9)
+                .edge(1, 2, 9)
+                .edge(0, 2, 9)
+                .edge(2, 3, 9)
+                .build(),
+            // 3: completely unrelated labels (dis = 3).
+            GraphBuilder::new()
+                .vertices(&[7, 8, 9])
+                .edge(0, 1, 1)
+                .edge(1, 2, 1)
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn candidates_match_the_exact_distance_semantics() {
+        let db = database();
+        let q = query();
+        assert_eq!(structural_candidates(&db, &q, 0), vec![2]);
+        assert_eq!(structural_candidates(&db, &q, 1), vec![1, 2]);
+        assert_eq!(structural_candidates(&db, &q, 2), vec![0, 1, 2]);
+        assert_eq!(structural_candidates(&db, &q, 3), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn filter_agrees_with_exact_check_as_a_necessary_condition() {
+        // The count filter may keep extra graphs but must never drop a graph
+        // that the exact check accepts.
+        let db = database();
+        let q = query();
+        for delta in 0..=3 {
+            for g in &db {
+                if subgraph_similar(&q, g, delta) {
+                    assert!(
+                        passes_feature_count_filter(&q, g, delta),
+                        "filter dropped a true candidate at delta={delta}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_rejects_obviously_missing_structure() {
+        let q = query();
+        let unrelated = &database()[3];
+        assert!(!passes_feature_count_filter(&q, unrelated, 1));
+    }
+
+    #[test]
+    fn tiny_delta_larger_than_query_accepts_everything() {
+        let db = database();
+        let q = GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 9).build();
+        let candidates = structural_candidates(&db, &q, 1);
+        assert_eq!(candidates.len(), db.len());
+    }
+
+    #[test]
+    fn empty_database_gives_no_candidates() {
+        assert!(structural_candidates(&[], &query(), 1).is_empty());
+    }
+}
