@@ -47,7 +47,8 @@ fn bench_ablations(c: &mut Criterion) {
 
     // Usim: greedy set cover (Algorithm 1) vs naive per-element minimum sum.
     let relaxed = relax_query(&setup.queries[0].graph, 1);
-    let instance = BoundInstance::build(setup.engine.pmi(), setup.queries[0].source_graph, &relaxed);
+    let instance =
+        BoundInstance::build(setup.engine.pmi(), setup.queries[0].source_graph, &relaxed);
     group.bench_function("usim_greedy_set_cover", |b| {
         b.iter(|| instance.usim_optimal())
     });
@@ -62,7 +63,12 @@ fn bench_ablations(c: &mut Criterion) {
 
     // Raw set-cover kernel on a synthetic instance.
     let sets: Vec<(Vec<usize>, f64)> = (0..30)
-        .map(|i| (vec![i % 10, (i * 3) % 10, (i * 7) % 10], 0.1 + (i as f64) * 0.01))
+        .map(|i| {
+            (
+                vec![i % 10, (i * 3) % 10, (i * 7) % 10],
+                0.1 + (i as f64) * 0.01,
+            )
+        })
         .collect();
     group.bench_function("set_cover_kernel_30x10", |b| {
         b.iter(|| greedy_weighted_set_cover(10, &sets))

@@ -22,16 +22,26 @@ fn config() -> Criterion {
 fn bench_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig09_verification");
     for &query_size in &[3usize, 5, 7] {
-        let setup = build_setup_with(DatasetScale::Tiny, None, query_size, 2, CorrelationModel::MaxRule);
+        let setup = build_setup_with(
+            DatasetScale::Tiny,
+            None,
+            query_size,
+            2,
+            CorrelationModel::MaxRule,
+        );
         let wq = &setup.queries[0];
         let delta = 1usize;
         // Verify against the query's own source graph (always a candidate).
         let pg = &setup.engine.db()[wq.source_graph];
-        group.bench_with_input(BenchmarkId::new("exact", query_size), &query_size, |b, _| {
-            b.iter(|| {
-                verify_ssp_exact(pg, &wq.graph, delta, 24).ok();
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact", query_size),
+            &query_size,
+            |b, _| {
+                b.iter(|| {
+                    verify_ssp_exact(pg, &wq.graph, delta, 24).ok();
+                })
+            },
+        );
         let smp_options = VerifyOptions {
             exact_cutoff: 0,
             ..bench_engine_config(1).verify

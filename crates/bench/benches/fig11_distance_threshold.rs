@@ -37,7 +37,10 @@ fn bench_pruning_by_distance(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig11_distance_threshold");
     for &delta in &[1usize, 2, 3] {
-        for (label, engine) in [("sip_bound", &greedy_engine), ("opt_sip_bound", &opt_engine)] {
+        for (label, engine) in [
+            ("sip_bound", &greedy_engine),
+            ("opt_sip_bound", &opt_engine),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(label, format!("delta={delta}")),
                 &delta,

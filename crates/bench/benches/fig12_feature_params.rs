@@ -22,17 +22,21 @@ fn bench_index_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_feature_params");
 
     for &max_l in &[2usize, 4] {
-        group.bench_with_input(BenchmarkId::new("build_by_maxL", max_l), &max_l, |b, &ml| {
-            let mut features = bench_feature_params();
-            features.max_l = ml;
-            let params = PmiBuildParams {
-                features,
-                bounds: BoundsConfig::default(),
-                threads: 1,
-                seed: 7,
-            };
-            b.iter(|| Pmi::build(&dataset.graphs, &params))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_by_maxL", max_l),
+            &max_l,
+            |b, &ml| {
+                let mut features = bench_feature_params();
+                features.max_l = ml;
+                let params = PmiBuildParams {
+                    features,
+                    bounds: BoundsConfig::default(),
+                    threads: 1,
+                    seed: 7,
+                };
+                b.iter(|| Pmi::build(&dataset.graphs, &params))
+            },
+        );
     }
     for &beta in &[0.05f64, 0.25] {
         group.bench_with_input(

@@ -43,9 +43,7 @@ fn bench_substrates(c: &mut Criterion) {
     let (g, q) = setup_graph();
     let mut group = c.benchmark_group("micro_substrates");
 
-    group.bench_function("vf2_containment", |b| {
-        b.iter(|| contains_subgraph(&q, &g))
-    });
+    group.bench_function("vf2_containment", |b| b.iter(|| contains_subgraph(&q, &g)));
 
     group.bench_function("vf2_enumerate_embeddings", |b| {
         b.iter(|| enumerate_embeddings(&q, &g, MatchOptions::capped(32)))
@@ -56,6 +54,7 @@ fn bench_substrates(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..2.0)).collect();
     let mut adjacent = vec![vec![false; n]; n];
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         for j in (i + 1)..n {
             let a = rng.gen_bool(0.4);

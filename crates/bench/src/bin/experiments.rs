@@ -81,7 +81,12 @@ fn figure_9(scale: DatasetScale) {
         "{}",
         format_row(
             "query size",
-            &["Exact (ms)".into(), "SMP (ms)".into(), "precision".into(), "recall".into()]
+            &[
+                "Exact (ms)".into(),
+                "SMP (ms)".into(),
+                "precision".into(),
+                "recall".into()
+            ]
         )
     );
     let query_sizes = [3usize, 4, 5, 6, 7];
@@ -341,7 +346,10 @@ fn figure_12(scale: DatasetScale) {
         };
         params.features.max_l = max_l;
         let size = candidate_size(params);
-        println!("{}", format_row(&format!("{max_l}"), &[format!("{size:.1}")]));
+        println!(
+            "{}",
+            format_row(&format!("{max_l}"), &[format!("{size:.1}")])
+        );
     }
 
     println!("### (b) candidate size vs alpha");
@@ -355,7 +363,10 @@ fn figure_12(scale: DatasetScale) {
         };
         params.features.alpha = alpha;
         let size = candidate_size(params);
-        println!("{}", format_row(&format!("{alpha:.2}"), &[format!("{size:.1}")]));
+        println!(
+            "{}",
+            format_row(&format!("{alpha:.2}"), &[format!("{size:.1}")])
+        );
     }
 
     println!("### (c) index building time vs beta");
@@ -422,7 +433,10 @@ fn figure_13(scale: DatasetScale) {
     println!("## Figure 13 — total query time vs database size");
     println!(
         "{}",
-        format_row("|D|", &["PMI (ms)".into(), "Exact (ms)".into(), "speedup".into()])
+        format_row(
+            "|D|",
+            &["PMI (ms)".into(), "Exact (ms)".into(), "speedup".into()]
+        )
     );
     let base = paper_scale(scale).graph_count;
     for factor in [1usize, 2, 4, 8] {
@@ -467,7 +481,12 @@ fn figure_14(scale: DatasetScale) {
         "{}",
         format_row(
             "ε",
-            &["COR-P".into(), "COR-R".into(), "IND-P".into(), "IND-R".into()]
+            &[
+                "COR-P".into(),
+                "COR-R".into(),
+                "IND-P".into(),
+                "IND-R".into()
+            ]
         )
     );
     // Quality experiment: organisms must be separable, so the dataset uses

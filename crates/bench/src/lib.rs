@@ -15,9 +15,9 @@ use pgs_datagen::scenarios::{paper_scale, DatasetScale};
 use pgs_index::feature::FeatureSelectionParams;
 use pgs_index::pmi::PmiBuildParams;
 use pgs_index::sip_bounds::BoundsConfig;
+use pgs_prob::montecarlo::MonteCarloConfig;
 use pgs_query::pipeline::{EngineConfig, QueryEngine};
 use pgs_query::verify::VerifyOptions;
-use pgs_prob::montecarlo::MonteCarloConfig;
 
 /// A ready-to-measure benchmark setup.
 pub struct BenchSetup {
@@ -77,7 +77,13 @@ pub fn dataset_config(scale: DatasetScale, graph_count: Option<usize>) -> PpiDat
 
 /// Builds a dataset, an indexed engine and a query workload.
 pub fn build_setup(scale: DatasetScale, query_size: usize, query_count: usize) -> BenchSetup {
-    build_setup_with(scale, None, query_size, query_count, CorrelationModel::MaxRule)
+    build_setup_with(
+        scale,
+        None,
+        query_size,
+        query_count,
+        CorrelationModel::MaxRule,
+    )
 }
 
 /// Fully parameterised setup builder.

@@ -165,7 +165,12 @@ impl ProbGraphDatabase {
 
     /// Answers a T-PS query: all graphs whose subgraph similarity probability
     /// to `query` under distance threshold `delta` is at least `epsilon`.
-    pub fn query(&self, query: &Graph, epsilon: f64, delta: usize) -> Result<Vec<QueryMatch>, DbError> {
+    pub fn query(
+        &self,
+        query: &Graph,
+        epsilon: f64,
+        delta: usize,
+    ) -> Result<Vec<QueryMatch>, DbError> {
         let result = self.query_detailed(
             query,
             &QueryParams {
@@ -186,7 +191,11 @@ impl ProbGraphDatabase {
 
     /// Answers a T-PS query with full control over the parameters and access to
     /// the per-phase statistics.
-    pub fn query_detailed(&self, query: &Graph, params: &QueryParams) -> Result<QueryResult, DbError> {
+    pub fn query_detailed(
+        &self,
+        query: &Graph,
+        params: &QueryParams,
+    ) -> Result<QueryResult, DbError> {
         let engine = self.engine.as_ref().ok_or(DbError::IndexNotBuilt)?;
         if query.edge_count() == 0 {
             return Err(DbError::EmptyQuery);
@@ -261,14 +270,8 @@ mod tests {
         db.insert(triangle("a", 0.5));
         db.build_index();
         let q = GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 0).build();
-        assert_eq!(
-            db.query(&q, 0.0, 0).unwrap_err(),
-            DbError::InvalidThreshold
-        );
-        assert_eq!(
-            db.query(&q, 1.5, 0).unwrap_err(),
-            DbError::InvalidThreshold
-        );
+        assert_eq!(db.query(&q, 0.0, 0).unwrap_err(), DbError::InvalidThreshold);
+        assert_eq!(db.query(&q, 1.5, 0).unwrap_err(), DbError::InvalidThreshold);
         let empty = Graph::new();
         assert_eq!(db.query(&empty, 0.5, 0).unwrap_err(), DbError::EmptyQuery);
     }

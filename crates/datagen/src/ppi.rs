@@ -241,7 +241,11 @@ fn strong_positive_table(edge_probs: &[(EdgeId, f64)]) -> JointProbTable {
     let mean_p: f64 = edge_probs.iter().map(|&(_, p)| p).sum::<f64>() / k as f64;
     let w = 0.6;
     let independent = JointProbTable::independent(edge_probs).expect("valid independent table");
-    let mut probs: Vec<f64> = independent.row_probabilities().iter().map(|&p| p * (1.0 - w)).collect();
+    let mut probs: Vec<f64> = independent
+        .row_probabilities()
+        .iter()
+        .map(|&p| p * (1.0 - w))
+        .collect();
     let all_mask = (1usize << k) - 1;
     probs[all_mask] += w * mean_p;
     probs[0] += w * (1.0 - mean_p);
@@ -274,7 +278,7 @@ mod tests {
         assert!(ds.organism_of.iter().all(|&o| o < 4));
         // Every organism has members.
         for o in 0..4 {
-            assert!(ds.organism_of.iter().any(|&x| x == o));
+            assert!(ds.organism_of.contains(&o));
         }
         for g in &ds.graphs {
             assert!(g.vertex_count() > 0);

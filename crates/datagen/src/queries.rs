@@ -47,7 +47,10 @@ pub struct WorkloadQuery {
 
 /// Generates `count` connected queries of `query_size` edges, extracted from
 /// random dataset graphs.
-pub fn generate_query_workload(dataset: &PpiDataset, config: &QueryWorkloadConfig) -> Vec<WorkloadQuery> {
+pub fn generate_query_workload(
+    dataset: &PpiDataset,
+    config: &QueryWorkloadConfig,
+) -> Vec<WorkloadQuery> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut out = Vec::with_capacity(config.count);
     if dataset.graphs.is_empty() || config.count == 0 {
@@ -132,13 +135,7 @@ mod tests {
         let a = generate_queries(&ds, &cfg);
         let b = generate_queries(&ds, &cfg);
         assert_eq!(a, b);
-        let c = generate_queries(
-            &ds,
-            &QueryWorkloadConfig {
-                seed: 12,
-                ..cfg
-            },
-        );
+        let c = generate_queries(&ds, &QueryWorkloadConfig { seed: 12, ..cfg });
         assert_ne!(a, c);
     }
 

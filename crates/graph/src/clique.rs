@@ -24,7 +24,9 @@ pub struct CliqueOptions {
 
 impl Default for CliqueOptions {
     fn default() -> Self {
-        CliqueOptions { max_steps: 2_000_000 }
+        CliqueOptions {
+            max_steps: 2_000_000,
+        }
     }
 }
 
@@ -45,7 +47,11 @@ pub struct CliqueResult {
 ///   weight are never selected: they cannot improve a clique).
 /// * `adjacent[i][j]` — true if nodes `i` and `j` are compatible (may appear in
 ///   the same clique). The diagonal is ignored.
-pub fn max_weight_clique(weights: &[f64], adjacent: &[Vec<bool>], options: CliqueOptions) -> CliqueResult {
+pub fn max_weight_clique(
+    weights: &[f64],
+    adjacent: &[Vec<bool>],
+    options: CliqueOptions,
+) -> CliqueResult {
     let n = weights.len();
     assert_eq!(adjacent.len(), n, "adjacency matrix must be n x n");
     for row in adjacent {
@@ -223,6 +229,7 @@ mod tests {
         let n = 20;
         let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 % 3.0)).collect();
         let mut adj = vec![vec![false; n]; n];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in 0..n {
                 if i != j && (i + j) % 3 != 0 {

@@ -68,10 +68,7 @@ pub fn minimal_cuts(embeddings: &[EdgeSet], options: CutEnumOptions) -> (Vec<Edg
     let all: Vec<EdgeSet> = state.found.iter().cloned().collect();
     let minimal: Vec<EdgeSet> = all
         .iter()
-        .filter(|c| {
-            !all.iter()
-                .any(|o| o.len() < c.len() && is_subset(o, c))
-        })
+        .filter(|c| !all.iter().any(|o| o.len() < c.len() && is_subset(o, c)))
         .cloned()
         .collect();
     (minimal, state.complete)
@@ -117,7 +114,10 @@ impl HittingSetSearch<'_> {
                     partial.push(e);
                     self.branch(partial);
                     partial.pop();
-                    if !self.complete && self.options.max_cuts > 0 && self.found.len() >= self.options.max_cuts {
+                    if !self.complete
+                        && self.options.max_cuts > 0
+                        && self.found.len() >= self.options.max_cuts
+                    {
                         return;
                     }
                 }
@@ -158,7 +158,9 @@ fn minimise(sets: &[EdgeSet], transversal: &[EdgeId]) -> EdgeSet {
 ///
 /// Returns the graph, the terminal ids `(s, t)`, and for each cG edge the
 /// original [`EdgeId`] it represents (`None` for the stubs).
-pub fn parallel_graph(embeddings: &[EdgeSet]) -> (Graph, (VertexId, VertexId), Vec<Option<EdgeId>>) {
+pub fn parallel_graph(
+    embeddings: &[EdgeSet],
+) -> (Graph, (VertexId, VertexId), Vec<Option<EdgeId>>) {
     let mut g = Graph::with_name("cG");
     let s = g.add_vertex(Label(u32::MAX));
     let t = g.add_vertex(Label(u32::MAX - 1));
@@ -222,8 +224,9 @@ mod tests {
         let embeddings = vec![set(&[1, 2]), set(&[2, 3]), set(&[3, 4])];
         let (cuts, complete) = minimal_cuts(&embeddings, CutEnumOptions::default());
         assert!(complete);
-        let expected: BTreeSet<EdgeSet> =
-            [set(&[2, 4]), set(&[2, 3]), set(&[1, 3])].into_iter().collect();
+        let expected: BTreeSet<EdgeSet> = [set(&[2, 4]), set(&[2, 3]), set(&[1, 3])]
+            .into_iter()
+            .collect();
         // The paper's Example 7 text lists {e2,e4}, {e1,e3,e4} and {e2,e3}; note
         // {e1,e3} is also a minimal transversal ({e1} hits EM1, {e3} hits EM2 and
         // EM3) and {e1,e3,e4} is NOT minimal because {e1,e3} ⊂ it. Our enumerator
@@ -258,10 +261,7 @@ mod tests {
         let (cuts, complete) = minimal_cuts(&embeddings, CutEnumOptions::default());
         assert!(complete);
         let got: BTreeSet<EdgeSet> = cuts.into_iter().collect();
-        assert_eq!(
-            got,
-            [set(&[5]), set(&[7]), set(&[9])].into_iter().collect()
-        );
+        assert_eq!(got, [set(&[5]), set(&[7]), set(&[9])].into_iter().collect());
     }
 
     #[test]

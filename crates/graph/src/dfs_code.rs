@@ -89,7 +89,12 @@ fn exact_code(g: &Graph) -> Vec<u64> {
     let mut perm: Vec<usize> = (0..n).collect();
     // Order vertices by (label, degree) so the first tried permutation is a
     // reasonable candidate; we still try all permutations for exactness.
-    perm.sort_by_key(|&v| (g.vertex_label(VertexId(v as u32)).0, g.degree(VertexId(v as u32))));
+    perm.sort_by_key(|&v| {
+        (
+            g.vertex_label(VertexId(v as u32)).0,
+            g.degree(VertexId(v as u32)),
+        )
+    });
     permute(&mut perm, 0, g, &mut best);
     best.expect("at least one permutation is evaluated")
 }

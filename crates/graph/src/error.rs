@@ -46,7 +46,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert_eq!(GraphError::InvalidVertex(3).to_string(), "invalid vertex id 3");
+        assert_eq!(
+            GraphError::InvalidVertex(3).to_string(),
+            "invalid vertex id 3"
+        );
         assert_eq!(GraphError::InvalidEdge(7).to_string(), "invalid edge id 7");
         assert_eq!(
             GraphError::SelfLoop(1).to_string(),

@@ -156,7 +156,10 @@ mod tests {
             };
             let g = random_connected_graph(&cfg, &mut rng);
             assert_eq!(g.vertex_count(), n);
-            assert!(g.is_connected(), "graph with {n} vertices must be connected");
+            assert!(
+                g.is_connected(),
+                "graph with {n} vertices must be connected"
+            );
             assert!(g.edge_count() >= n.saturating_sub(1));
             assert!(g.edge_count() <= m.max(n.saturating_sub(1)));
         }

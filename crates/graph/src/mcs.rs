@@ -111,14 +111,14 @@ impl McsSearch<'_> {
         }
         // Upper bound: every edge of `a` with at least one endpoint not yet
         // placed could still be matched.
-        let placed: Vec<bool> = self
-            .order
-            .iter()
-            .take(depth)
-            .fold(vec![false; self.a.vertex_count()], |mut acc, v| {
-                acc[v.index()] = true;
-                acc
-            });
+        let placed: Vec<bool> =
+            self.order
+                .iter()
+                .take(depth)
+                .fold(vec![false; self.a.vertex_count()], |mut acc, v| {
+                    acc[v.index()] = true;
+                    acc
+                });
         let remaining_possible = self
             .a
             .edge_entries()

@@ -100,12 +100,13 @@ pub fn mine_frequent_patterns(db: &[Graph], options: &MiningOptions) -> Vec<Mine
                     continue;
                 }
                 let code = canonical_code(&candidate);
-                let duplicate = seen.iter().any(|(c, g)| {
-                    c == &code && (code.exact || are_isomorphic(g, &candidate))
-                }) || next.iter().any(|p| {
-                    canonical_code(&p.graph) == code
-                        && (code.exact || are_isomorphic(&p.graph, &candidate))
-                });
+                let duplicate = seen
+                    .iter()
+                    .any(|(c, g)| c == &code && (code.exact || are_isomorphic(g, &candidate)))
+                    || next.iter().any(|p| {
+                        canonical_code(&p.graph) == code
+                            && (code.exact || are_isomorphic(&p.graph, &candidate))
+                    });
                 if duplicate {
                     continue;
                 }
@@ -225,10 +226,7 @@ mod tests {
             .edge(1, 2, 0)
             .edge(2, 3, 0)
             .build(); // a-b-c-d path
-        let g3 = GraphBuilder::new()
-            .vertices(&[0, 1])
-            .edge(0, 1, 0)
-            .build(); // a-b edge only
+        let g3 = GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 0).build(); // a-b edge only
         vec![g1, g2, g3]
     }
 

@@ -173,7 +173,12 @@ impl Graph {
     ///
     /// Returns an error for out-of-range endpoints, self-loops and duplicate
     /// edges.
-    pub fn add_edge(&mut self, u: VertexId, v: VertexId, label: Label) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        label: Label,
+    ) -> Result<EdgeId, GraphError> {
         let n = self.vertex_count();
         if u.index() >= n {
             return Err(GraphError::InvalidVertex(u.index()));
@@ -227,7 +232,10 @@ impl Graph {
 
     /// Iterator over `(EdgeId, &Edge)` pairs.
     pub fn edge_entries(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
-        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i as u32), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
     }
 
     /// Slice of vertex labels indexed by vertex id.
@@ -308,7 +316,10 @@ impl Graph {
     /// Builds a new graph containing only the vertices in `keep_vertices` (and
     /// the edges among them), renumbering vertices densely. Returns the new
     /// graph plus the mapping `old vertex id -> new vertex id`.
-    pub fn induced_subgraph(&self, keep_vertices: &[VertexId]) -> (Graph, BTreeMap<VertexId, VertexId>) {
+    pub fn induced_subgraph(
+        &self,
+        keep_vertices: &[VertexId],
+    ) -> (Graph, BTreeMap<VertexId, VertexId>) {
         let mut g = Graph::with_name(self.name.clone());
         let mut map = BTreeMap::new();
         let mut sorted = keep_vertices.to_vec();
@@ -396,7 +407,8 @@ impl GraphBuilder {
     /// Builds the graph, panicking on malformed input (tests/examples only;
     /// fallible construction goes through [`Graph`] directly).
     pub fn build(self) -> Graph {
-        self.try_build().expect("GraphBuilder produced an invalid graph")
+        self.try_build()
+            .expect("GraphBuilder produced an invalid graph")
     }
 
     /// Builds the graph, returning an error on malformed input.

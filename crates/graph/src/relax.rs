@@ -261,10 +261,7 @@ mod tests {
         let cleaned = drop_isolated(&g);
         assert_eq!(cleaned.vertex_count(), 3);
         assert_eq!(cleaned.edge_count(), 3);
-        assert!(cleaned
-            .vertex_labels()
-            .iter()
-            .all(|l| l.value() != 42));
+        assert!(cleaned.vertex_labels().iter().all(|l| l.value() != 42));
     }
 
     #[test]

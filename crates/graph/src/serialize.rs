@@ -24,7 +24,8 @@ pub fn write_graph(g: &Graph) -> String {
         writeln!(out, "v {} {}", v.0, g.vertex_label(v).0).expect("writing to String cannot fail");
     }
     for (_, e) in g.edge_entries() {
-        writeln!(out, "e {} {} {}", e.u.0, e.v.0, e.label.0).expect("writing to String cannot fail");
+        writeln!(out, "e {} {} {}", e.u.0, e.v.0, e.label.0)
+            .expect("writing to String cannot fail");
     }
     out
 }

@@ -156,7 +156,10 @@ mod tests {
     fn bfs_visits_everything_in_level_order() {
         let g = path4();
         let order = bfs_order(&g, VertexId(0));
-        assert_eq!(order, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(
+            order,
+            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]
+        );
         assert_eq!(bfs_order(&g, VertexId(9)), Vec::<VertexId>::new());
     }
 

@@ -140,7 +140,9 @@ impl<'a> Matcher<'a> {
         };
         if np == 0 {
             // The empty pattern is a subgraph of everything, with a single empty embedding.
-            outcome.embeddings.push(Embedding::new(Vec::new(), Vec::new()));
+            outcome
+                .embeddings
+                .push(Embedding::new(Vec::new(), Vec::new()));
             return outcome;
         }
         if np > nt || self.pattern.edge_count() > self.target.edge_count() {
@@ -378,7 +380,11 @@ pub fn contains_subgraph(pattern: &Graph, target: &Graph) -> bool {
 }
 
 /// Enumerates all distinct embeddings of `pattern` in `target`.
-pub fn enumerate_embeddings(pattern: &Graph, target: &Graph, options: MatchOptions) -> MatchOutcome {
+pub fn enumerate_embeddings(
+    pattern: &Graph,
+    target: &Graph,
+    options: MatchOptions,
+) -> MatchOutcome {
     Matcher::new(pattern, target, options).embeddings()
 }
 
@@ -403,7 +409,10 @@ mod tests {
     }
 
     fn single_edge(l1: u32, l2: u32) -> Graph {
-        GraphBuilder::new().vertices(&[l1, l2]).edge(0, 1, 9).build()
+        GraphBuilder::new()
+            .vertices(&[l1, l2])
+            .edge(0, 1, 9)
+            .build()
     }
 
     #[test]
@@ -502,7 +511,10 @@ mod tests {
         assert!(!contains_subgraph(&pat, &g));
 
         // One a-b edge plus one isolated c vertex is fine.
-        let pat2 = GraphBuilder::new().vertices(&[0, 1, 2]).edge(0, 1, 9).build();
+        let pat2 = GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 9)
+            .build();
         assert!(contains_subgraph(&pat2, &g));
     }
 

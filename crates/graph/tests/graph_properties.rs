@@ -134,6 +134,7 @@ proptest! {
         let n = weights.len();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut adj = vec![vec![false; n]; n];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in (i + 1)..n {
                 let a = rng.gen_bool(0.5);

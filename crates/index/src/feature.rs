@@ -195,14 +195,7 @@ mod tests {
             .edge(1, 2, 0)
             .edge(0, 2, 0)
             .build();
-        vec![
-            edge.clone(),
-            edge,
-            path.clone(),
-            path,
-            tri.clone(),
-            tri,
-        ]
+        vec![edge.clone(), edge, path.clone(), path, tri.clone(), tri]
     }
 
     #[test]

@@ -99,7 +99,11 @@ impl Pmi {
     /// The SIP bounds of `feature` in `graph`, or `None` when the feature does
     /// not occur in the graph skeleton.
     pub fn bounds(&self, graph: usize, feature: usize) -> Option<SipBounds> {
-        self.matrix.get(graph).and_then(|row| row.get(feature)).copied().flatten()
+        self.matrix
+            .get(graph)
+            .and_then(|row| row.get(feature))
+            .copied()
+            .flatten()
     }
 
     /// All non-empty `(feature index, bounds)` entries of one graph column —
@@ -164,8 +168,7 @@ fn fill_matrix(
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
-            .min(8)
-            .max(1)
+            .clamp(1, 8)
     } else {
         params.threads
     };
@@ -228,9 +231,9 @@ fn compute_row(
 mod tests {
     use super::*;
     use pgs_graph::model::{EdgeId, GraphBuilder};
+    use pgs_graph::vf2::{enumerate_embeddings, MatchOptions};
     use pgs_prob::exact::exact_sip;
     use pgs_prob::jpt::JointProbTable;
-    use pgs_graph::vf2::{enumerate_embeddings, MatchOptions};
 
     /// A 3-graph database mirroring Figure 1/Figure 4: graph 001 (triangle
     /// a-b-d), graph 002 (the 5-edge graph) and a third graph without any a-b
@@ -243,12 +246,9 @@ mod tests {
             .edge(1, 2, 9)
             .edge(0, 2, 9)
             .build();
-        let t001 = JointProbTable::from_max_rule(&[
-            (EdgeId(0), 0.6),
-            (EdgeId(1), 0.5),
-            (EdgeId(2), 0.7),
-        ])
-        .unwrap();
+        let t001 =
+            JointProbTable::from_max_rule(&[(EdgeId(0), 0.6), (EdgeId(1), 0.5), (EdgeId(2), 0.7)])
+                .unwrap();
         let pg001 = ProbabilisticGraph::new(g001, vec![t001], true).unwrap();
 
         let g002 = GraphBuilder::new()
@@ -260,12 +260,9 @@ mod tests {
             .edge(2, 3, 9)
             .edge(2, 4, 9)
             .build();
-        let t1 = JointProbTable::from_max_rule(&[
-            (EdgeId(0), 0.7),
-            (EdgeId(1), 0.6),
-            (EdgeId(2), 0.8),
-        ])
-        .unwrap();
+        let t1 =
+            JointProbTable::from_max_rule(&[(EdgeId(0), 0.7), (EdgeId(1), 0.6), (EdgeId(2), 0.8)])
+                .unwrap();
         let t2 = JointProbTable::from_max_rule(&[(EdgeId(3), 0.5), (EdgeId(4), 0.4)]).unwrap();
         let pg002 = ProbabilisticGraph::new(g002, vec![t1, t2], true).unwrap();
 
@@ -275,8 +272,7 @@ mod tests {
             .edge(0, 1, 9)
             .edge(1, 2, 9)
             .build();
-        let t003 =
-            JointProbTable::from_max_rule(&[(EdgeId(0), 0.9), (EdgeId(1), 0.2)]).unwrap();
+        let t003 = JointProbTable::from_max_rule(&[(EdgeId(0), 0.9), (EdgeId(1), 0.2)]).unwrap();
         let pg003 = ProbabilisticGraph::new(g003, vec![t003], true).unwrap();
 
         vec![pg001, pg002, pg003]

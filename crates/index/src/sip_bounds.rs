@@ -274,9 +274,7 @@ fn compatibility_matrix(
         for j in (i + 1)..n {
             let ok = match rule {
                 DisjointnessRule::EdgeDisjoint => edge_sets_disjoint(&sets[i], &sets[j]),
-                DisjointnessRule::TableDisjoint => {
-                    disjoint_sorted(&tables[i], &tables[j])
-                }
+                DisjointnessRule::TableDisjoint => disjoint_sorted(&tables[i], &tables[j]),
             };
             adj[i][j] = ok;
             adj[j][i] = ok;
@@ -300,7 +298,9 @@ fn disjoint_sorted(a: &[usize], b: &[usize]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pgs_graph::generate::{random_connected_graph, random_connected_subgraph, RandomGraphConfig};
+    use pgs_graph::generate::{
+        random_connected_graph, random_connected_subgraph, RandomGraphConfig,
+    };
     use pgs_graph::model::{EdgeId, GraphBuilder};
     use pgs_prob::exact::exact_sip;
     use pgs_prob::jpt::JointProbTable;
@@ -319,12 +319,9 @@ mod tests {
             .edge(2, 3, 9)
             .edge(2, 4, 9)
             .build();
-        let t1 = JointProbTable::from_max_rule(&[
-            (EdgeId(0), 0.7),
-            (EdgeId(1), 0.6),
-            (EdgeId(2), 0.8),
-        ])
-        .unwrap();
+        let t1 =
+            JointProbTable::from_max_rule(&[(EdgeId(0), 0.7), (EdgeId(1), 0.6), (EdgeId(2), 0.8)])
+                .unwrap();
         let t2 = JointProbTable::from_max_rule(&[(EdgeId(3), 0.5), (EdgeId(4), 0.4)]).unwrap();
         ProbabilisticGraph::new(skeleton, vec![t1, t2], true).unwrap()
     }

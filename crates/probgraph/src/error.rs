@@ -73,7 +73,10 @@ impl fmt::Display for ProbError {
                 "exact enumeration over {variables} edges exceeds the limit of {limit}"
             ),
             ProbError::ArityTooLarge(a) => {
-                write!(f, "joint probability table arity {a} exceeds the supported maximum")
+                write!(
+                    f,
+                    "joint probability table arity {a} exceeds the supported maximum"
+                )
             }
         }
     }
@@ -87,8 +90,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(ProbError::InvalidProbability(-0.5).to_string().contains("-0.5"));
-        assert!(ProbError::NotNormalized { sum: 0.9 }.to_string().contains("0.9"));
+        assert!(ProbError::InvalidProbability(-0.5)
+            .to_string()
+            .contains("-0.5"));
+        assert!(ProbError::NotNormalized { sum: 0.9 }
+            .to_string()
+            .contains("0.9"));
         assert!(ProbError::WrongTableSize { arity: 3, rows: 7 }
             .to_string()
             .contains("8 rows"));

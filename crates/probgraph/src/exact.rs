@@ -53,9 +53,7 @@ pub fn exact_union_probability(
     let assignments = enumerate_assignments_over(pg, &relevant, limit)?;
     let mut p = 0.0;
     for a in &assignments {
-        let hit = edge_sets
-            .iter()
-            .any(|s| s.iter().all(|&e| a.is_present(e)));
+        let hit = edge_sets.iter().any(|s| s.iter().all(|&e| a.is_present(e)));
         if hit {
             p += a.probability;
         }
@@ -137,12 +135,9 @@ mod tests {
             .edge(2, 3, 9)
             .edge(2, 4, 9)
             .build();
-        let t1 = JointProbTable::from_max_rule(&[
-            (EdgeId(0), 0.7),
-            (EdgeId(1), 0.6),
-            (EdgeId(2), 0.8),
-        ])
-        .unwrap();
+        let t1 =
+            JointProbTable::from_max_rule(&[(EdgeId(0), 0.7), (EdgeId(1), 0.6), (EdgeId(2), 0.8)])
+                .unwrap();
         let t2 = JointProbTable::from_max_rule(&[(EdgeId(3), 0.5), (EdgeId(4), 0.4)]).unwrap();
         ProbabilisticGraph::new(skeleton, vec![t1, t2], true).unwrap()
     }
@@ -203,7 +198,10 @@ mod tests {
             assert!(ssp + 1e-12 >= prev, "SSP must not decrease with delta");
             prev = ssp;
         }
-        assert!((prev - 1.0).abs() < 1e-12, "delta = |q| gives probability 1");
+        assert!(
+            (prev - 1.0).abs() < 1e-12,
+            "delta = |q| gives probability 1"
+        );
     }
 
     #[test]

@@ -33,11 +33,7 @@ mod tests {
             .edge(1, 2, 0)
             .build();
         // Strongly correlated: both edges present or both absent.
-        let t = JointProbTable::new(
-            vec![EdgeId(0), EdgeId(1)],
-            vec![0.4, 0.0, 0.0, 0.6],
-        )
-        .unwrap();
+        let t = JointProbTable::new(vec![EdgeId(0), EdgeId(1)], vec![0.4, 0.0, 0.0, 0.6]).unwrap();
         ProbabilisticGraph::new(g, vec![t], true).unwrap()
     }
 

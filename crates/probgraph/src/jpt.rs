@@ -527,7 +527,10 @@ mod tests {
         }
         // Pr(e2=1 | e1=1) = (0.2+0.2)/0.6 = 2/3.
         let freq = count_e2 as f64 / n as f64;
-        assert!((freq - 2.0 / 3.0).abs() < 0.02, "conditional frequency {freq}");
+        assert!(
+            (freq - 2.0 / 3.0).abs() < 0.02,
+            "conditional frequency {freq}"
+        );
         // Constraint on an edge outside the table falls back to plain sampling.
         let mask = t.sample_mask_conditioned(&mut rng, &[(e(42), true)]);
         assert!(mask < 8);

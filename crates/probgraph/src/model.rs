@@ -160,7 +160,11 @@ impl ProbabilisticGraph {
     /// Probability of one fully specified possible world given as a presence
     /// bitmap over all edges (Equation 1).
     pub fn world_probability(&self, present: &[bool]) -> f64 {
-        assert_eq!(present.len(), self.edge_count(), "presence bitmap size mismatch");
+        assert_eq!(
+            present.len(),
+            self.edge_count(),
+            "presence bitmap size mismatch"
+        );
         let assignment: Vec<(EdgeId, bool)> = present
             .iter()
             .enumerate()
@@ -260,12 +264,9 @@ mod tests {
             .edge(2, 3, 9) // e3 (paper e4)
             .edge(2, 4, 9) // e4 (paper e5)
             .build();
-        let t1 = JointProbTable::from_max_rule(&[
-            (EdgeId(0), 0.7),
-            (EdgeId(1), 0.6),
-            (EdgeId(2), 0.8),
-        ])
-        .unwrap();
+        let t1 =
+            JointProbTable::from_max_rule(&[(EdgeId(0), 0.7), (EdgeId(1), 0.6), (EdgeId(2), 0.8)])
+                .unwrap();
         let t2 = JointProbTable::from_max_rule(&[(EdgeId(3), 0.5), (EdgeId(4), 0.4)]).unwrap();
         ProbabilisticGraph::new(skeleton, vec![t1, t2], true).unwrap()
     }
@@ -311,7 +312,8 @@ mod tests {
             .build();
         let bad = JointProbTable::independent(&[(EdgeId(0), 0.5), (EdgeId(2), 0.5)]).unwrap();
         let mid = JointProbTable::independent(&[(EdgeId(1), 0.5)]).unwrap();
-        let err = ProbabilisticGraph::new(g.clone(), vec![bad.clone(), mid.clone()], true).unwrap_err();
+        let err =
+            ProbabilisticGraph::new(g.clone(), vec![bad.clone(), mid.clone()], true).unwrap_err();
         assert_eq!(err, ProbError::NotNeighborEdges { group: 0 });
         // Without the neighborhood check the same grouping is accepted.
         assert!(ProbabilisticGraph::new(g, vec![bad, mid], false).is_ok());
@@ -344,7 +346,10 @@ mod tests {
             let present: Vec<bool> = (0..m).map(|i| mask & (1 << i) != 0).collect();
             total += pg.world_probability(&present);
         }
-        assert!((total - 1.0).abs() < 1e-9, "world probabilities sum to {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "world probabilities sum to {total}"
+        );
     }
 
     #[test]
@@ -382,8 +387,7 @@ mod tests {
         let f0 = count_e0 as f64 / n as f64;
         let fboth = count_both as f64 / n as f64;
         assert!((f0 - pg.edge_presence_prob(EdgeId(0))).abs() < 0.02);
-        let expected_both =
-            pg.edge_presence_prob(EdgeId(0)) * pg.edge_presence_prob(EdgeId(3));
+        let expected_both = pg.edge_presence_prob(EdgeId(0)) * pg.edge_presence_prob(EdgeId(3));
         assert!((fboth - expected_both).abs() < 0.02);
     }
 

@@ -52,7 +52,11 @@ impl MonteCarloConfig {
         let tau = if self.tau > 0.0 { self.tau } else { 0.1 };
         let xi = self.xi.clamp(1e-9, 0.999_999);
         let n = (4.0 * (2.0 / xi).ln() / (tau * tau)).ceil();
-        let n = if n.is_finite() && n > 0.0 { n as usize } else { 16 };
+        let n = if n.is_finite() && n > 0.0 {
+            n as usize
+        } else {
+            16
+        };
         let n = n.max(16);
         if self.max_samples > 0 {
             n.min(self.max_samples)
@@ -106,6 +110,8 @@ mod tests {
 
     #[test]
     fn coarse_is_smaller_than_default() {
-        assert!(MonteCarloConfig::coarse().num_samples() <= MonteCarloConfig::default().num_samples());
+        assert!(
+            MonteCarloConfig::coarse().num_samples() <= MonteCarloConfig::default().num_samples()
+        );
     }
 }

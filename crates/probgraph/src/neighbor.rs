@@ -30,9 +30,7 @@ pub fn is_neighbor_edge_set(g: &Graph, edges: &[EdgeId]) -> bool {
                 sorted.sort_unstable();
                 sorted.dedup();
                 if sorted.len() == 3 {
-                    return triangles(g)
-                        .into_iter()
-                        .any(|t| t.to_vec() == sorted);
+                    return triangles(g).into_iter().any(|t| t.to_vec() == sorted);
                 }
             }
             false
@@ -130,7 +128,10 @@ mod tests {
     fn neighbor_set_validation() {
         let g = graph_002();
         // Edges sharing vertex v2: e1,e2,e3,e4.
-        assert!(is_neighbor_edge_set(&g, &[EdgeId(1), EdgeId(2), EdgeId(3), EdgeId(4)]));
+        assert!(is_neighbor_edge_set(
+            &g,
+            &[EdgeId(1), EdgeId(2), EdgeId(3), EdgeId(4)]
+        ));
         // Triangle e0,e1,e2 (the paper's {e1,e2,e3} of graph 002).
         assert!(is_neighbor_edge_set(&g, &[EdgeId(0), EdgeId(1), EdgeId(2)]));
         // Single edge.

@@ -83,7 +83,10 @@ mod tests {
         };
         let est = estimate_all_present(&pg, &[EdgeId(0), EdgeId(1)], &config, &mut rng);
         let exact = pg.prob_all_present(&[EdgeId(0), EdgeId(1)]);
-        assert!((est - exact).abs() < 0.02, "estimate {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() < 0.02,
+            "estimate {est} vs exact {exact}"
+        );
     }
 
     #[test]

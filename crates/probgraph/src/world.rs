@@ -27,7 +27,10 @@ pub struct PossibleWorld {
 /// Fails with [`ProbError::TooManyWorlds`] when the skeleton has more than
 /// `limit` edges (use [`enumerate_assignments_over`] with a restricted edge set
 /// instead).
-pub fn enumerate_worlds(pg: &ProbabilisticGraph, limit: usize) -> Result<Vec<PossibleWorld>, ProbError> {
+pub fn enumerate_worlds(
+    pg: &ProbabilisticGraph,
+    limit: usize,
+) -> Result<Vec<PossibleWorld>, ProbError> {
     let m = pg.edge_count();
     if m > limit {
         return Err(ProbError::TooManyWorlds {
@@ -147,7 +150,10 @@ mod tests {
         let pg = small_pg();
         assert!(matches!(
             enumerate_worlds(&pg, 1).unwrap_err(),
-            ProbError::TooManyWorlds { variables: 2, limit: 1 }
+            ProbError::TooManyWorlds {
+                variables: 2,
+                limit: 1
+            }
         ));
     }
 

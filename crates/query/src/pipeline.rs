@@ -204,13 +204,8 @@ impl QueryEngine {
         let mut answers = outcome.accepted.clone();
         stats.verified = outcome.candidates.len();
         for &gi in &outcome.candidates {
-            let ssp = verify_ssp_sampled(
-                &self.db[gi],
-                q,
-                params.delta,
-                &self.config.verify,
-                &mut rng,
-            );
+            let ssp =
+                verify_ssp_sampled(&self.db[gi], q, params.delta, &self.config.verify, &mut rng);
             if ssp >= params.epsilon {
                 answers.push(gi);
             }
@@ -344,7 +339,8 @@ mod tests {
             let fast = engine.query(&wq.graph, &params);
             let exact = engine.exact_scan(&wq.graph, &params);
             assert_eq!(
-                fast.answers, exact.answers,
+                fast.answers,
+                exact.answers,
                 "PMI pipeline and exact scan disagree for query {}",
                 wq.graph.name()
             );

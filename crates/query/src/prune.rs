@@ -310,15 +310,14 @@ mod tests {
                 b = b.edge(u, v, 9);
             }
             let g = b.build();
-            let tables: Vec<JointProbTable> =
-                pgs_prob::neighbor::partition_with_triangles(&g, 3)
-                    .iter()
-                    .map(|grp| {
-                        let ep: Vec<(EdgeId, f64)> =
-                            grp.iter().map(|&e| (e, probs[e.index()])).collect();
-                        JointProbTable::from_max_rule(&ep).unwrap()
-                    })
-                    .collect();
+            let tables: Vec<JointProbTable> = pgs_prob::neighbor::partition_with_triangles(&g, 3)
+                .iter()
+                .map(|grp| {
+                    let ep: Vec<(EdgeId, f64)> =
+                        grp.iter().map(|&e| (e, probs[e.index()])).collect();
+                    JointProbTable::from_max_rule(&ep).unwrap()
+                })
+                .collect();
             ProbabilisticGraph::new(g, tables, true).unwrap()
         };
         vec![
@@ -452,7 +451,10 @@ mod tests {
         }
         for &gi in &outcome.accepted {
             let exact = exact_ssp(&db[gi], &q, 1, 22).unwrap();
-            assert!(exact >= 0.5 - 1e-9, "graph {gi} wrongly accepted (exact SSP {exact})");
+            assert!(
+                exact >= 0.5 - 1e-9,
+                "graph {gi} wrongly accepted (exact SSP {exact})"
+            );
         }
     }
 
@@ -494,8 +496,15 @@ mod tests {
         let pmi = build_pmi(&db);
         let relaxed = relax_query(&query(), 1);
         let mut rng = StdRng::seed_from_u64(29);
-        let (outcome, decisions) =
-            probabilistic_prune(&pmi, &[], &relaxed, 0.5, true, CrossTermRule::SafeMin, &mut rng);
+        let (outcome, decisions) = probabilistic_prune(
+            &pmi,
+            &[],
+            &relaxed,
+            0.5,
+            true,
+            CrossTermRule::SafeMin,
+            &mut rng,
+        );
         assert!(decisions.is_empty());
         assert_eq!(outcome.surviving(), 0);
         assert!(outcome.pruned.is_empty());

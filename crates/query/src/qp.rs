@@ -230,7 +230,11 @@ fn greedy_cover(universe_size: usize, sets: &[LsimSet]) -> Option<Vec<usize>> {
             if chosen.contains(&i) {
                 continue;
             }
-            let new_count = s.elements.iter().filter(|&&e| e < universe_size && !covered[e]).count();
+            let new_count = s
+                .elements
+                .iter()
+                .filter(|&&e| e < universe_size && !covered[e])
+                .count();
             if new_count == 0 {
                 continue;
             }
@@ -316,7 +320,11 @@ mod tests {
 
     #[test]
     fn single_strong_set_wins() {
-        let sets = vec![set(&[0, 1], 0.9, 0.95), set(&[0], 0.1, 0.2), set(&[1], 0.1, 0.2)];
+        let sets = vec![
+            set(&[0, 1], 0.9, 0.95),
+            set(&[0], 0.1, 0.2),
+            set(&[1], 0.1, 0.2),
+        ];
         let mut rng = StdRng::seed_from_u64(4);
         let sol = tightest_lsim(2, &sets, &QpOptions::default(), &mut rng);
         assert!(sol.value >= 0.9 - 1e-9, "value {}", sol.value);
@@ -325,7 +333,11 @@ mod tests {
 
     #[test]
     fn lsim_value_is_never_negative() {
-        let sets = vec![set(&[0], 0.1, 0.9), set(&[1], 0.1, 0.9), set(&[2], 0.1, 0.9)];
+        let sets = vec![
+            set(&[0], 0.1, 0.9),
+            set(&[1], 0.1, 0.9),
+            set(&[2], 0.1, 0.9),
+        ];
         let value = lsim_value(&sets, &[0, 1, 2], &QpOptions::default());
         assert!(value >= 0.0);
         // Raw sum would be 0.3 − 3·0.9 < 0; the clamp keeps the bound trivial

@@ -98,14 +98,14 @@ mod tests {
         // Figure 5 / Example 3: U = {rq1, rq2, rq3}; s1 = {rq1, rq2} w=0.4,
         // s2 = {rq2, rq3} w=0.1, s3 = {rq1, rq3} w=0.5.  The candidate covers
         // are {s1,s2}=0.5, {s1,s3}=0.9, {s2,s3}=0.6; the tightest Usim is 0.5.
-        let sets = vec![
-            (vec![0, 1], 0.4),
-            (vec![1, 2], 0.1),
-            (vec![0, 2], 0.5),
-        ];
+        let sets = vec![(vec![0, 1], 0.4), (vec![1, 2], 0.1), (vec![0, 2], 0.5)];
         let sol = greedy_weighted_set_cover(3, &sets);
         assert!(sol.covered_all);
-        assert!((sol.total_weight - 0.5).abs() < 1e-12, "Usim = {}", sol.total_weight);
+        assert!(
+            (sol.total_weight - 0.5).abs() < 1e-12,
+            "Usim = {}",
+            sol.total_weight
+        );
         let mut chosen = sol.chosen.clone();
         chosen.sort_unstable();
         assert_eq!(chosen, vec![0, 1]);

@@ -72,7 +72,8 @@ pub fn verify_ssp_sampled<R: Rng + ?Sized>(
     relevant.sort_unstable();
     relevant.dedup();
     if relevant.len() <= options.exact_cutoff {
-        if let Ok(value) = pgs_prob::exact::exact_union_probability(pg, &embeddings, options.exact_cutoff)
+        if let Ok(value) =
+            pgs_prob::exact::exact_union_probability(pg, &embeddings, options.exact_cutoff)
         {
             return value;
         }
@@ -171,12 +172,9 @@ mod tests {
             .edge(2, 3, 9)
             .edge(2, 4, 9)
             .build();
-        let t1 = JointProbTable::from_max_rule(&[
-            (EdgeId(0), 0.7),
-            (EdgeId(1), 0.6),
-            (EdgeId(2), 0.8),
-        ])
-        .unwrap();
+        let t1 =
+            JointProbTable::from_max_rule(&[(EdgeId(0), 0.7), (EdgeId(1), 0.6), (EdgeId(2), 0.8)])
+                .unwrap();
         let t2 = JointProbTable::from_max_rule(&[(EdgeId(3), 0.5), (EdgeId(4), 0.4)]).unwrap();
         ProbabilisticGraph::new(skeleton, vec![t1, t2], true).unwrap()
     }

@@ -21,13 +21,11 @@ fn main() {
         .edge(1, 2, 9)
         .edge(0, 2, 9)
         .build();
-    let jpt001 = JointProbTable::from_max_rule(&[
-        (EdgeId(0), 0.65),
-        (EdgeId(1), 0.55),
-        (EdgeId(2), 0.70),
-    ])
-    .expect("valid JPT");
-    let pg001 = ProbabilisticGraph::new(g001, vec![jpt001], true).expect("valid probabilistic graph");
+    let jpt001 =
+        JointProbTable::from_max_rule(&[(EdgeId(0), 0.65), (EdgeId(1), 0.55), (EdgeId(2), 0.70)])
+            .expect("valid JPT");
+    let pg001 =
+        ProbabilisticGraph::new(g001, vec![jpt001], true).expect("valid probabilistic graph");
 
     // ---------------------------------------------------------------- graph 002
     // The 5-edge graph of Figure 1: a triangle {a, a, b} plus pendant b and c
@@ -41,12 +39,9 @@ fn main() {
         .edge(2, 3, 9)
         .edge(2, 4, 9)
         .build();
-    let jpt_triangle = JointProbTable::from_max_rule(&[
-        (EdgeId(0), 0.70),
-        (EdgeId(1), 0.60),
-        (EdgeId(2), 0.80),
-    ])
-    .expect("valid JPT");
+    let jpt_triangle =
+        JointProbTable::from_max_rule(&[(EdgeId(0), 0.70), (EdgeId(1), 0.60), (EdgeId(2), 0.80)])
+            .expect("valid JPT");
     let jpt_pendant =
         JointProbTable::from_max_rule(&[(EdgeId(3), 0.50), (EdgeId(4), 0.40)]).expect("valid JPT");
     let pg002 = ProbabilisticGraph::new(g002, vec![jpt_triangle, jpt_pendant], true)
@@ -105,7 +100,10 @@ fn main() {
     for (i, pg) in db.graphs().iter().enumerate() {
         for delta in [1usize, 2] {
             let ssp = pgs::prob::exact::exact_ssp(pg, &q, delta, 22).expect("small graph");
-            println!("exact Pr(q ⊆sim {}) at δ = {delta}: {ssp:.4}", db.graph(i).unwrap().name());
+            println!(
+                "exact Pr(q ⊆sim {}) at δ = {delta}: {ssp:.4}",
+                db.graph(i).unwrap().name()
+            );
         }
     }
 }

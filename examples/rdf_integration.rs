@@ -39,18 +39,22 @@ fn snapshot(name: &str, orgs: usize, quality: f64, rng: &mut StdRng) -> Probabil
     let city = g.add_vertex(Label(CITY));
     for _ in 0..orgs {
         let org = g.add_vertex(Label(ORG));
-        g.add_edge(org, city, Label(LOCATED_IN)).expect("unique edge");
+        g.add_edge(org, city, Label(LOCATED_IN))
+            .expect("unique edge");
         // Founder and a couple of employees.
         let founder = g.add_vertex(Label(PERSON));
-        g.add_edge(org, founder, Label(FOUNDED_BY)).expect("unique edge");
+        g.add_edge(org, founder, Label(FOUNDED_BY))
+            .expect("unique edge");
         for _ in 0..rng.gen_range(1..=2) {
             let employee = g.add_vertex(Label(PERSON));
-            g.add_edge(employee, org, Label(WORKS_FOR)).expect("unique edge");
+            g.add_edge(employee, org, Label(WORKS_FOR))
+                .expect("unique edge");
         }
         // Products, sometimes.
         if rng.gen_bool(0.7) {
             let product = g.add_vertex(Label(PRODUCT));
-            g.add_edge(org, product, Label(PRODUCES)).expect("unique edge");
+            g.add_edge(org, product, Label(PRODUCES))
+                .expect("unique edge");
         }
     }
     // Extraction confidences: higher-quality sources yield higher and less

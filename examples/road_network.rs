@@ -45,13 +45,15 @@ fn district(name: &str, ring: usize, congestion: f64, rng: &mut StdRng) -> Proba
         g.add_edge(r, spur, Label(0)).expect("spur edge");
         if rng.gen_bool(0.5) {
             let second = g.add_vertex(Label(JUNCTION));
-            g.add_edge(spur, second, Label(0)).expect("second spur edge");
+            g.add_edge(spur, second, Label(0))
+                .expect("second spur edge");
         }
     }
     // Two highway ramps attached to opposite sides of the ring.
     for idx in [0, ring / 2] {
         let ramp = g.add_vertex(Label(RAMP));
-        g.add_edge(ring_vertices[idx], ramp, Label(0)).expect("ramp edge");
+        g.add_edge(ring_vertices[idx], ramp, Label(0))
+            .expect("ramp edge");
     }
 
     // Passability probabilities: ring segments suffer most from congestion.
@@ -129,8 +131,7 @@ fn main() {
         .graphs()
         .iter()
         .map(|pg| {
-            let ssp = pgs::prob::exact::exact_ssp(pg, &pattern, 1, 22)
-                .unwrap_or_else(|_| f64::NAN);
+            let ssp = pgs::prob::exact::exact_ssp(pg, &pattern, 1, 22).unwrap_or(f64::NAN);
             (pg.name().to_string(), ssp)
         })
         .collect();

@@ -163,14 +163,25 @@ fn correlated_model_beats_independent_model_on_organism_retrieval() {
                 .filter(|(_, &o)| o == wq.source_organism)
                 .map(|(i, _)| i)
                 .collect();
+            // ε = 0.15, not the paper's 0.35: with the STRING-calibrated mean
+            // edge probability of 0.383, a 4-edge query at δ = 1 needs ≥ 3
+            // edges jointly present, so exact SSPs on this dataset land in
+            // ≈ 0.05–0.28 (measured) and an ε of 0.35 retrieves nothing at
+            // all.  The original threshold encoded a wrong expectation about
+            // this miniature dataset, not a code bug — the property under
+            // test (correlated F1 ≥ independent F1 > 0) is unchanged.
             let answers: Vec<usize> = db
-                .query(&wq.graph, 0.35, 1)
+                .query(&wq.graph, 0.15, 1)
                 .unwrap()
                 .into_iter()
                 .map(|m| m.graph_index)
                 .collect();
             let hits = answers.iter().filter(|a| truth.contains(a)).count() as f64;
-            let precision = if answers.is_empty() { 1.0 } else { hits / answers.len() as f64 };
+            let precision = if answers.is_empty() {
+                1.0
+            } else {
+                hits / answers.len() as f64
+            };
             let recall = hits / truth.len() as f64;
             f1_sum += if precision + recall > 0.0 {
                 2.0 * precision * recall / (precision + recall)
@@ -216,7 +227,10 @@ fn pmi_statistics_reflect_the_database() {
     for gi in 0..stats.graph_count {
         for (fi, bounds) in pmi.graph_entries(gi) {
             assert!(fi < stats.feature_count);
-            assert!(bounds.is_valid(), "invalid bounds at ({gi}, {fi}): {bounds:?}");
+            assert!(
+                bounds.is_valid(),
+                "invalid bounds at ({gi}, {fi}): {bounds:?}"
+            );
         }
     }
 }

@@ -25,12 +25,9 @@ fn graph_002() -> ProbabilisticGraph {
         .edge(2, 3, 9)
         .edge(2, 4, 9)
         .build();
-    let triangle = JointProbTable::from_max_rule(&[
-        (EdgeId(0), 0.7),
-        (EdgeId(1), 0.6),
-        (EdgeId(2), 0.8),
-    ])
-    .unwrap();
+    let triangle =
+        JointProbTable::from_max_rule(&[(EdgeId(0), 0.7), (EdgeId(1), 0.6), (EdgeId(2), 0.8)])
+            .unwrap();
     let pendant = JointProbTable::from_max_rule(&[(EdgeId(3), 0.5), (EdgeId(4), 0.4)]).unwrap();
     ProbabilisticGraph::new(skeleton, vec![triangle, pendant], true).unwrap()
 }
@@ -43,12 +40,9 @@ fn graph_001() -> ProbabilisticGraph {
         .edge(1, 2, 9)
         .edge(0, 2, 9)
         .build();
-    let jpt = JointProbTable::from_max_rule(&[
-        (EdgeId(0), 0.65),
-        (EdgeId(1), 0.55),
-        (EdgeId(2), 0.7),
-    ])
-    .unwrap();
+    let jpt =
+        JointProbTable::from_max_rule(&[(EdgeId(0), 0.65), (EdgeId(1), 0.55), (EdgeId(2), 0.7)])
+            .unwrap();
     ProbabilisticGraph::new(skeleton, vec![jpt], true).unwrap()
 }
 
@@ -82,7 +76,11 @@ fn lemma_1_holds_on_the_running_example() {
 #[test]
 fn figure_5_relaxed_query_set() {
     let u = relax_query(&query_q(), 1);
-    assert_eq!(u.len(), 3, "relaxing the labelled triangle by 1 edge gives rq1, rq2, rq3");
+    assert_eq!(
+        u.len(),
+        3,
+        "relaxing the labelled triangle by 1 edge gives rq1, rq2, rq3"
+    );
     for rq in &u {
         assert_eq!(rq.edge_count(), 2);
     }
@@ -116,8 +114,14 @@ fn pmi_bounds_bracket_exact_ssp_on_the_example_database() {
         let usim = instance.usim_optimal();
         let lsim = instance.lsim_optimal(CrossTermRule::SafeMin, &mut rng);
         let exact = exact_ssp(pg, &q, delta, 22).unwrap();
-        assert!(lsim <= exact + 1e-9, "graph {gi}: Lsim {lsim} > exact {exact}");
-        assert!(usim + 1e-9 >= exact, "graph {gi}: Usim {usim} < exact {exact}");
+        assert!(
+            lsim <= exact + 1e-9,
+            "graph {gi}: Lsim {lsim} > exact {exact}"
+        );
+        assert!(
+            usim + 1e-9 >= exact,
+            "graph {gi}: Usim {usim} < exact {exact}"
+        );
     }
 }
 
@@ -150,7 +154,9 @@ fn example_1_query_semantics_through_the_facade() {
         .count();
     let all = db.query(&q, low_threshold, 1).unwrap();
     assert_eq!(all.len(), expected_low);
-    let none = db.query(&q, (ssp_001.max(ssp_002) * 1.2).min(1.0), 1).unwrap();
+    let none = db
+        .query(&q, (ssp_001.max(ssp_002) * 1.2).min(1.0), 1)
+        .unwrap();
     assert!(none.len() <= 1); // at most the higher graph if its SSP ≥ capped threshold
 }
 

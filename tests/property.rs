@@ -46,21 +46,25 @@ fn arb_graph(max_vertices: usize, labels: u32) -> impl Strategy<Value = Graph> {
 
 /// Strategy: a probabilistic graph over a random skeleton with max-rule JPTs.
 fn arb_probabilistic_graph() -> impl Strategy<Value = ProbabilisticGraph> {
-    (arb_graph(7, 3), proptest::collection::vec(0.05f64..0.95, 32)).prop_map(|(skeleton, probs)| {
-        let groups = partition_with_triangles(&skeleton, 3);
-        let tables: Vec<JointProbTable> = groups
-            .iter()
-            .map(|grp| {
-                let ep: Vec<(EdgeId, f64)> = grp
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &e)| (e, probs[(e.index() + i) % probs.len()]))
-                    .collect();
-                JointProbTable::from_max_rule(&ep).unwrap()
-            })
-            .collect();
-        ProbabilisticGraph::new(skeleton, tables, true).unwrap()
-    })
+    (
+        arb_graph(7, 3),
+        proptest::collection::vec(0.05f64..0.95, 32),
+    )
+        .prop_map(|(skeleton, probs)| {
+            let groups = partition_with_triangles(&skeleton, 3);
+            let tables: Vec<JointProbTable> = groups
+                .iter()
+                .map(|grp| {
+                    let ep: Vec<(EdgeId, f64)> = grp
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &e)| (e, probs[(e.index() + i) % probs.len()]))
+                        .collect();
+                    JointProbTable::from_max_rule(&ep).unwrap()
+                })
+                .collect();
+            ProbabilisticGraph::new(skeleton, tables, true).unwrap()
+        })
 }
 
 proptest! {

@@ -1,0 +1,343 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the slice of Criterion the benches use: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], `Bencher::iter` and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is a simple mean-of-samples wall-clock timer: each benchmark
+//! runs a warm-up, picks an iteration count that roughly fills
+//! `measurement_time / sample_size` per sample, then reports the mean and
+//! min/max over `sample_size` samples.  There are no plots, no statistical
+//! regressions and no saved baselines — enough to compare hot paths locally
+//! and to keep `cargo bench --no-run` compiling everything.
+
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.clone(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let config = self.clone();
+        run_benchmark(&config, name, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration overrides.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Criterion,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&self.config, &label, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&self.config, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier `function_name/parameter` for a parameterised benchmark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from just a parameter display value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function_name.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function_name, self.parameter)
+        }
+    }
+}
+
+/// Anything accepted as a benchmark identifier (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    /// Calibration pass: run once, record the duration.
+    Calibrate,
+    /// Measurement pass: run `iters_per_sample` times per sample.
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing the result from being optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BencherMode::Calibrate => {
+                let start = Instant::now();
+                black_box(routine());
+                // Only the latest calibration sample is ever read; keep O(1).
+                self.samples.clear();
+                self.samples.push(start.elapsed());
+            }
+            BencherMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                self.samples
+                    .push(start.elapsed() / self.iters_per_sample.max(1) as u32);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, mut f: F) {
+    // Calibration / warm-up: single iterations until the warm-up budget is spent.
+    let mut calib = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        mode: BencherMode::Calibrate,
+    };
+    let warm_start = Instant::now();
+    let mut one_iter = Duration::from_nanos(1);
+    loop {
+        f(&mut calib);
+        if let Some(last) = calib.samples.last() {
+            one_iter = one_iter.max(*last);
+        }
+        if warm_start.elapsed() >= config.warm_up_time {
+            break;
+        }
+    }
+
+    // Pick an iteration count that fills the per-sample budget.
+    let per_sample = config.measurement_time.as_nanos() / config.sample_size.max(1) as u128;
+    let iters = (per_sample / one_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut bench = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(config.sample_size),
+        mode: BencherMode::Measure,
+    };
+    for _ in 0..config.sample_size {
+        f(&mut bench);
+    }
+
+    let min = bench.samples.iter().min().copied().unwrap_or_default();
+    let max = bench.samples.iter().max().copied().unwrap_or_default();
+    let mean = bench
+        .samples
+        .iter()
+        .sum::<Duration>()
+        .checked_div(bench.samples.len().max(1) as u32)
+        .unwrap_or_default();
+    println!(
+        "{label:<60} time: [{} {} {}]  ({} samples x {} iters)",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+        bench.samples.len(),
+        iters,
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring Criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_id_render() {
+        let id = BenchmarkId::new("exact", 5);
+        assert_eq!(id.to_string(), "exact/5");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0, "the benchmark closure must actually run");
+    }
+}

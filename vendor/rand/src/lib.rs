@@ -1,0 +1,321 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the small slice of `rand` 0.8 it actually uses: [`Rng`], [`SeedableRng`],
+//! [`rngs::StdRng`] and [`seq::SliceRandom`].  The generator is SplitMix64 —
+//! deterministic for a given seed, which is exactly what the test suites and
+//! benchmarks rely on.  Swapping the real `rand` back in later only requires
+//! restoring the registry dependency; no call sites need to change.
+
+#![deny(unsafe_code)]
+
+/// Low-level source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (the high half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from the generator's native stream
+/// (the `Standard` distribution in real `rand`).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with a uniform sampler over half-open / inclusive ranges.
+pub trait SampleUniform: Sized + PartialOrd + Copy {
+    /// Uniform draw from `[low, high)`.  Panics if the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[low, high]`.  Panics if `high < low`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range {low}..{high}");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-64 * span.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((low as $wide).wrapping_add(hi as $wide)) as $t
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range {low}..={high}");
+                if low == <$t>::MIN && high == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = ((high as $wide).wrapping_sub(low as $wide) as u64).wrapping_add(1);
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((low as $wide).wrapping_add(hi as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range {low}..{high}");
+                let unit = <$t as StandardSample>::sample(rng);
+                let value = low + unit * (high - low);
+                // `low + unit * (high - low)` can round up to exactly `high`
+                // even though `unit < 1`; keep the half-open contract.
+                if value < high {
+                    value
+                } else {
+                    high.next_down().max(low)
+                }
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range {low}..={high}");
+                let unit = <$t as StandardSample>::sample(rng);
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// High-level convenience methods; blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, Ra>(&mut self, range: Ra) -> T
+    where
+        T: SampleUniform,
+        Ra: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (only the `seed_from_u64` entry point is vendored).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    ///
+    /// Not the real `rand::rngs::StdRng` (ChaCha12), but the same seed always
+    /// yields the same stream, which is the property the test suites need.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers (`choose`, `shuffle`).
+
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u32 = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: usize = rng.gen_range(0..=5);
+            assert!(y <= 5);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        // Mean of 1000 uniform draws should be near 0.5.
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..2000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 2000.0 - 0.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_hits_all() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..10).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[*v.choose(&mut rng).unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: Vec<u32> = vec![];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
