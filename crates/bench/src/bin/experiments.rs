@@ -7,6 +7,11 @@
 //! cargo run --release -p pgs-bench --bin experiments -- [fig9|fig10|fig11|fig12|fig13|fig14|all] [--scale tiny|small|medium]
 //! ```
 //!
+//! The extra `bench-query` command (not part of `all`) measures end-to-end
+//! query throughput of the parallel executor — `threads = 1` vs automatic —
+//! on a 64+ graph synthetic PPI database and writes the numbers to
+//! `BENCH_query.json` for CI to archive.
+//!
 //! Absolute numbers differ from the paper (different hardware, synthetic data,
 //! laptop-scale sizes); the *shapes* — which method wins, how the curves move
 //! with each parameter — are the reproduction target and are recorded in
@@ -19,7 +24,7 @@ use pgs_datagen::scenarios::{paper_scale, DatasetScale};
 use pgs_index::pmi::{Pmi, PmiBuildParams};
 use pgs_index::sip_bounds::BoundsConfig;
 use pgs_prob::independent::to_independent_model;
-use pgs_query::pipeline::{PruningVariant, QueryEngine, QueryParams};
+use pgs_query::pipeline::{EngineConfig, PruningVariant, QueryEngine, QueryParams};
 use pgs_query::verify::{verify_ssp_exact, verify_ssp_sampled, VerifyOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,7 +38,8 @@ fn main() {
         .filter(|a| a.starts_with("fig"))
         .map(|a| a.as_str())
         .collect();
-    let run_all = figures.is_empty() || figures.contains(&"all");
+    let bench_query_requested = args.iter().any(|a| a == "bench-query");
+    let run_all = (figures.is_empty() && !bench_query_requested) || figures.contains(&"all");
     let wants = |f: &str| run_all || figures.contains(&f);
 
     println!("# Probabilistic subgraph similarity search — experiment harness");
@@ -57,6 +63,99 @@ fn main() {
     if wants("fig14") {
         figure_14(scale);
     }
+    if bench_query_requested {
+        bench_query(scale);
+    }
+}
+
+/// Query-throughput benchmark: `threads = 1` vs automatic on a 64+ graph
+/// database, recorded in `BENCH_query.json`.  The two runs must return
+/// identical answers (the per-candidate seeding guarantee); the JSON records
+/// wall-clock seconds and queries/sec for both, plus the speedup.
+fn bench_query(scale: DatasetScale) {
+    println!("## bench-query — end-to-end throughput, threads = 1 vs auto");
+    let graph_count = paper_scale(scale).graph_count.max(64);
+    let config = PpiDatasetConfig {
+        graph_count,
+        ..paper_scale(scale)
+    };
+    let dataset = generate_ppi_dataset(&config);
+    let queries: Vec<pgs_graph::model::Graph> = generate_query_workload(
+        &dataset,
+        &QueryWorkloadConfig {
+            query_size: 6,
+            count: 12,
+            seed: 0xBE7C,
+        },
+    )
+    .into_iter()
+    .map(|wq| wq.graph)
+    .collect();
+    // Force the sampling path so verification carries real per-candidate work.
+    let base = EngineConfig {
+        verify: VerifyOptions {
+            exact_cutoff: 0,
+            ..bench_engine_config(0xFEED).verify
+        },
+        ..bench_engine_config(0xFEED)
+    };
+    let sequential =
+        QueryEngine::build(dataset.graphs.clone(), EngineConfig { threads: 1, ..base });
+    let auto = QueryEngine::build(dataset.graphs, EngineConfig { threads: 0, ..base });
+    let auto_threads = pgs_graph::parallel::resolve_threads(0);
+    let params = QueryParams {
+        epsilon: 0.5,
+        delta: 2,
+        variant: PruningVariant::OptSspBound,
+    };
+
+    // Warm-up, then best-of-2 for each engine.
+    let _ = sequential.query(&queries[0], &params);
+    let _ = auto.query(&queries[0], &params);
+    let mut seq_secs = f64::INFINITY;
+    let mut auto_secs = f64::INFINITY;
+    let mut identical = true;
+    for _ in 0..2 {
+        let b1 = sequential.query_batch(&queries, &params);
+        let bn = auto.query_batch(&queries, &params);
+        seq_secs = seq_secs.min(b1.wall_seconds);
+        auto_secs = auto_secs.min(bn.wall_seconds);
+        identical &= b1
+            .results
+            .iter()
+            .zip(&bn.results)
+            .all(|(x, y)| x.answers == y.answers);
+    }
+    assert!(
+        identical,
+        "threads = 1 and auto must return identical answers"
+    );
+    let n = queries.len() as f64;
+    let speedup = seq_secs / auto_secs.max(1e-12);
+    println!(
+        "{}",
+        format_row(
+            &format!("|D| = {graph_count}"),
+            &[
+                format!("t1 {:.3}s", seq_secs),
+                format!("auto({auto_threads}) {:.3}s", auto_secs),
+                format!("{speedup:.2}x"),
+            ]
+        )
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"query_throughput\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"database_graphs\": {graph_count},\n  \"queries\": {q},\n  \
+         \"answers_identical\": {identical},\n  \
+         \"threads_1\": {{ \"wall_seconds\": {seq_secs:.6}, \"queries_per_second\": {qps1:.3} }},\n  \
+         \"threads_auto\": {{ \"threads\": {auto_threads}, \"wall_seconds\": {auto_secs:.6}, \
+         \"queries_per_second\": {qpsn:.3} }},\n  \"speedup\": {speedup:.3}\n}}\n",
+        q = queries.len(),
+        qps1 = n / seq_secs.max(1e-12),
+        qpsn = n / auto_secs.max(1e-12),
+    );
+    std::fs::write("BENCH_query.json", json).expect("writing BENCH_query.json");
+    println!("wrote BENCH_query.json\n");
 }
 
 fn parse_scale(args: &[String]) -> DatasetScale {

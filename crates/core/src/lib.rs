@@ -37,7 +37,9 @@
 
 use pgs_graph::model::Graph;
 use pgs_prob::model::ProbabilisticGraph;
-use pgs_query::pipeline::{EngineConfig, PruningVariant, QueryEngine, QueryParams, QueryResult};
+use pgs_query::pipeline::{
+    BatchResult, EngineConfig, PruningVariant, QueryEngine, QueryParams, QueryResult,
+};
 use std::fmt;
 
 pub use pgs_datagen as datagen;
@@ -54,7 +56,9 @@ pub mod prelude {
     pub use pgs_graph::model::{EdgeId, Graph, GraphBuilder, Label, VertexId};
     pub use pgs_prob::jpt::JointProbTable;
     pub use pgs_prob::model::ProbabilisticGraph;
-    pub use pgs_query::pipeline::{EngineConfig, PruningVariant, QueryParams, QueryResult};
+    pub use pgs_query::pipeline::{
+        BatchResult, EngineConfig, PruningVariant, QueryParams, QueryResult,
+    };
 }
 
 /// Errors surfaced by the facade.
@@ -206,6 +210,25 @@ impl ProbGraphDatabase {
         Ok(engine.query(query, params))
     }
 
+    /// Answers a batch of T-PS queries in one call, amortising thread spawns
+    /// across the workload (see `QueryEngine::query_batch`).  Every result is
+    /// byte-identical to a standalone [`Self::query_detailed`] call with the
+    /// same parameters.
+    pub fn query_batch(
+        &self,
+        queries: &[Graph],
+        params: &QueryParams,
+    ) -> Result<BatchResult, DbError> {
+        let engine = self.engine.as_ref().ok_or(DbError::IndexNotBuilt)?;
+        if queries.iter().any(|q| q.edge_count() == 0) {
+            return Err(DbError::EmptyQuery);
+        }
+        if !(params.epsilon > 0.0 && params.epsilon <= 1.0) {
+            return Err(DbError::InvalidThreshold);
+        }
+        Ok(engine.query_batch(queries, params))
+    }
+
     /// The `Exact` baseline: scans the whole database computing the SSP of
     /// every graph (no index involvement beyond holding the data).
     pub fn exact_scan(&self, query: &Graph, params: &QueryParams) -> Result<QueryResult, DbError> {
@@ -307,6 +330,46 @@ mod tests {
         let exact = db.exact_scan(&q, &params).unwrap();
         assert_eq!(fast.answers, exact.answers);
         assert!(fast.stats.structural_candidates <= db.len());
+    }
+
+    #[test]
+    fn query_batch_agrees_with_individual_queries() {
+        let mut db = ProbGraphDatabase::new();
+        db.extend([triangle("a", 0.9), triangle("b", 0.4), triangle("c", 0.05)]);
+        db.build_index();
+        let q1 = GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .build();
+        let q2 = GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(0, 2, 0)
+            .build();
+        let params = QueryParams {
+            epsilon: 0.3,
+            delta: 0,
+            variant: PruningVariant::OptSspBound,
+        };
+        let batch = db.query_batch(&[q1.clone(), q2.clone()], &params).unwrap();
+        assert_eq!(batch.results.len(), 2);
+        for (q, r) in [q1, q2].iter().zip(&batch.results) {
+            assert_eq!(r.answers, db.query_detailed(q, &params).unwrap().answers);
+        }
+        // Batch-level validation mirrors the single-query path.
+        let empty = Graph::new();
+        assert_eq!(
+            db.query_batch(&[empty], &params).unwrap_err(),
+            DbError::EmptyQuery
+        );
+        assert_eq!(
+            ProbGraphDatabase::new()
+                .query_batch(&[], &params)
+                .unwrap_err(),
+            DbError::IndexNotBuilt
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod generate;
 pub mod mcs;
 pub mod mining;
 pub mod model;
+pub mod parallel;
 pub mod relax;
 pub mod serialize;
 pub mod traversal;
@@ -49,5 +50,6 @@ pub use embeddings::{EdgeSet, Embedding};
 pub use error::GraphError;
 pub use mcs::{mcs_size, subgraph_distance, subgraph_similar};
 pub use model::{EdgeId, Graph, GraphBuilder, Label, VertexId};
-pub use relax::{relax_query, RelaxOptions};
+pub use parallel::{derive_seed, mix64, par_map_chunked, resolve_threads};
+pub use relax::{relax_query, relax_query_clamped, RelaxOptions};
 pub use vf2::{contains_subgraph, enumerate_embeddings, MatchOptions, Matcher};

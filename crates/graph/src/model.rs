@@ -271,6 +271,30 @@ impl Graph {
         self.adjacency[v.index()].iter().map(|&(_, e)| e)
     }
 
+    /// A deterministic 64-bit FNV-style hash of the graph structure (vertex
+    /// labels and edge list, insertion order; the name is excluded).  Used to
+    /// derive per-query and per-graph RNG seeds that are independent of where
+    /// the graph sits in a database, so sampled results do not drift with
+    /// insertion order.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        mix(self.vertex_count() as u64);
+        mix(self.edge_count() as u64);
+        for &l in &self.vertex_labels {
+            mix(l.0 as u64);
+        }
+        for e in &self.edges {
+            mix(e.u.0 as u64);
+            mix(e.v.0 as u64);
+            mix(e.label.0 as u64);
+        }
+        h
+    }
+
     /// Multiset of (vertex label) counts — used by cheap structural filters.
     pub fn vertex_label_histogram(&self) -> BTreeMap<Label, usize> {
         let mut h = BTreeMap::new();

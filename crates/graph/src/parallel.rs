@@ -1,0 +1,142 @@
+//! Scoped-thread chunked parallelism shared by the PMI build and the query
+//! pipeline.
+//!
+//! The workspace deliberately avoids external thread-pool crates (the build
+//! environment is offline), so both the index fill and the query phases use
+//! the same `std::thread::scope` pattern: split the items into one contiguous
+//! chunk per worker, map each item with its *global* index, and reassemble the
+//! results in input order.  Determinism is therefore the caller's duty — the
+//! mapping closure must not depend on shared mutable state, which in practice
+//! means deriving any randomness from the item's identity (see
+//! [`derive_seed`]) rather than from a shared RNG.
+
+/// Resolves a `threads` knob: `0` means automatic (the available parallelism,
+/// clamped to 8 workers), any other value is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8)
+    } else {
+        threads
+    }
+}
+
+/// Maps `f` over `items` with up to `threads` scoped worker threads
+/// (`0` = automatic), preserving input order in the output.
+///
+/// The closure receives the *global* index of the item so per-item seeds can
+/// be derived identically no matter how the items are chunked; consequently
+/// the result is byte-identical for every thread count as long as `f` itself
+/// is a pure function of `(index, item)`.  With one worker (or zero/one item)
+/// no thread is spawned at all.
+pub fn par_map_chunked<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = resolve_threads(threads);
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads).max(1);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                let offset = ci * chunk_size;
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| f(offset + j, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker thread panicked"));
+        }
+    });
+    out
+}
+
+/// SplitMix64 finalizer: scrambles a 64-bit value so that structurally related
+/// inputs (consecutive indices, XOR-combined hashes) yield decorrelated RNG
+/// seeds.
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Folds a sequence of salts into one decorrelated RNG seed.  The fold is
+/// non-commutative, so `derive_seed(&[a, b])` and `derive_seed(&[b, a])`
+/// differ — callers can layer engine seed, query hash, graph salt and a phase
+/// tag without cancellation (a plain XOR of equal hashes would collapse to 0).
+pub fn derive_seed(salts: &[u64]) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &s in salts {
+        h = mix64(h ^ s);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_is_identity_for_explicit_values() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(5), 5);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_every_thread_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 2).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let got = par_map_chunked(&items, threads, |i, &x| {
+                assert_eq!(i, x, "global index must match the item position");
+                x * 2
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_chunked(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map_chunked(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn derive_seed_is_order_sensitive_and_stable() {
+        let a = derive_seed(&[1, 2, 3]);
+        let b = derive_seed(&[1, 2, 3]);
+        let c = derive_seed(&[3, 2, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Equal salts must not cancel to a constant.
+        assert_ne!(derive_seed(&[42, 42]), derive_seed(&[7, 7]));
+    }
+
+    #[test]
+    fn mix64_scrambles_consecutive_inputs() {
+        let outputs: Vec<u64> = (0..16).map(mix64).collect();
+        for w in outputs.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+}

@@ -103,6 +103,18 @@ pub fn relax_query(q: &Graph, delta: usize) -> Vec<Graph> {
     delete_edge_subsets(q, &options)
 }
 
+/// [`relax_query`] with `delta` clamped to the query's edge count.
+///
+/// `relax_query(q, delta)` returns an *empty* set when `delta > |E(q)|`
+/// (there is no way to delete more edges than exist), but Definition 8's
+/// subgraph distance saturates at `|E(q)|`, so the query pipeline wants the
+/// full relaxation instead.  This helper is the single place where that clamp
+/// lives — both the pruning phase and the verification sampler go through it,
+/// so the two can never disagree about the relaxed set again.
+pub fn relax_query_clamped(q: &Graph, delta: usize) -> Vec<Graph> {
+    relax_query(q, delta.min(q.edge_count()))
+}
+
 /// Removes isolated vertices, renumbering the rest densely.
 pub fn drop_isolated(g: &Graph) -> Graph {
     let keep: Vec<_> = g.vertices().filter(|&v| g.degree(v) > 0).collect();

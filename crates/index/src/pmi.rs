@@ -13,6 +13,7 @@
 use crate::feature::{select_features, Feature, FeatureSelectionParams};
 use crate::sip_bounds::{sip_bounds, BoundsConfig, SipBounds};
 use pgs_graph::model::Graph;
+use pgs_graph::parallel::{derive_seed, par_map_chunked};
 use pgs_graph::vf2::contains_subgraph;
 use pgs_prob::model::ProbabilisticGraph;
 use rand::rngs::StdRng;
@@ -158,55 +159,23 @@ impl Pmi {
     }
 }
 
-/// Fills the feature × graph matrix, parallelised over graphs.
+/// Fills the feature × graph matrix, parallelised over graphs with the shared
+/// [`pgs_graph::parallel`] chunking helper.
+///
+/// Each row gets its own RNG seeded from the build seed and the *content* hash
+/// of the graph skeleton (not the chunk offset), so any Monte-Carlo estimates
+/// inside the bound computation are byte-identical regardless of thread count
+/// and of where the graph sits in the database.
 fn fill_matrix(
     db: &[ProbabilisticGraph],
     features: &[Feature],
     params: &PmiBuildParams,
 ) -> Vec<Vec<Option<SipBounds>>> {
-    let threads = if params.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .clamp(1, 8)
-    } else {
-        params.threads
-    };
-    let chunk_size = db.len().div_ceil(threads.max(1)).max(1);
-    let mut matrix: Vec<Vec<Option<SipBounds>>> = Vec::with_capacity(db.len());
-    if db.is_empty() {
-        return matrix;
-    }
-    let chunks: Vec<(usize, &[ProbabilisticGraph])> = db
-        .chunks(chunk_size)
-        .enumerate()
-        .map(|(i, c)| (i * chunk_size, c))
-        .collect();
-    let results: Vec<(usize, Vec<Vec<Option<SipBounds>>>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|(offset, chunk)| {
-                scope.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(offset as u64));
-                    let rows: Vec<Vec<Option<SipBounds>>> = chunk
-                        .iter()
-                        .map(|pg| compute_row(pg, features, &params.bounds, &mut rng))
-                        .collect();
-                    (offset, rows)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("PMI worker thread panicked"))
-            .collect()
-    });
-    let mut sorted = results;
-    sorted.sort_by_key(|(offset, _)| *offset);
-    for (_, rows) in sorted {
-        matrix.extend(rows);
-    }
-    matrix
+    par_map_chunked(db, params.threads, |_, pg| {
+        let mut rng =
+            StdRng::seed_from_u64(derive_seed(&[params.seed, pg.skeleton().structural_hash()]));
+        compute_row(pg, features, &params.bounds, &mut rng)
+    })
 }
 
 fn compute_row(

@@ -27,9 +27,17 @@ pub mod setcover;
 pub mod structural;
 pub mod verify;
 
-pub use pipeline::{EngineConfig, PhaseStats, QueryEngine, QueryParams, QueryResult};
-pub use prune::{probabilistic_prune, BoundInstance, CrossTermRule, PruneDecision, PruneOutcome};
+pub use pipeline::{
+    default_query_threads, BatchResult, EngineConfig, PhaseStats, QueryEngine, QueryParams,
+    QueryResult,
+};
+pub use prune::{
+    probabilistic_prune, prune_candidate, BoundInstance, CrossTermRule, PruneDecision, PruneOutcome,
+};
 pub use qp::{tightest_lsim, QpOptions};
 pub use setcover::{greedy_weighted_set_cover, SetCoverSolution};
-pub use structural::structural_candidates;
-pub use verify::{verify_ssp_exact, verify_ssp_sampled, VerifyOptions};
+pub use structural::{structural_candidates, structural_candidates_threaded};
+pub use verify::{
+    collect_embeddings_of_relaxations, collect_relaxed_embeddings, verify_ssp_exact,
+    verify_ssp_sampled, verify_ssp_sampled_relaxed, VerifyOptions,
+};

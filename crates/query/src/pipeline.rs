@@ -16,16 +16,23 @@
 //! The `Exact` baseline ([`QueryEngine::exact_scan`]) evaluates the SSP of
 //! every database graph directly.
 
-use crate::prune::{probabilistic_prune, CrossTermRule, PruneOutcome};
-use crate::structural::structural_candidates;
-use crate::verify::{verify_ssp_exact, verify_ssp_sampled, VerifyOptions};
+use crate::prune::{prune_candidate, CrossTermRule, PruneDecision, PruneOutcome};
+use crate::structural::structural_candidates_threaded;
+use crate::verify::{verify_ssp_exact, verify_ssp_sampled_relaxed, VerifyOptions};
 use pgs_graph::model::Graph;
-use pgs_graph::relax::relax_query;
+use pgs_graph::parallel::{derive_seed, par_map_chunked, resolve_threads};
+use pgs_graph::relax::relax_query_clamped;
 use pgs_index::pmi::{Pmi, PmiBuildParams};
 use pgs_prob::model::ProbabilisticGraph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+
+/// Phase tags mixed into per-candidate RNG seeds so the pruning and
+/// verification streams of the same `(query, graph)` pair never coincide.
+const SEED_PHASE_PRUNE: u64 = 0x7072_756e_6500_0001; // "prune"
+const SEED_PHASE_VERIFY: u64 = 0x7665_7269_6679_0002; // "verify"
+const SEED_PHASE_EXACT_FALLBACK: u64 = 0x6578_6163_7400_9e37; // "exact"
 
 /// Which pruning stack a query run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,6 +58,12 @@ pub struct EngineConfig {
     pub cross_term: CrossTermRule,
     /// RNG seed for query-time randomness.
     pub seed: u64,
+    /// Worker threads for the query path (`0` = automatic, `1` = sequential).
+    ///
+    /// Every candidate draws from its own deterministically derived RNG, so
+    /// the answers are byte-identical for every value of this knob — it only
+    /// changes wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -60,8 +73,19 @@ impl Default for EngineConfig {
             verify: VerifyOptions::default(),
             cross_term: CrossTermRule::SafeMin,
             seed: 0xC0FFEE,
+            threads: default_query_threads(),
         }
     }
+}
+
+/// Default for [`EngineConfig::threads`]: the `PGS_QUERY_THREADS` environment
+/// variable when set (CI uses it to run the whole test suite at a pinned
+/// thread count), otherwise `0` (automatic).
+pub fn default_query_threads() -> usize {
+    std::env::var("PGS_QUERY_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Per-query parameters (the user-facing knobs of a T-PS query).
@@ -112,6 +136,20 @@ impl PhaseStats {
     pub fn total_seconds(&self) -> f64 {
         self.structural_seconds + self.probabilistic_seconds + self.verification_seconds
     }
+
+    /// Adds another query's statistics onto this one (counts and seconds are
+    /// summed field-wise).  Used by [`QueryEngine::query_batch`] to aggregate
+    /// per-phase totals over a workload.
+    pub fn accumulate(&mut self, other: &PhaseStats) {
+        self.structural_candidates += other.structural_candidates;
+        self.pruned_by_upper += other.pruned_by_upper;
+        self.accepted_by_lower += other.accepted_by_lower;
+        self.verified += other.verified;
+        self.probabilistic_candidates += other.probabilistic_candidates;
+        self.structural_seconds += other.structural_seconds;
+        self.probabilistic_seconds += other.probabilistic_seconds;
+        self.verification_seconds += other.verification_seconds;
+    }
 }
 
 /// The result of one T-PS query.
@@ -123,11 +161,37 @@ pub struct QueryResult {
     pub stats: PhaseStats,
 }
 
+/// The result of a [`QueryEngine::query_batch`] run.
+#[derive(Debug, Clone, Default)]
+pub struct BatchResult {
+    /// One [`QueryResult`] per input query, in input order; each is
+    /// byte-identical to what [`QueryEngine::query`] would have returned for
+    /// that query alone.
+    pub results: Vec<QueryResult>,
+    /// Field-wise sum of the per-query statistics.  The seconds fields are
+    /// *CPU* seconds accumulated across workers, not wall-clock time — divide
+    /// `queries` by [`BatchResult::wall_seconds`] for throughput.
+    pub stats: PhaseStats,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+}
+
+impl BatchResult {
+    /// Queries answered per wall-clock second.
+    pub fn queries_per_second(&self) -> f64 {
+        self.results.len() as f64 / self.wall_seconds.max(1e-12)
+    }
+}
+
 /// The query engine: database + PMI + configuration.
 #[derive(Debug, Clone)]
 pub struct QueryEngine {
     db: Vec<ProbabilisticGraph>,
     skeletons: Vec<Graph>,
+    /// Per-graph content hashes; the per-candidate RNG seeds are derived from
+    /// these (instead of the database index) so sampled answers survive
+    /// re-ordering the database.
+    graph_salts: Vec<u64>,
     pmi: Pmi,
     config: EngineConfig,
 }
@@ -137,9 +201,11 @@ impl QueryEngine {
     pub fn build(db: Vec<ProbabilisticGraph>, config: EngineConfig) -> QueryEngine {
         let pmi = Pmi::build(&db, &config.pmi);
         let skeletons = db.iter().map(|g| g.skeleton().clone()).collect();
+        let graph_salts = db.iter().map(graph_salt).collect();
         QueryEngine {
             db,
             skeletons,
+            graph_salts,
             pmi,
             config,
         }
@@ -161,19 +227,62 @@ impl QueryEngine {
     }
 
     /// Answers a T-PS query: all graphs `g` with `Pr(q ⊆sim g) ≥ ε`.
+    ///
+    /// All three phases run on up to [`EngineConfig::threads`] scoped workers;
+    /// every candidate draws from a deterministically derived per-candidate
+    /// RNG (`derive_seed([config.seed, hash(q), phase, hash(g)])`), so the
+    /// answer set is byte-identical for every thread count and for every
+    /// database insertion order.
     pub fn query(&self, q: &Graph, params: &QueryParams) -> QueryResult {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ hash_query(q));
+        self.query_with_threads(q, params, self.config.threads)
+    }
+
+    /// Answers a batch of T-PS queries, amortising thread spawns across the
+    /// workload.
+    ///
+    /// With enough queries to saturate the workers the batch is parallelised
+    /// *across* queries (each query then runs its phases sequentially, which
+    /// avoids double-spawning); with fewer queries each query runs its phases
+    /// in parallel as [`Self::query`] does.  Either way the per-candidate
+    /// seeding makes every [`QueryResult`] identical to a standalone
+    /// [`Self::query`] call.
+    pub fn query_batch(&self, queries: &[Graph], params: &QueryParams) -> BatchResult {
+        let t0 = Instant::now();
+        let threads = resolve_threads(self.config.threads);
+        let results: Vec<QueryResult> = if queries.len() >= threads && threads > 1 {
+            par_map_chunked(queries, threads, |_, q| {
+                self.query_with_threads(q, params, 1)
+            })
+        } else {
+            queries.iter().map(|q| self.query(q, params)).collect()
+        };
+        let mut stats = PhaseStats::default();
+        for r in &results {
+            stats.accumulate(&r.stats);
+        }
+        BatchResult {
+            results,
+            stats,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The three-phase pipeline with an explicit thread count (`0` = auto).
+    fn query_with_threads(&self, q: &Graph, params: &QueryParams, threads: usize) -> QueryResult {
+        let query_hash = hash_query(q);
         let mut stats = PhaseStats::default();
 
-        // Phase 1: structural pruning.
+        // Phase 1: structural pruning (parallel over skeletons).
         let t0 = Instant::now();
-        let structural = structural_candidates(&self.skeletons, q, params.delta);
+        let structural = structural_candidates_threaded(&self.skeletons, q, params.delta, threads);
         stats.structural_seconds = t0.elapsed().as_secs_f64();
         stats.structural_candidates = structural.len();
 
-        // Phase 2: probabilistic pruning.
+        // Phase 2: probabilistic pruning (parallel over candidates).  The
+        // relaxed query set is computed exactly once and shared with the
+        // verification phase below.
         let t1 = Instant::now();
-        let relaxed = relax_query(q, params.delta.min(q.edge_count()));
+        let relaxed = relax_query_clamped(q, params.delta);
         let outcome = match params.variant {
             PruningVariant::Structure => PruneOutcome {
                 accepted: Vec::new(),
@@ -182,16 +291,20 @@ impl QueryEngine {
             },
             PruningVariant::SspBound | PruningVariant::OptSspBound => {
                 let optimal = params.variant == PruningVariant::OptSspBound;
-                let (outcome, _) = probabilistic_prune(
-                    &self.pmi,
-                    &structural,
-                    &relaxed,
-                    params.epsilon,
-                    optimal,
-                    self.config.cross_term,
-                    &mut rng,
-                );
-                outcome
+                let decisions: Vec<PruneDecision> =
+                    par_map_chunked(&structural, threads, |_, &gi| {
+                        let mut rng = self.candidate_rng(query_hash, SEED_PHASE_PRUNE, gi);
+                        prune_candidate(
+                            &self.pmi,
+                            gi,
+                            &relaxed,
+                            params.epsilon,
+                            optimal,
+                            self.config.cross_term,
+                            &mut rng,
+                        )
+                    });
+                PruneOutcome::from_decisions(&structural, &decisions)
             }
         };
         stats.probabilistic_seconds = t1.elapsed().as_secs_f64();
@@ -199,30 +312,60 @@ impl QueryEngine {
         stats.accepted_by_lower = outcome.accepted.len();
         stats.probabilistic_candidates = outcome.surviving();
 
-        // Phase 3: verification.
+        // Phase 3: verification (parallel over candidates).
         let t2 = Instant::now();
         let mut answers = outcome.accepted.clone();
         stats.verified = outcome.candidates.len();
-        for &gi in &outcome.candidates {
-            let ssp =
-                verify_ssp_sampled(&self.db[gi], q, params.delta, &self.config.verify, &mut rng);
-            if ssp >= params.epsilon {
-                answers.push(gi);
-            }
-        }
+        let verdicts: Vec<bool> = par_map_chunked(&outcome.candidates, threads, |_, &gi| {
+            let mut rng = self.candidate_rng(query_hash, SEED_PHASE_VERIFY, gi);
+            let ssp = verify_ssp_sampled_relaxed(
+                &self.db[gi],
+                q,
+                params.delta,
+                &relaxed,
+                &self.config.verify,
+                &mut rng,
+            );
+            ssp >= params.epsilon
+        });
+        answers.extend(
+            outcome
+                .candidates
+                .iter()
+                .zip(&verdicts)
+                .filter(|(_, &keep)| keep)
+                .map(|(&gi, _)| gi),
+        );
         stats.verification_seconds = t2.elapsed().as_secs_f64();
         answers.sort_unstable();
         QueryResult { answers, stats }
     }
 
+    /// The RNG for one `(query, phase, candidate)` triple.  Seeded from the
+    /// graph's content hash — not its database index — so shuffling the
+    /// database permutes the answers without changing them.
+    fn candidate_rng(&self, query_hash: u64, phase: u64, graph_idx: usize) -> StdRng {
+        StdRng::seed_from_u64(derive_seed(&[
+            self.config.seed,
+            query_hash,
+            phase,
+            self.graph_salts[graph_idx],
+        ]))
+    }
+
     /// The `Exact` baseline: evaluates the SSP of every database graph with the
     /// exact evaluator (falling back to high-accuracy sampling when the exact
     /// enumeration is too large), without any index.
+    ///
+    /// Like [`Self::query`], the scan runs on up to [`EngineConfig::threads`]
+    /// workers and each graph's sampling fallback gets its own content-seeded
+    /// RNG, so the answers do not drift with the iteration order either.
     pub fn exact_scan(&self, q: &Graph, params: &QueryParams) -> QueryResult {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ hash_query(q) ^ 0x9E37);
+        let query_hash = hash_query(q);
         let t0 = Instant::now();
-        let mut answers = Vec::new();
-        for (gi, pg) in self.db.iter().enumerate() {
+        // Shared by every graph that falls back to sampling; computed once.
+        let relaxed = relax_query_clamped(q, params.delta);
+        let verdicts: Vec<bool> = par_map_chunked(&self.db, self.config.threads, |gi, pg| {
             let ssp = match verify_ssp_exact(pg, q, params.delta, 22) {
                 Ok(v) => v,
                 Err(_) => {
@@ -234,13 +377,17 @@ impl QueryEngine {
                         },
                         ..self.config.verify
                     };
-                    verify_ssp_sampled(pg, q, params.delta, &precise, &mut rng)
+                    let mut rng = self.candidate_rng(query_hash, SEED_PHASE_EXACT_FALLBACK, gi);
+                    verify_ssp_sampled_relaxed(pg, q, params.delta, &relaxed, &precise, &mut rng)
                 }
             };
-            if ssp >= params.epsilon {
-                answers.push(gi);
-            }
-        }
+            ssp >= params.epsilon
+        });
+        let answers: Vec<usize> = verdicts
+            .iter()
+            .enumerate()
+            .filter_map(|(gi, &keep)| keep.then_some(gi))
+            .collect();
         let elapsed = t0.elapsed().as_secs_f64();
         QueryResult {
             answers,
@@ -248,6 +395,10 @@ impl QueryEngine {
                 structural_candidates: self.db.len(),
                 probabilistic_candidates: self.db.len(),
                 verified: self.db.len(),
+                // The scan does no pruning: both pruning timers are exactly
+                // zero by definition, and every graph counts as a candidate.
+                structural_seconds: 0.0,
+                probabilistic_seconds: 0.0,
                 verification_seconds: elapsed,
                 ..PhaseStats::default()
             },
@@ -255,24 +406,24 @@ impl QueryEngine {
     }
 }
 
+/// Content hash of a probabilistic graph: skeleton structure, name and the
+/// marginal presence probability of every edge.  Two byte-identical graphs
+/// collide (and therefore sample identically), which is exactly the behaviour
+/// the determinism guarantee wants.
+fn graph_salt(pg: &ProbabilisticGraph) -> u64 {
+    let mut salts = vec![pg.skeleton().structural_hash()];
+    salts.push(pg.name().len() as u64);
+    salts.extend(pg.name().bytes().map(u64::from));
+    salts.extend((0..pg.edge_count()).map(|e| {
+        pg.edge_presence_prob(pgs_graph::model::EdgeId(e as u32))
+            .to_bits()
+    }));
+    derive_seed(&salts)
+}
+
 /// A deterministic 64-bit hash of a query graph (seeding per-query RNGs).
 fn hash_query(q: &Graph) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |x: u64| {
-        h ^= x;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    };
-    mix(q.vertex_count() as u64);
-    mix(q.edge_count() as u64);
-    for v in q.vertices() {
-        mix(q.vertex_label(v).0 as u64);
-    }
-    for (_, e) in q.edge_entries() {
-        mix(e.u.0 as u64);
-        mix(e.v.0 as u64);
-        mix(e.label.0 as u64);
-    }
-    h
+    q.structural_hash()
 }
 
 #[cfg(test)]
@@ -446,5 +597,80 @@ mod tests {
         assert_eq!(engine.db().len(), 16);
         assert_eq!(engine.pmi().graph_count(), 16);
         assert!(engine.config().verify.max_embeddings > 0);
+    }
+
+    #[test]
+    fn query_answers_are_thread_count_invariant() {
+        let (base, queries) = small_engine();
+        let params = QueryParams {
+            epsilon: 0.4,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        let mut config = *base.config();
+        config.threads = 1;
+        let sequential = QueryEngine::build(base.db().to_vec(), config);
+        for threads in [0usize, 2, 4] {
+            let mut config = *base.config();
+            config.threads = threads;
+            let parallel = QueryEngine::build(base.db().to_vec(), config);
+            for wq in &queries {
+                let a = sequential.query(&wq.graph, &params);
+                let b = parallel.query(&wq.graph, &params);
+                assert_eq!(a.answers, b.answers, "threads = {threads}");
+                assert_eq!(a.stats.pruned_by_upper, b.stats.pruned_by_upper);
+                assert_eq!(a.stats.accepted_by_lower, b.stats.accepted_by_lower);
+                assert_eq!(a.stats.verified, b.stats.verified);
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_matches_individual_queries() {
+        let (engine, queries) = small_engine();
+        let params = QueryParams {
+            epsilon: 0.4,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        let graphs: Vec<Graph> = queries.iter().map(|wq| wq.graph.clone()).collect();
+        let batch = engine.query_batch(&graphs, &params);
+        assert_eq!(batch.results.len(), graphs.len());
+        assert!(batch.wall_seconds >= 0.0);
+        assert!(batch.queries_per_second() > 0.0);
+        let mut expected_stats = PhaseStats::default();
+        for (q, br) in graphs.iter().zip(&batch.results) {
+            let solo = engine.query(q, &params);
+            assert_eq!(br.answers, solo.answers);
+            expected_stats.accumulate(&br.stats);
+        }
+        assert_eq!(
+            batch.stats.structural_candidates,
+            expected_stats.structural_candidates
+        );
+        assert_eq!(batch.stats.verified, expected_stats.verified);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (engine, _) = small_engine();
+        let batch = engine.query_batch(&[], &QueryParams::default());
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.stats, PhaseStats::default());
+    }
+
+    #[test]
+    fn exact_scan_stats_are_documented_zeros() {
+        let (engine, queries) = small_engine();
+        let result = engine.exact_scan(&queries[0].graph, &QueryParams::default());
+        let s = result.stats;
+        assert_eq!(s.structural_candidates, engine.db().len());
+        assert_eq!(s.probabilistic_candidates, engine.db().len());
+        assert_eq!(s.verified, engine.db().len());
+        assert_eq!(s.structural_seconds, 0.0);
+        assert_eq!(s.probabilistic_seconds, 0.0);
+        assert_eq!(s.pruned_by_upper, 0);
+        assert_eq!(s.accepted_by_lower, 0);
+        assert!(s.verification_seconds >= 0.0);
     }
 }

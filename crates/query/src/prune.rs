@@ -243,11 +243,72 @@ impl PruneOutcome {
     }
 }
 
+impl PruneOutcome {
+    /// Partitions `candidate_graphs` according to per-candidate `decisions`
+    /// (parallel slices of equal length).  Because each decision is pushed in
+    /// candidate order, the three index lists stay sorted whenever the input
+    /// candidate list is sorted — the parallel executor relies on this to
+    /// produce thread-count-independent outcomes.
+    pub fn from_decisions(candidate_graphs: &[usize], decisions: &[PruneDecision]) -> PruneOutcome {
+        debug_assert_eq!(candidate_graphs.len(), decisions.len());
+        let mut outcome = PruneOutcome::default();
+        for (&gi, decision) in candidate_graphs.iter().zip(decisions) {
+            match decision {
+                PruneDecision::Pruned { .. } => outcome.pruned.push(gi),
+                PruneDecision::Accepted { .. } => outcome.accepted.push(gi),
+                PruneDecision::Candidate { .. } => outcome.candidates.push(gi),
+            }
+        }
+        outcome
+    }
+}
+
+/// Evaluates both pruning rules for a single candidate graph: builds the
+/// set-cover instance from the PMI column and computes `Usim`/`Lsim`.
+///
+/// This is the unit of work the parallel executor fans out — each candidate
+/// gets its own deterministically seeded RNG, so the decision depends only on
+/// `(pmi, graph_idx, relaxed, epsilon, rng seed)` and never on how many other
+/// candidates were evaluated before it.
+pub fn prune_candidate<R: Rng + ?Sized>(
+    pmi: &Pmi,
+    graph_idx: usize,
+    relaxed: &[Graph],
+    epsilon: f64,
+    optimal: bool,
+    cross: CrossTermRule,
+    rng: &mut R,
+) -> PruneDecision {
+    let instance = BoundInstance::build(pmi, graph_idx, relaxed);
+    let usim = if optimal {
+        instance.usim_optimal()
+    } else {
+        instance.usim_random(rng)
+    };
+    let lsim = if optimal {
+        instance.lsim_optimal(cross, rng)
+    } else {
+        instance.lsim_random(cross, rng)
+    };
+    if usim < epsilon {
+        PruneDecision::Pruned { usim }
+    } else if lsim >= epsilon {
+        PruneDecision::Accepted { lsim }
+    } else {
+        PruneDecision::Candidate { usim, lsim }
+    }
+}
+
 /// Applies probabilistic pruning to `candidate_graphs` (indices into the PMI
-/// columns / database).
+/// columns / database) sequentially, threading one shared RNG through every
+/// candidate.
 ///
 /// `optimal` selects between the tightest bounds (Algorithms 1 and 2,
 /// `OPT-SSPBound`) and the untightened single-feature bounds (`SSPBound`).
+/// Note the shared RNG makes the *randomised* bound variants depend on the
+/// candidate iteration order; the query pipeline instead seeds a fresh RNG per
+/// candidate (see `QueryEngine`), which is both order-independent and
+/// parallelisable.
 #[allow(clippy::too_many_arguments)]
 pub fn probabilistic_prune<R: Rng + ?Sized>(
     pmi: &Pmi,
@@ -258,32 +319,11 @@ pub fn probabilistic_prune<R: Rng + ?Sized>(
     cross: CrossTermRule,
     rng: &mut R,
 ) -> (PruneOutcome, Vec<PruneDecision>) {
-    let mut outcome = PruneOutcome::default();
-    let mut decisions = Vec::with_capacity(candidate_graphs.len());
-    for &gi in candidate_graphs {
-        let instance = BoundInstance::build(pmi, gi, relaxed);
-        let usim = if optimal {
-            instance.usim_optimal()
-        } else {
-            instance.usim_random(rng)
-        };
-        let lsim = if optimal {
-            instance.lsim_optimal(cross, rng)
-        } else {
-            instance.lsim_random(cross, rng)
-        };
-        let decision = if usim < epsilon {
-            outcome.pruned.push(gi);
-            PruneDecision::Pruned { usim }
-        } else if lsim >= epsilon {
-            outcome.accepted.push(gi);
-            PruneDecision::Accepted { lsim }
-        } else {
-            outcome.candidates.push(gi);
-            PruneDecision::Candidate { usim, lsim }
-        };
-        decisions.push(decision);
-    }
+    let decisions: Vec<PruneDecision> = candidate_graphs
+        .iter()
+        .map(|&gi| prune_candidate(pmi, gi, relaxed, epsilon, optimal, cross, rng))
+        .collect();
+    let outcome = PruneOutcome::from_decisions(candidate_graphs, &decisions);
     (outcome, decisions)
 }
 

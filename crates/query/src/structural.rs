@@ -18,16 +18,29 @@
 
 use pgs_graph::mcs::subgraph_similar;
 use pgs_graph::model::Graph;
+use pgs_graph::parallel::par_map_chunked;
 
 /// Returns the indices of the skeleton graphs that are deterministically
 /// subgraph-similar to `q` under distance threshold `delta` (the set `SC_q`).
 pub fn structural_candidates(skeletons: &[Graph], q: &Graph, delta: usize) -> Vec<usize> {
-    skeletons
-        .iter()
+    structural_candidates_threaded(skeletons, q, delta, 1)
+}
+
+/// [`structural_candidates`] evaluated with up to `threads` scoped workers
+/// (`0` = automatic).  Every skeleton is tested independently, so the returned
+/// index list is identical for every thread count (ascending order).
+pub fn structural_candidates_threaded(
+    skeletons: &[Graph],
+    q: &Graph,
+    delta: usize,
+    threads: usize,
+) -> Vec<usize> {
+    let keep = par_map_chunked(skeletons, threads, |_, g| {
+        passes_feature_count_filter(q, g, delta) && subgraph_similar(q, g, delta)
+    });
+    keep.iter()
         .enumerate()
-        .filter(|(_, g)| passes_feature_count_filter(q, g, delta))
-        .filter(|(_, g)| subgraph_similar(q, g, delta))
-        .map(|(i, _)| i)
+        .filter_map(|(i, &k)| k.then_some(i))
         .collect()
 }
 
@@ -150,5 +163,21 @@ mod tests {
     #[test]
     fn empty_database_gives_no_candidates() {
         assert!(structural_candidates(&[], &query(), 1).is_empty());
+    }
+
+    #[test]
+    fn threaded_candidates_match_sequential_for_every_thread_count() {
+        let db = database();
+        let q = query();
+        for delta in 0..=3 {
+            let sequential = structural_candidates(&db, &q, delta);
+            for threads in [0, 2, 3, 7] {
+                assert_eq!(
+                    structural_candidates_threaded(&db, &q, delta, threads),
+                    sequential,
+                    "threads = {threads}, delta = {delta}"
+                );
+            }
+        }
     }
 }

@@ -20,7 +20,7 @@
 
 use pgs_graph::embeddings::EdgeSet;
 use pgs_graph::model::Graph;
-use pgs_graph::relax::relax_query;
+use pgs_graph::relax::relax_query_clamped;
 use pgs_graph::vf2::{enumerate_embeddings, MatchOptions};
 use pgs_prob::error::ProbError;
 use pgs_prob::exact::exact_ssp;
@@ -53,6 +53,10 @@ impl Default for VerifyOptions {
 }
 
 /// Estimates `Pr(q ⊆sim g)` with the Algorithm 5 sampler.
+///
+/// Convenience wrapper that derives the relaxed query set internally; when the
+/// set is already known (the query pipeline computes it once per query), use
+/// [`verify_ssp_sampled_relaxed`] to avoid re-deriving it for every candidate.
 pub fn verify_ssp_sampled<R: Rng + ?Sized>(
     pg: &ProbabilisticGraph,
     q: &Graph,
@@ -63,7 +67,29 @@ pub fn verify_ssp_sampled<R: Rng + ?Sized>(
     if q.edge_count() <= delta {
         return 1.0;
     }
-    let embeddings = collect_relaxed_embeddings(pg, q, delta, options.max_embeddings);
+    let relaxed = relax_query_clamped(q, delta);
+    verify_ssp_sampled_relaxed(pg, q, delta, &relaxed, options, rng)
+}
+
+/// Estimates `Pr(q ⊆sim g)` with the Algorithm 5 sampler, reusing a
+/// precomputed relaxed query set.
+///
+/// `relaxed` must be `relax_query_clamped(q, delta)` — the pipeline computes
+/// it once per query and shares it between the pruning and verification
+/// phases, so the `δ`-clamp lives in exactly one place
+/// (`pgs_graph::relax::relax_query_clamped`).
+pub fn verify_ssp_sampled_relaxed<R: Rng + ?Sized>(
+    pg: &ProbabilisticGraph,
+    q: &Graph,
+    delta: usize,
+    relaxed: &[Graph],
+    options: &VerifyOptions,
+    rng: &mut R,
+) -> f64 {
+    if q.edge_count() <= delta {
+        return 1.0;
+    }
+    let embeddings = collect_embeddings_of_relaxations(pg, relaxed, options.max_embeddings);
     if embeddings.is_empty() {
         return 0.0;
     }
@@ -125,20 +151,30 @@ pub fn verify_ssp_exact(
 }
 
 /// Collects the distinct embeddings (edge sets) of every relaxed query in the
-/// skeleton of `pg`.
+/// skeleton of `pg`, deriving the relaxed set from `(q, delta)`.
 pub fn collect_relaxed_embeddings(
     pg: &ProbabilisticGraph,
     q: &Graph,
     delta: usize,
     max_embeddings: usize,
 ) -> Vec<EdgeSet> {
+    collect_embeddings_of_relaxations(pg, &relax_query_clamped(q, delta), max_embeddings)
+}
+
+/// Collects the distinct embeddings (edge sets) of every graph in `relaxed`
+/// within the skeleton of `pg`, capped at `max_embeddings` in total.
+pub fn collect_embeddings_of_relaxations(
+    pg: &ProbabilisticGraph,
+    relaxed: &[Graph],
+    max_embeddings: usize,
+) -> Vec<EdgeSet> {
     let mut out: Vec<EdgeSet> = Vec::new();
-    for rq in relax_query(q, delta) {
+    for rq in relaxed {
         if rq.edge_count() == 0 {
             continue;
         }
         let outcome = enumerate_embeddings(
-            &rq,
+            rq,
             pg.skeleton(),
             MatchOptions::capped(max_embeddings.saturating_sub(out.len()).max(1)),
         );
