@@ -35,7 +35,7 @@ fn bench_pruning_by_threshold(c: &mut Criterion) {
                         delta: 2,
                         variant,
                     };
-                    b.iter(|| setup.engine.query(&wq.graph, &params))
+                    b.iter(|| setup.engine.query(&wq.graph, &params).unwrap())
                 },
             );
         }

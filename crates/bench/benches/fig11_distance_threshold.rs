@@ -50,7 +50,7 @@ fn bench_pruning_by_distance(c: &mut Criterion) {
                         delta: d,
                         variant: PruningVariant::OptSspBound,
                     };
-                    b.iter(|| engine.query(q, &params))
+                    b.iter(|| engine.query(q, &params).unwrap())
                 },
             );
         }

@@ -32,10 +32,10 @@ fn bench_scalability(c: &mut Criterion) {
             variant: PruningVariant::OptSspBound,
         };
         group.bench_with_input(BenchmarkId::new("pmi", db_size), &db_size, |b, _| {
-            b.iter(|| setup.engine.query(q, &params))
+            b.iter(|| setup.engine.query(q, &params).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("exact", db_size), &db_size, |b, _| {
-            b.iter(|| setup.engine.exact_scan(q, &params))
+            b.iter(|| setup.engine.exact_scan(q, &params).unwrap())
         });
     }
     group.finish();

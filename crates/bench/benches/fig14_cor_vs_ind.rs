@@ -47,12 +47,12 @@ fn bench_cor_vs_ind(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("correlated", format!("eps={epsilon:.1}")),
             &epsilon,
-            |b, _| b.iter(|| cor_engine.query(q, &params)),
+            |b, _| b.iter(|| cor_engine.query(q, &params).unwrap()),
         );
         group.bench_with_input(
             BenchmarkId::new("independent", format!("eps={epsilon:.1}")),
             &epsilon,
-            |b, _| b.iter(|| ind_engine.query(q, &params)),
+            |b, _| b.iter(|| ind_engine.query(q, &params).unwrap()),
         );
     }
     group.finish();

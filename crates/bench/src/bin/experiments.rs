@@ -39,7 +39,21 @@ fn main() {
         .map(|a| a.as_str())
         .collect();
     let bench_query_requested = args.iter().any(|a| a == "bench-query");
-    let run_all = (figures.is_empty() && !bench_query_requested) || figures.contains(&"all");
+    let bench_index_requested = args.iter().any(|a| a == "bench-index");
+    let arg_after = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let index_save_path = arg_after("index-save");
+    let index_load_path = arg_after("index-load");
+    let run_all = (figures.is_empty()
+        && !bench_query_requested
+        && !bench_index_requested
+        && index_save_path.is_none()
+        && index_load_path.is_none())
+        || figures.contains(&"all");
     let wants = |f: &str| run_all || figures.contains(&f);
 
     println!("# Probabilistic subgraph similarity search — experiment harness");
@@ -66,6 +80,183 @@ fn main() {
     if bench_query_requested {
         bench_query(scale);
     }
+    if bench_index_requested {
+        bench_index(scale);
+    }
+    if let Some(path) = index_save_path {
+        index_save(&path);
+    }
+    if let Some(path) = index_load_path {
+        index_load(&path);
+    }
+}
+
+/// The deterministic setup shared by `index-save` and `index-load`: a fixed
+/// dataset, workload and engine configuration.  Two process invocations must
+/// print byte-identical answer lines — CI saves the index in one process,
+/// loads it in another and diffs the outputs.
+fn index_roundtrip_setup() -> (
+    Vec<pgs_prob::model::ProbabilisticGraph>,
+    Vec<pgs_graph::model::Graph>,
+    EngineConfig,
+) {
+    let dataset = generate_ppi_dataset(&PpiDatasetConfig {
+        graph_count: 32,
+        vertices_per_graph: 10,
+        edges_per_graph: 14,
+        vertex_label_count: 6,
+        organism_count: 2,
+        seed: 0x51A7,
+        ..PpiDatasetConfig::default()
+    });
+    let queries = generate_query_workload(
+        &dataset,
+        &QueryWorkloadConfig {
+            query_size: 5,
+            count: 6,
+            seed: 0x1D,
+        },
+    )
+    .into_iter()
+    .map(|wq| wq.graph)
+    .collect();
+    (dataset.graphs, queries, bench_engine_config(0xFEED))
+}
+
+/// Prints the answer set of every `(query, variant)` pair in a stable format.
+fn print_answer_lines(engine: &QueryEngine, queries: &[pgs_graph::model::Graph]) {
+    let variants = [
+        PruningVariant::Structure,
+        PruningVariant::SspBound,
+        PruningVariant::OptSspBound,
+    ];
+    for (qi, q) in queries.iter().enumerate() {
+        for variant in variants {
+            // A low ε and tolerant δ so the printed answer sets are non-empty
+            // on this dataset — diffing empty lists would prove nothing.
+            let params = QueryParams {
+                epsilon: 0.1,
+                delta: 2,
+                variant,
+            };
+            let result = engine.query(q, &params).unwrap();
+            println!("answers q{qi} {variant:?}: {:?}", result.answers);
+        }
+    }
+}
+
+/// `index-save <path>`: builds the deterministic index, saves it to `path`
+/// and prints the query answers.
+fn index_save(path: &str) {
+    let (graphs, queries, config) = index_roundtrip_setup();
+    let engine = QueryEngine::build(graphs, config);
+    engine.pmi().save(path).expect("saving the index snapshot");
+    print_answer_lines(&engine, &queries);
+}
+
+/// `index-load <path>`: loads the index saved by `index-save` into a fresh
+/// engine (no rebuild) and prints the query answers — the output must be
+/// byte-identical to the `index-save` run.
+fn index_load(path: &str) {
+    let (graphs, queries, config) = index_roundtrip_setup();
+    let engine = QueryEngine::with_index(graphs, path, config)
+        .expect("loading the index snapshot against the same database");
+    print_answer_lines(&engine, &queries);
+}
+
+/// Index lifecycle benchmark: full build vs snapshot load vs incremental
+/// append, recorded in `BENCH_index.json`.
+fn bench_index(scale: DatasetScale) {
+    println!("## bench-index — build vs load vs incremental append");
+    let graph_count = paper_scale(scale).graph_count.max(48);
+    let config = PpiDatasetConfig {
+        graph_count,
+        ..paper_scale(scale)
+    };
+    let dataset = generate_ppi_dataset(&config);
+    let queries: Vec<pgs_graph::model::Graph> = generate_query_workload(
+        &dataset,
+        &QueryWorkloadConfig {
+            query_size: 5,
+            count: 6,
+            seed: 0xBEEF,
+        },
+    )
+    .into_iter()
+    .map(|wq| wq.graph)
+    .collect();
+    let engine_config = bench_engine_config(0xFEED);
+
+    // Full build.
+    let t0 = Instant::now();
+    let full = QueryEngine::build(dataset.graphs.clone(), engine_config);
+    let build_seconds = t0.elapsed().as_secs_f64();
+    let stats = full.pmi().stats();
+
+    // Save + load.
+    let path = std::env::temp_dir().join(format!("pgs-bench-index-{}.pmi", std::process::id()));
+    let t1 = Instant::now();
+    full.pmi().save(&path).expect("saving the index");
+    let save_seconds = t1.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(&path).expect("snapshot metadata").len() as usize;
+    let t2 = Instant::now();
+    let loaded = QueryEngine::with_index(dataset.graphs.clone(), &path, engine_config)
+        .expect("loading the index");
+    let load_seconds = t2.elapsed().as_secs_f64();
+    std::fs::remove_file(&path).ok();
+
+    // Loaded answers must be byte-identical to the built engine's.
+    let params = QueryParams {
+        epsilon: 0.5,
+        delta: 1,
+        variant: PruningVariant::OptSspBound,
+    };
+    let identical = queries.iter().all(|q| {
+        full.query(q, &params).unwrap().answers == loaded.query(q, &params).unwrap().answers
+    });
+    assert!(identical, "loaded index must answer identically");
+
+    // Incremental: index the first n - k graphs, then append the last k.
+    let appended = (graph_count / 6).max(4);
+    let split = graph_count - appended;
+    let mut incremental = QueryEngine::build(dataset.graphs[..split].to_vec(), engine_config);
+    let t3 = Instant::now();
+    for pg in &dataset.graphs[split..] {
+        incremental.insert_graph(pg.clone());
+    }
+    let append_seconds = t3.elapsed().as_secs_f64();
+    let staleness = incremental.pmi().staleness();
+
+    println!(
+        "{}",
+        format_row(
+            &format!("|D| = {graph_count}"),
+            &[
+                format!("build {build_seconds:.3}s"),
+                format!("load {load_seconds:.3}s"),
+                format!("{appended} appends {append_seconds:.3}s"),
+                format!("{:.1} KiB", snapshot_bytes as f64 / 1024.0),
+            ]
+        )
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"index_lifecycle\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"database_graphs\": {graph_count},\n  \"features\": {features},\n  \
+         \"occupied_cells\": {cells},\n  \"size_bytes\": {size_bytes},\n  \
+         \"snapshot_bytes\": {snapshot_bytes},\n  \"answers_identical\": {identical},\n  \
+         \"build_seconds\": {build_seconds:.6},\n  \"save_seconds\": {save_seconds:.6},\n  \
+         \"load_seconds\": {load_seconds:.6},\n  \
+         \"load_speedup_vs_build\": {speedup:.1},\n  \
+         \"incremental\": {{ \"appended_graphs\": {appended}, \"seconds\": {append_seconds:.6}, \
+         \"seconds_per_graph\": {per_graph:.6}, \"staleness\": {staleness:.4} }}\n}}\n",
+        features = stats.feature_count,
+        cells = stats.occupied_cells,
+        size_bytes = stats.size_bytes,
+        speedup = build_seconds / load_seconds.max(1e-9),
+        per_graph = append_seconds / appended.max(1) as f64,
+    );
+    std::fs::write("BENCH_index.json", json).expect("writing BENCH_index.json");
+    println!("wrote BENCH_index.json\n");
 }
 
 /// Query-throughput benchmark: `threads = 1` vs automatic on a 64+ graph
@@ -110,14 +301,14 @@ fn bench_query(scale: DatasetScale) {
     };
 
     // Warm-up, then best-of-2 for each engine.
-    let _ = sequential.query(&queries[0], &params);
-    let _ = auto.query(&queries[0], &params);
+    let _ = sequential.query(&queries[0], &params).unwrap();
+    let _ = auto.query(&queries[0], &params).unwrap();
     let mut seq_secs = f64::INFINITY;
     let mut auto_secs = f64::INFINITY;
     let mut identical = true;
     for _ in 0..2 {
-        let b1 = sequential.query_batch(&queries, &params);
-        let bn = auto.query_batch(&queries, &params);
+        let b1 = sequential.query_batch(&queries, &params).unwrap();
+        let bn = auto.query_batch(&queries, &params).unwrap();
         seq_secs = seq_secs.min(b1.wall_seconds);
         auto_secs = auto_secs.min(bn.wall_seconds);
         identical &= b1
@@ -286,14 +477,17 @@ fn figure_10(scale: DatasetScale) {
             .into_iter()
             .enumerate()
             {
-                let result = setup.engine.query(
-                    &wq.graph,
-                    &QueryParams {
-                        epsilon,
-                        delta,
-                        variant,
-                    },
-                );
+                let result = setup
+                    .engine
+                    .query(
+                        &wq.graph,
+                        &QueryParams {
+                            epsilon,
+                            delta,
+                            variant,
+                        },
+                    )
+                    .unwrap();
                 sizes[vi] += result.stats.probabilistic_candidates as f64;
                 times[vi] +=
                     (result.stats.structural_seconds + result.stats.probabilistic_seconds) * 1e3;
@@ -357,24 +551,28 @@ fn figure_11(scale: DatasetScale) {
         let mut sizes = [0.0f64; 2];
         let mut times = [0.0f64; 2];
         for wq in &queries {
-            let s = opt_engine.query(
-                &wq.graph,
-                &QueryParams {
-                    epsilon,
-                    delta,
-                    variant: PruningVariant::Structure,
-                },
-            );
-            structure += s.stats.probabilistic_candidates as f64;
-            for (ei, engine) in [&greedy_engine, &opt_engine].into_iter().enumerate() {
-                let result = engine.query(
+            let s = opt_engine
+                .query(
                     &wq.graph,
                     &QueryParams {
                         epsilon,
                         delta,
-                        variant: PruningVariant::OptSspBound,
+                        variant: PruningVariant::Structure,
                     },
-                );
+                )
+                .unwrap();
+            structure += s.stats.probabilistic_candidates as f64;
+            for (ei, engine) in [&greedy_engine, &opt_engine].into_iter().enumerate() {
+                let result = engine
+                    .query(
+                        &wq.graph,
+                        &QueryParams {
+                            epsilon,
+                            delta,
+                            variant: PruningVariant::OptSspBound,
+                        },
+                    )
+                    .unwrap();
                 sizes[ei] += result.stats.probabilistic_candidates as f64;
                 times[ei] +=
                     (result.stats.structural_seconds + result.stats.probabilistic_seconds) * 1e3;
@@ -421,14 +619,16 @@ fn figure_12(scale: DatasetScale) {
         );
         let mut size = 0.0;
         for wq in &queries {
-            let r = engine.query(
-                &wq.graph,
-                &QueryParams {
-                    epsilon: 0.5,
-                    delta: 2,
-                    variant: PruningVariant::OptSspBound,
-                },
-            );
+            let r = engine
+                .query(
+                    &wq.graph,
+                    &QueryParams {
+                        epsilon: 0.5,
+                        delta: 2,
+                        variant: PruningVariant::OptSspBound,
+                    },
+                )
+                .unwrap();
             size += r.stats.probabilistic_candidates as f64;
         }
         size / queries.len().max(1) as f64
@@ -550,10 +750,10 @@ fn figure_13(scale: DatasetScale) {
         let mut exact_ms = 0.0;
         for wq in &setup.queries {
             let t0 = Instant::now();
-            let _ = setup.engine.query(&wq.graph, &params);
+            let _ = setup.engine.query(&wq.graph, &params).unwrap();
             pmi_ms += t0.elapsed().as_secs_f64() * 1e3;
             let t1 = Instant::now();
-            let _ = setup.engine.exact_scan(&wq.graph, &params);
+            let _ = setup.engine.exact_scan(&wq.graph, &params).unwrap();
             exact_ms += t1.elapsed().as_secs_f64() * 1e3;
         }
         let q = setup.queries.len().max(1) as f64;
@@ -624,14 +824,16 @@ fn figure_14(scale: DatasetScale) {
                     .filter(|(_, &o)| o == wq.source_organism)
                     .map(|(i, _)| i)
                     .collect();
-                let result = engine.query(
-                    &wq.graph,
-                    &QueryParams {
-                        epsilon,
-                        delta: 2,
-                        variant: PruningVariant::OptSspBound,
-                    },
-                );
+                let result = engine
+                    .query(
+                        &wq.graph,
+                        &QueryParams {
+                            epsilon,
+                            delta: 2,
+                            variant: PruningVariant::OptSspBound,
+                        },
+                    )
+                    .unwrap();
                 let hits = result.answers.iter().filter(|a| truth.contains(a)).count() as f64;
                 precision_sum += if result.answers.is_empty() {
                     1.0

@@ -36,11 +36,15 @@
 #![warn(missing_docs)]
 
 use pgs_graph::model::Graph;
+use pgs_index::pmi::Pmi;
+use pgs_index::snapshot::SnapshotError;
 use pgs_prob::model::ProbabilisticGraph;
 use pgs_query::pipeline::{
-    BatchResult, EngineConfig, PruningVariant, QueryEngine, QueryParams, QueryResult,
+    BatchResult, EngineConfig, EngineLoadError, IndexMismatch, PruningVariant, QueryEngine,
+    QueryError, QueryParams, QueryResult,
 };
 use std::fmt;
+use std::path::Path;
 
 pub use pgs_datagen as datagen;
 pub use pgs_graph as graph;
@@ -50,14 +54,15 @@ pub use pgs_query as query;
 
 /// Convenience prelude with the types most applications need.
 pub mod prelude {
-    pub use crate::{DbError, ProbGraphDatabase, QueryMatch};
+    pub use crate::{DbError, DynamicDatabase, ProbGraphDatabase, QueryMatch};
     pub use pgs_datagen::ppi::{generate_ppi_dataset, PpiDatasetConfig};
     pub use pgs_datagen::scenarios::{paper_scale, DatasetScale};
     pub use pgs_graph::model::{EdgeId, Graph, GraphBuilder, Label, VertexId};
     pub use pgs_prob::jpt::JointProbTable;
     pub use pgs_prob::model::ProbabilisticGraph;
     pub use pgs_query::pipeline::{
-        BatchResult, EngineConfig, PruningVariant, QueryParams, QueryResult,
+        BatchResult, EngineConfig, ExactScanConfig, PruningVariant, QueryError, QueryParams,
+        QueryResult,
     };
 }
 
@@ -68,8 +73,14 @@ pub enum DbError {
     IndexNotBuilt,
     /// The query graph is empty.
     EmptyQuery,
-    /// The probability threshold is outside `(0, 1]`.
+    /// The probability threshold is outside `(0, 1]` (or `NaN`).
     InvalidThreshold,
+    /// A graph index was out of range for the current database.
+    GraphOutOfRange(usize),
+    /// Saving or loading an index snapshot failed.
+    Snapshot(String),
+    /// A loaded index snapshot does not match the database contents.
+    IndexMismatch(String),
 }
 
 impl fmt::Display for DbError {
@@ -80,11 +91,44 @@ impl fmt::Display for DbError {
             DbError::InvalidThreshold => {
                 write!(f, "the probability threshold must lie in (0, 1]")
             }
+            DbError::GraphOutOfRange(i) => write!(f, "graph index {i} is out of range"),
+            DbError::Snapshot(e) => write!(f, "index snapshot error: {e}"),
+            DbError::IndexMismatch(e) => write!(f, "index/database mismatch: {e}"),
         }
     }
 }
 
 impl std::error::Error for DbError {}
+
+impl From<QueryError> for DbError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::InvalidEpsilon { .. } => DbError::InvalidThreshold,
+            QueryError::EmptyQuery => DbError::EmptyQuery,
+        }
+    }
+}
+
+impl From<SnapshotError> for DbError {
+    fn from(e: SnapshotError) -> Self {
+        DbError::Snapshot(e.to_string())
+    }
+}
+
+impl From<IndexMismatch> for DbError {
+    fn from(e: IndexMismatch) -> Self {
+        DbError::IndexMismatch(e.to_string())
+    }
+}
+
+impl From<EngineLoadError> for DbError {
+    fn from(e: EngineLoadError) -> Self {
+        match e {
+            EngineLoadError::Snapshot(s) => s.into(),
+            EngineLoadError::Mismatch(m) => m.into(),
+        }
+    }
+}
 
 /// One query answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -201,13 +245,7 @@ impl ProbGraphDatabase {
         params: &QueryParams,
     ) -> Result<QueryResult, DbError> {
         let engine = self.engine.as_ref().ok_or(DbError::IndexNotBuilt)?;
-        if query.edge_count() == 0 {
-            return Err(DbError::EmptyQuery);
-        }
-        if !(params.epsilon > 0.0 && params.epsilon <= 1.0) {
-            return Err(DbError::InvalidThreshold);
-        }
-        Ok(engine.query(query, params))
+        Ok(engine.query(query, params)?)
     }
 
     /// Answers a batch of T-PS queries in one call, amortising thread spawns
@@ -220,23 +258,182 @@ impl ProbGraphDatabase {
         params: &QueryParams,
     ) -> Result<BatchResult, DbError> {
         let engine = self.engine.as_ref().ok_or(DbError::IndexNotBuilt)?;
-        if queries.iter().any(|q| q.edge_count() == 0) {
-            return Err(DbError::EmptyQuery);
-        }
-        if !(params.epsilon > 0.0 && params.epsilon <= 1.0) {
-            return Err(DbError::InvalidThreshold);
-        }
-        Ok(engine.query_batch(queries, params))
+        Ok(engine.query_batch(queries, params)?)
     }
 
     /// The `Exact` baseline: scans the whole database computing the SSP of
     /// every graph (no index involvement beyond holding the data).
     pub fn exact_scan(&self, query: &Graph, params: &QueryParams) -> Result<QueryResult, DbError> {
         let engine = self.engine.as_ref().ok_or(DbError::IndexNotBuilt)?;
-        if query.edge_count() == 0 {
-            return Err(DbError::EmptyQuery);
+        Ok(engine.exact_scan(query, params)?)
+    }
+}
+
+/// A mutable, always-indexed database of probabilistic graphs with an
+/// explicit index lifecycle: build once, [`DynamicDatabase::save_index`] to
+/// disk, [`DynamicDatabase::open`] in later processes, and mutate with
+/// [`DynamicDatabase::insert_graph`] / [`DynamicDatabase::remove_graph`]
+/// *without* rebuilding — an insert computes the SIP bounds of the existing
+/// features in the new graph and appends one PMI column; a remove drops one.
+///
+/// Incremental mutations never re-mine the feature set, so after heavy churn
+/// the features describe a database that no longer exists.  The bounds stay
+/// correct (pruning never returns wrong answers) but lose pruning power;
+/// [`DynamicDatabase::staleness`] tracks the churn fraction and
+/// [`DynamicDatabase::should_remine`] recommends a [`DynamicDatabase::remine`]
+/// (full rebuild) once it passes the configured threshold.
+///
+/// ```
+/// use pgs_core::prelude::*;
+///
+/// let mk = |name: &str, p: f64| {
+///     let g = GraphBuilder::new()
+///         .name(name)
+///         .vertices(&[0, 0, 0])
+///         .edge(0, 1, 0)
+///         .edge(1, 2, 0)
+///         .build();
+///     ProbabilisticGraph::independent(g, &[p, p]).unwrap()
+/// };
+/// let mut db = DynamicDatabase::build(vec![mk("a", 0.9), mk("b", 0.8)], EngineConfig::default());
+/// db.insert_graph(mk("c", 0.1)); // appends one PMI column, no rebuild
+/// let q = GraphBuilder::new().vertices(&[0, 0]).edge(0, 1, 0).build();
+/// let result = db.query(&q, &QueryParams { epsilon: 0.5, delta: 0, ..QueryParams::default() }).unwrap();
+/// assert_eq!(result.answers, vec![0, 1]);
+/// let removed = db.remove_graph(2).unwrap();
+/// assert_eq!(removed.name(), "c");
+/// assert!(db.staleness() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicDatabase {
+    engine: QueryEngine,
+    remine_threshold: f64,
+}
+
+/// Default churn fraction beyond which [`DynamicDatabase::should_remine`]
+/// recommends re-mining the feature set.
+pub const DEFAULT_REMINE_THRESHOLD: f64 = 0.5;
+
+impl DynamicDatabase {
+    /// Builds the database and its index from scratch.
+    pub fn build(graphs: Vec<ProbabilisticGraph>, config: EngineConfig) -> DynamicDatabase {
+        DynamicDatabase {
+            engine: QueryEngine::build(graphs, config),
+            remine_threshold: DEFAULT_REMINE_THRESHOLD,
         }
-        Ok(engine.exact_scan(query, params))
+    }
+
+    /// Assembles the database from graphs and a pre-built index, verifying
+    /// that the index columns match the graph contents.
+    pub fn from_parts(
+        graphs: Vec<ProbabilisticGraph>,
+        pmi: Pmi,
+        config: EngineConfig,
+    ) -> Result<DynamicDatabase, DbError> {
+        Ok(DynamicDatabase {
+            engine: QueryEngine::from_parts(graphs, pmi, config)?,
+            remine_threshold: DEFAULT_REMINE_THRESHOLD,
+        })
+    }
+
+    /// Opens a database whose index was previously saved with
+    /// [`DynamicDatabase::save_index`]: loads the snapshot and pairs it with
+    /// `graphs` without rebuilding anything.
+    pub fn open(
+        graphs: Vec<ProbabilisticGraph>,
+        index_path: impl AsRef<Path>,
+        config: EngineConfig,
+    ) -> Result<DynamicDatabase, DbError> {
+        Ok(DynamicDatabase {
+            engine: QueryEngine::with_index(graphs, index_path, config)?,
+            remine_threshold: DEFAULT_REMINE_THRESHOLD,
+        })
+    }
+
+    /// Saves the index (not the graphs — those live in the application's own
+    /// storage) to `path` in the versioned binary snapshot format.
+    pub fn save_index(&self, path: impl AsRef<Path>) -> Result<(), DbError> {
+        Ok(self.engine.pmi().save(path)?)
+    }
+
+    /// Inserts a graph, incrementally appending its PMI column, and returns
+    /// its index.
+    pub fn insert_graph(&mut self, graph: ProbabilisticGraph) -> usize {
+        self.engine.insert_graph(graph)
+    }
+
+    /// Removes the graph at `index`, dropping its PMI column; every later
+    /// graph shifts down by one.
+    pub fn remove_graph(&mut self, index: usize) -> Result<ProbabilisticGraph, DbError> {
+        self.engine
+            .remove_graph(index)
+            .ok_or(DbError::GraphOutOfRange(index))
+    }
+
+    /// Number of stored graphs.
+    pub fn len(&self) -> usize {
+        self.engine.db().len()
+    }
+
+    /// True if the database holds no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.engine.db().is_empty()
+    }
+
+    /// All stored graphs, in index order.
+    pub fn graphs(&self) -> &[ProbabilisticGraph] {
+        self.engine.db()
+    }
+
+    /// The underlying query engine.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// Churn fraction since the features were last mined (see `Pmi::staleness`).
+    pub fn staleness(&self) -> f64 {
+        self.engine.pmi().staleness()
+    }
+
+    /// True once [`DynamicDatabase::staleness`] passes the re-mine threshold.
+    pub fn should_remine(&self) -> bool {
+        self.staleness() >= self.remine_threshold
+    }
+
+    /// Sets the churn fraction beyond which [`DynamicDatabase::should_remine`]
+    /// fires (default [`DEFAULT_REMINE_THRESHOLD`]).
+    pub fn set_remine_threshold(&mut self, threshold: f64) {
+        self.remine_threshold = threshold.max(0.0);
+    }
+
+    /// Re-mines the feature set and rebuilds the index over the current
+    /// contents (the remedy for a stale index); resets the churn counter.
+    pub fn remine(&mut self) {
+        let config = *self.engine.config();
+        // Move the graphs out of the old engine instead of cloning them — a
+        // re-mine tends to fire exactly when the database is large.
+        let placeholder = QueryEngine::build(Vec::new(), config);
+        let graphs = std::mem::replace(&mut self.engine, placeholder).into_db();
+        self.engine = QueryEngine::build(graphs, config);
+    }
+
+    /// Answers a T-PS query (see `QueryEngine::query`).
+    pub fn query(&self, query: &Graph, params: &QueryParams) -> Result<QueryResult, DbError> {
+        Ok(self.engine.query(query, params)?)
+    }
+
+    /// Answers a batch of T-PS queries (see `QueryEngine::query_batch`).
+    pub fn query_batch(
+        &self,
+        queries: &[Graph],
+        params: &QueryParams,
+    ) -> Result<BatchResult, DbError> {
+        Ok(self.engine.query_batch(queries, params)?)
+    }
+
+    /// The `Exact` baseline scan (see `QueryEngine::exact_scan`).
+    pub fn exact_scan(&self, query: &Graph, params: &QueryParams) -> Result<QueryResult, DbError> {
+        Ok(self.engine.exact_scan(query, params)?)
     }
 }
 
@@ -386,5 +583,144 @@ mod tests {
         assert!(DbError::IndexNotBuilt.to_string().contains("build_index"));
         assert!(DbError::EmptyQuery.to_string().contains("no edges"));
         assert!(DbError::InvalidThreshold.to_string().contains("(0, 1]"));
+        assert!(DbError::GraphOutOfRange(7).to_string().contains('7'));
+        assert!(DbError::Snapshot("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(DbError::IndexMismatch("salt".into())
+            .to_string()
+            .contains("salt"));
+    }
+
+    #[test]
+    fn nan_epsilon_is_a_typed_error_everywhere() {
+        let mut db = ProbGraphDatabase::new();
+        db.insert(triangle("a", 0.5));
+        db.build_index();
+        let q = GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 0).build();
+        let params = QueryParams {
+            epsilon: f64::NAN,
+            delta: 0,
+            variant: PruningVariant::OptSspBound,
+        };
+        assert_eq!(
+            db.query_detailed(&q, &params).unwrap_err(),
+            DbError::InvalidThreshold
+        );
+        assert_eq!(
+            db.exact_scan(&q, &params).unwrap_err(),
+            DbError::InvalidThreshold
+        );
+        assert_eq!(
+            db.query_batch(std::slice::from_ref(&q), &params)
+                .unwrap_err(),
+            DbError::InvalidThreshold
+        );
+        let dynamic = DynamicDatabase::build(vec![triangle("a", 0.5)], EngineConfig::default());
+        assert_eq!(
+            dynamic.query(&q, &params).unwrap_err(),
+            DbError::InvalidThreshold
+        );
+        assert_eq!(
+            dynamic.exact_scan(&q, &params).unwrap_err(),
+            DbError::InvalidThreshold
+        );
+    }
+
+    #[test]
+    fn dynamic_database_inserts_and_removes_without_rebuilds() {
+        let mut db = DynamicDatabase::build(
+            vec![triangle("strong", 0.95), triangle("weak", 0.1)],
+            EngineConfig::default(),
+        );
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.staleness(), 0.0);
+        assert!(!db.should_remine());
+
+        let idx = db.insert_graph(triangle("medium", 0.7));
+        assert_eq!(idx, 2);
+        assert_eq!(db.engine().pmi().graph_count(), 3);
+
+        let q = GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(0, 2, 0)
+            .build();
+        let params = QueryParams {
+            epsilon: 0.3,
+            delta: 0,
+            variant: PruningVariant::OptSspBound,
+        };
+        assert_eq!(db.query(&q, &params).unwrap().answers, vec![0, 2]);
+
+        let removed = db.remove_graph(0).unwrap();
+        assert_eq!(removed.name(), "strong");
+        assert_eq!(db.len(), 2);
+        // "medium" shifted down to index 1.
+        assert_eq!(db.query(&q, &params).unwrap().answers, vec![1]);
+        assert_eq!(
+            db.remove_graph(99).unwrap_err(),
+            DbError::GraphOutOfRange(99)
+        );
+
+        // Two mutations over two graphs: staleness 1.0 ≥ default threshold.
+        assert_eq!(db.staleness(), 1.0);
+        assert!(db.should_remine());
+        db.remine();
+        assert_eq!(db.staleness(), 0.0);
+        assert_eq!(db.query(&q, &params).unwrap().answers, vec![1]);
+        db.set_remine_threshold(0.0);
+        assert!(db.should_remine());
+    }
+
+    #[test]
+    fn dynamic_database_save_open_round_trip() {
+        let graphs = vec![triangle("a", 0.9), triangle("b", 0.4)];
+        let db = DynamicDatabase::build(graphs.clone(), EngineConfig::default());
+        let path = std::env::temp_dir().join(format!("pgs-core-dyndb-{}.pmi", std::process::id()));
+        db.save_index(&path).unwrap();
+        let reopened = DynamicDatabase::open(graphs.clone(), &path, EngineConfig::default());
+        let mismatched = DynamicDatabase::open(
+            vec![triangle("a", 0.9), triangle("DIFFERENT", 0.4)],
+            &path,
+            EngineConfig::default(),
+        );
+        std::fs::remove_file(&path).ok();
+        let reopened = reopened.unwrap();
+        let q = GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .build();
+        let params = QueryParams {
+            epsilon: 0.3,
+            delta: 0,
+            variant: PruningVariant::OptSspBound,
+        };
+        assert_eq!(
+            reopened.query(&q, &params).unwrap().answers,
+            db.query(&q, &params).unwrap().answers
+        );
+        assert!(matches!(mismatched.unwrap_err(), DbError::IndexMismatch(_)));
+        assert!(matches!(
+            DynamicDatabase::open(graphs, "/nonexistent/idx.pmi", EngineConfig::default())
+                .unwrap_err(),
+            DbError::Snapshot(_)
+        ));
+    }
+
+    #[test]
+    fn dynamic_database_from_parts_validates() {
+        let graphs = vec![triangle("a", 0.9), triangle("b", 0.4)];
+        let db = DynamicDatabase::build(graphs.clone(), EngineConfig::default());
+        let pmi = db.engine().pmi().clone();
+        assert!(
+            DynamicDatabase::from_parts(graphs.clone(), pmi.clone(), EngineConfig::default())
+                .is_ok()
+        );
+        let err = DynamicDatabase::from_parts(graphs[..1].to_vec(), pmi, EngineConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, DbError::IndexMismatch(_)));
     }
 }

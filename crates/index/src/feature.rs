@@ -51,7 +51,7 @@ impl Feature {
 }
 
 /// Parameters of Algorithm 4.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FeatureSelectionParams {
     /// Maximum feature size in vertices (the paper's `maxL`).
     pub max_l: usize,

@@ -9,7 +9,11 @@
 //! * the SIP bounds of Section 4.1 — lower bound from disjoint embeddings,
 //!   upper bound from disjoint minimal embedding cuts, both tightened with a
 //!   maximum-weight-clique search — in [`sip_bounds`],
-//! * PMI construction, lookup, statistics and text serialization in [`pmi`].
+//! * PMI construction, lookup, statistics and text serialization in [`pmi`],
+//! * the column-sparse cell storage shared by the in-memory index and the
+//!   on-disk snapshot in [`storage`],
+//! * the versioned binary snapshot format behind `Pmi::save` / `Pmi::load`
+//!   in [`snapshot`].
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,7 +21,11 @@
 pub mod feature;
 pub mod pmi;
 pub mod sip_bounds;
+pub mod snapshot;
+pub mod storage;
 
 pub use feature::{select_features, Feature, FeatureSelectionParams};
-pub use pmi::{Pmi, PmiBuildParams, PmiStats};
+pub use pmi::{graph_salt, Pmi, PmiBuildParams, PmiStats};
 pub use sip_bounds::{sip_bounds, BoundsConfig, DisjointnessRule, SipBounds};
+pub use snapshot::{params_fingerprint, SnapshotError, FORMAT_VERSION};
+pub use storage::SparseMatrix;

@@ -7,21 +7,39 @@
 //!
 //! Construction mines/selects features (Algorithm 4), then fills the matrix
 //! with [`crate::sip_bounds::sip_bounds`], parallelised over database graphs
-//! with scoped threads.  The index also records the statistics the paper's
-//! Figure 12(c)/(d) report: build time and index size.
+//! with scoped threads.  The occupied cells live in the column-sparse
+//! [`SparseMatrix`] (see [`crate::storage`]), which is also the on-disk layout:
+//! [`Pmi::save`] / [`Pmi::load`] snapshot the index through the versioned
+//! binary codec of [`crate::snapshot`], so a process can build once and load
+//! many times without re-paying the mining + bound cost.
+//!
+//! The index is also *incremental*: [`Pmi::append_graph`] computes the SIP
+//! bounds of a new graph against the existing feature set and pushes one
+//! column; [`Pmi::remove_graph`] drops one.  Both keep the per-graph content
+//! salts aligned with the columns and bump a churn counter — once enough of
+//! the database has turned over ([`Pmi::staleness`]), the mined feature set no
+//! longer reflects the data and a full re-mine is recommended.
+//!
+//! The index records the statistics the paper's Figure 12(c)/(d) report:
+//! build time and index size ([`PmiStats`]; `size_bytes` is the exact payload
+//! size of the snapshot, not an estimate).
 
 use crate::feature::{select_features, Feature, FeatureSelectionParams};
 use crate::sip_bounds::{sip_bounds, BoundsConfig, SipBounds};
+use crate::snapshot::{self, SnapshotError};
+use crate::storage::SparseMatrix;
+use pgs_graph::embeddings::disjoint_embedding_count;
 use pgs_graph::model::Graph;
 use pgs_graph::parallel::{derive_seed, par_map_chunked};
-use pgs_graph::vf2::contains_subgraph;
+use pgs_graph::vf2::{contains_subgraph, enumerate_embeddings, MatchOptions};
 use pgs_prob::model::ProbabilisticGraph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::Path;
 use std::time::Instant;
 
 /// Build parameters of the PMI.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PmiBuildParams {
     /// Feature selection parameters (Algorithm 4).
     pub features: FeatureSelectionParams,
@@ -44,18 +62,45 @@ pub struct PmiStats {
     pub occupied_cells: usize,
     /// Wall-clock seconds spent building the index.
     pub build_seconds: f64,
-    /// Approximate index size in bytes (features + occupied cells).
+    /// Exact index size in bytes: the payload (features, sparse matrix, graph
+    /// salts) of the on-disk snapshot.  A saved snapshot file is exactly this
+    /// many bytes plus a small fixed header.
     pub size_bytes: usize,
+}
+
+/// Content hash of a probabilistic graph: skeleton structure, name and the
+/// marginal presence probability of every edge.  Two byte-identical graphs
+/// collide (and therefore sample identically), which is exactly the behaviour
+/// the determinism guarantee wants.  The PMI stores one salt per column so
+/// that a loaded snapshot can be checked against the database it is paired
+/// with, and the query engine derives its per-candidate RNG seeds from them.
+pub fn graph_salt(pg: &ProbabilisticGraph) -> u64 {
+    let mut salts = vec![pg.skeleton().structural_hash()];
+    salts.push(pg.name().len() as u64);
+    salts.extend(pg.name().bytes().map(u64::from));
+    salts.extend((0..pg.edge_count()).map(|e| {
+        pg.edge_presence_prob(pgs_graph::model::EdgeId(e as u32))
+            .to_bits()
+    }));
+    derive_seed(&salts)
 }
 
 /// The probabilistic matrix index.
 #[derive(Debug, Clone)]
 pub struct Pmi {
     features: Vec<Feature>,
-    /// `matrix[graph][feature]` — `None` when the feature is not a subgraph of
-    /// the skeleton.
-    matrix: Vec<Vec<Option<SipBounds>>>,
-    stats: PmiStats,
+    /// Occupied cells, column-sparse: `matrix.get(graph, feature)`.
+    matrix: SparseMatrix,
+    /// One content salt per column, aligned with the database the index was
+    /// built from (see [`graph_salt`]).
+    graph_salts: Vec<u64>,
+    /// The parameters the index was built with; incremental column appends
+    /// reuse the bounds configuration and seed so an appended column is
+    /// byte-identical to the column a fresh build would produce.
+    params: PmiBuildParams,
+    build_seconds: f64,
+    /// Columns appended/removed since the features were last mined.
+    churn: usize,
 }
 
 impl Pmi {
@@ -64,26 +109,14 @@ impl Pmi {
         let start = Instant::now();
         let skeletons: Vec<Graph> = db.iter().map(|g| g.skeleton().clone()).collect();
         let features = select_features(&skeletons, &params.features);
-        let matrix = fill_matrix(db, &features, params);
-        let occupied = matrix
-            .iter()
-            .map(|row| row.iter().filter(|c| c.is_some()).count())
-            .sum();
-        let feature_bytes: usize = features
-            .iter()
-            .map(|f| 16 * f.graph.vertex_count() + 24 * f.graph.edge_count())
-            .sum();
-        let stats = PmiStats {
-            feature_count: features.len(),
-            graph_count: db.len(),
-            occupied_cells: occupied,
-            build_seconds: start.elapsed().as_secs_f64(),
-            size_bytes: feature_bytes + occupied * std::mem::size_of::<SipBounds>(),
-        };
+        let rows = fill_matrix(db, &features, params);
         Pmi {
             features,
-            matrix,
-            stats,
+            matrix: SparseMatrix::from_dense(&rows),
+            graph_salts: db.iter().map(graph_salt).collect(),
+            params: *params,
+            build_seconds: start.elapsed().as_secs_f64(),
+            churn: 0,
         }
     }
 
@@ -94,36 +127,162 @@ impl Pmi {
 
     /// Number of database graphs the index covers.
     pub fn graph_count(&self) -> usize {
-        self.matrix.len()
+        self.matrix.column_count()
+    }
+
+    /// The parameters the index was built with.
+    pub fn build_params(&self) -> &PmiBuildParams {
+        &self.params
+    }
+
+    /// The per-column content salts (one per database graph, in column order).
+    pub fn graph_salts(&self) -> &[u64] {
+        &self.graph_salts
     }
 
     /// The SIP bounds of `feature` in `graph`, or `None` when the feature does
     /// not occur in the graph skeleton.
     pub fn bounds(&self, graph: usize, feature: usize) -> Option<SipBounds> {
-        self.matrix
-            .get(graph)
-            .and_then(|row| row.get(feature))
-            .copied()
-            .flatten()
+        self.matrix.get(graph, feature)
     }
 
     /// All non-empty `(feature index, bounds)` entries of one graph column —
     /// the paper's `D_g`.
     pub fn graph_entries(&self, graph: usize) -> Vec<(usize, SipBounds)> {
-        self.matrix
-            .get(graph)
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .filter_map(|(fi, cell)| cell.map(|b| (fi, b)))
-                    .collect()
-            })
-            .unwrap_or_default()
+        self.matrix.column(graph).collect()
     }
 
-    /// Build statistics.
+    /// Build statistics.  `size_bytes` is the exact snapshot payload size;
+    /// `build_seconds` is the wall-clock time of the original [`Pmi::build`]
+    /// (preserved across save/load, not counting incremental appends).
     pub fn stats(&self) -> PmiStats {
-        self.stats
+        PmiStats {
+            feature_count: self.features.len(),
+            graph_count: self.matrix.column_count(),
+            occupied_cells: self.matrix.entry_count(),
+            build_seconds: self.build_seconds,
+            size_bytes: snapshot::payload_len(&self.graph_salts, &self.features, &self.matrix),
+        }
+    }
+
+    // -- incremental maintenance -------------------------------------------
+
+    /// Appends one graph column: computes the SIP bounds of every existing
+    /// feature in `pg` (no feature re-mining) and pushes the column, its
+    /// content salt and the α-filtered support-list updates.
+    ///
+    /// The column is byte-identical to the one a fresh [`Pmi::build`] over the
+    /// extended database would produce *for the same feature set*: the
+    /// per-column RNG is seeded from the build seed and the graph's content
+    /// hash, never from the column position.
+    pub fn append_graph(&mut self, pg: &ProbabilisticGraph) {
+        let column = compute_column(pg, &self.features, &self.params);
+        let new_index = self.matrix.column_count();
+        self.matrix.push_column(
+            column
+                .iter()
+                .enumerate()
+                .filter_map(|(fi, c)| c.map(|b| (fi, b))),
+        );
+        self.graph_salts.push(graph_salt(pg));
+        let fp = self.params.features;
+        for f in &mut self.features {
+            if column[f.id].is_some() && alpha_supports(&f.graph, pg.skeleton(), &fp) {
+                f.support.push(new_index);
+            }
+        }
+        self.refresh_frequencies();
+        self.churn += 1;
+    }
+
+    /// Removes graph column `index`, shifting every later column down by one
+    /// (mirroring `Vec::remove` on the database side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn remove_graph(&mut self, index: usize) {
+        assert!(
+            index < self.graph_count(),
+            "remove_graph: column {index} out of range ({} columns)",
+            self.graph_count()
+        );
+        self.matrix.remove_column(index);
+        self.graph_salts.remove(index);
+        for f in &mut self.features {
+            f.support.retain(|&gi| gi != index);
+            for gi in &mut f.support {
+                if *gi > index {
+                    *gi -= 1;
+                }
+            }
+        }
+        self.refresh_frequencies();
+        self.churn += 1;
+    }
+
+    /// Number of incremental column mutations since the features were last
+    /// mined (reset by [`Pmi::build`] and by loading a freshly-built
+    /// snapshot).
+    pub fn churn(&self) -> usize {
+        self.churn
+    }
+
+    /// Staleness of the mined feature set: mutations since the last full
+    /// mining, as a fraction of the current database size.  `0.0` right after
+    /// a build; beyond ~`0.5` the features were mined from a database that
+    /// shares little with the current one and a re-mine (full rebuild) is
+    /// recommended — the bounds stay *correct* regardless (they are computed
+    /// per column), only their pruning power degrades.
+    pub fn staleness(&self) -> f64 {
+        self.churn as f64 / self.graph_count().max(1) as f64
+    }
+
+    // -- persistence --------------------------------------------------------
+
+    /// Serializes the index to the versioned binary snapshot format
+    /// (see [`crate::snapshot`]); borrows everything, no index copy is made.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        snapshot::encode(&snapshot::PmiPartsRef {
+            params: &self.params,
+            build_seconds: self.build_seconds,
+            churn: self.churn,
+            graph_salts: &self.graph_salts,
+            features: &self.features,
+            matrix: &self.matrix,
+        })
+    }
+
+    /// Deserializes an index from snapshot bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Pmi, SnapshotError> {
+        let parts = snapshot::decode(bytes)?;
+        if parts.matrix.column_count() != parts.graph_salts.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} matrix columns but {} graph salts",
+                parts.matrix.column_count(),
+                parts.graph_salts.len()
+            )));
+        }
+        Ok(Pmi {
+            features: parts.features,
+            matrix: parts.matrix,
+            graph_salts: parts.graph_salts,
+            params: parts.params,
+            build_seconds: parts.build_seconds,
+            churn: parts.churn,
+        })
+    }
+
+    /// Saves the index to `path`.  The file round-trips bit-exactly:
+    /// [`Pmi::load`] yields an index with identical bounds, features, salts
+    /// and statistics, and therefore byte-identical query answers.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        snapshot::write_file(path.as_ref(), &self.to_bytes())
+    }
+
+    /// Loads an index previously written by [`Pmi::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Pmi, SnapshotError> {
+        Pmi::from_bytes(&snapshot::read_file(path.as_ref())?)
     }
 
     /// Serializes the index to a plain-text form (one line per occupied cell).
@@ -134,7 +293,7 @@ impl Pmi {
             out,
             "pmi features={} graphs={}",
             self.features.len(),
-            self.matrix.len()
+            self.graph_count()
         )
         .expect("writing to String cannot fail");
         for f in &self.features {
@@ -147,15 +306,20 @@ impl Pmi {
             )
             .expect("writing to String cannot fail");
         }
-        for (gi, row) in self.matrix.iter().enumerate() {
-            for (fi, cell) in row.iter().enumerate() {
-                if let Some(b) = cell {
-                    writeln!(out, "cell {gi} {fi} {:.6} {:.6}", b.lower, b.upper)
-                        .expect("writing to String cannot fail");
-                }
+        for gi in 0..self.graph_count() {
+            for (fi, b) in self.matrix.column(gi) {
+                writeln!(out, "cell {gi} {fi} {:.6} {:.6}", b.lower, b.upper)
+                    .expect("writing to String cannot fail");
             }
         }
         out
+    }
+
+    fn refresh_frequencies(&mut self) {
+        let n = self.graph_count().max(1) as f64;
+        for f in &mut self.features {
+            f.frequency = f.support.len() as f64 / n;
+        }
     }
 }
 
@@ -172,28 +336,42 @@ fn fill_matrix(
     params: &PmiBuildParams,
 ) -> Vec<Vec<Option<SipBounds>>> {
     par_map_chunked(db, params.threads, |_, pg| {
-        let mut rng =
-            StdRng::seed_from_u64(derive_seed(&[params.seed, pg.skeleton().structural_hash()]));
-        compute_row(pg, features, &params.bounds, &mut rng)
+        compute_column(pg, features, params)
     })
 }
 
-fn compute_row(
+/// One graph column of the matrix; shared by the parallel build and the
+/// incremental [`Pmi::append_graph`] so both produce identical cells.
+fn compute_column(
     pg: &ProbabilisticGraph,
     features: &[Feature],
-    bounds_config: &BoundsConfig,
-    rng: &mut StdRng,
+    params: &PmiBuildParams,
 ) -> Vec<Option<SipBounds>> {
+    let mut rng =
+        StdRng::seed_from_u64(derive_seed(&[params.seed, pg.skeleton().structural_hash()]));
     features
         .iter()
         .map(|f| {
             if contains_subgraph(&f.graph, pg.skeleton()) {
-                Some(sip_bounds(pg, &f.graph, bounds_config, rng))
+                Some(sip_bounds(pg, &f.graph, &params.bounds, &mut rng))
             } else {
                 None
             }
         })
         .collect()
+}
+
+/// The α filter of Algorithm 4 for one `(feature, skeleton)` pair: true when
+/// the ratio of disjoint embeddings among all (capped) embeddings reaches
+/// `α`.  Used by [`Pmi::append_graph`] to keep the support lists consistent
+/// with what a fresh selection run would record.
+fn alpha_supports(feature: &Graph, skeleton: &Graph, fp: &FeatureSelectionParams) -> bool {
+    let outcome = enumerate_embeddings(feature, skeleton, MatchOptions::capped(fp.max_embeddings));
+    if outcome.embeddings.is_empty() {
+        return false;
+    }
+    let disjoint = disjoint_embedding_count(&outcome.embeddings);
+    disjoint as f64 / outcome.embeddings.len() as f64 >= fp.alpha
 }
 
 #[cfg(test)]
@@ -285,6 +463,13 @@ mod tests {
                 }
             }
         }
+        // Salts line up with the database contents.
+        assert_eq!(pmi.graph_salts().len(), 3);
+        for (s, pg) in pmi.graph_salts().iter().zip(&db) {
+            assert_eq!(*s, graph_salt(pg));
+        }
+        assert_eq!(pmi.churn(), 0);
+        assert_eq!(pmi.staleness(), 0.0);
     }
 
     #[test]
@@ -366,5 +551,92 @@ mod tests {
         assert_eq!(pmi.graph_count(), 0);
         assert_eq!(pmi.features().len(), 0);
         assert_eq!(pmi.stats().occupied_cells, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let db = database();
+        let pmi = Pmi::build(&db, &params());
+        let back = Pmi::from_bytes(&pmi.to_bytes()).unwrap();
+        assert_eq!(back.stats(), pmi.stats());
+        assert_eq!(back.graph_salts(), pmi.graph_salts());
+        assert_eq!(back.build_params(), pmi.build_params());
+        for gi in 0..db.len() {
+            assert_eq!(back.graph_entries(gi), pmi.graph_entries(gi));
+        }
+        for (a, b) in back.features().iter().zip(pmi.features()) {
+            assert_eq!(a.graph, b.graph);
+            assert_eq!(a.support, b.support);
+            assert_eq!(a.frequency, b.frequency);
+            assert_eq!(a.discriminativity, b.discriminativity);
+        }
+        assert_eq!(back.to_text(), pmi.to_text());
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let db = database();
+        let pmi = Pmi::build(&db, &params());
+        let path = std::env::temp_dir().join(format!("pgs-pmi-unit-{}.pmi", std::process::id()));
+        pmi.save(&path).unwrap();
+        let loaded = Pmi::load(&path).unwrap();
+        let file_len = std::fs::metadata(&path).unwrap().len() as usize;
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.stats(), pmi.stats());
+        // The reported index size is the file size minus the fixed header.
+        assert!(file_len > pmi.stats().size_bytes);
+        assert!(file_len - pmi.stats().size_bytes < 256);
+    }
+
+    #[test]
+    fn load_of_missing_file_is_an_io_error() {
+        let err = Pmi::load("/nonexistent/definitely/missing.pmi").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+    }
+
+    #[test]
+    fn append_then_remove_restores_the_original_matrix() {
+        let db = database();
+        let full = Pmi::build(&db, &params());
+        let mut pmi = Pmi::build(&db, &params());
+        pmi.remove_graph(2);
+        assert_eq!(pmi.graph_count(), 2);
+        assert_eq!(pmi.churn(), 1);
+        // Supports no longer mention the removed column.
+        for f in pmi.features() {
+            assert!(f.support.iter().all(|&gi| gi < 2));
+        }
+        pmi.append_graph(&db[2]);
+        assert_eq!(pmi.graph_count(), 3);
+        assert_eq!(pmi.churn(), 2);
+        assert!(pmi.staleness() > 0.0);
+        // The re-appended column is byte-identical to the fresh build's.
+        for gi in 0..3 {
+            assert_eq!(pmi.graph_entries(gi), full.graph_entries(gi));
+        }
+        assert_eq!(pmi.graph_salts(), full.graph_salts());
+        for (a, b) in pmi.features().iter().zip(full.features()) {
+            assert_eq!(a.support, b.support, "support of feature {}", a.id);
+            assert!((a.frequency - b.frequency).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn removing_a_middle_column_shifts_support_indices() {
+        let db = database();
+        let mut pmi = Pmi::build(&db, &params());
+        let full = Pmi::build(&db, &params());
+        pmi.remove_graph(0);
+        assert_eq!(pmi.graph_count(), 2);
+        // Old column 1 is now column 0, old column 2 is now column 1.
+        for gi in 0..2 {
+            assert_eq!(pmi.graph_entries(gi), full.graph_entries(gi + 1));
+        }
+        assert_eq!(pmi.graph_salts(), &full.graph_salts()[1..]);
+        for f in pmi.features() {
+            for &gi in &f.support {
+                assert!(gi < 2);
+            }
+        }
     }
 }

@@ -73,7 +73,7 @@ pub enum DisjointnessRule {
 }
 
 /// Configuration of the bound computation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundsConfig {
     /// Cap on embeddings enumerated per (feature, graph).
     pub max_embeddings: usize,

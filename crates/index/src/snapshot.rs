@@ -1,0 +1,649 @@
+//! Versioned binary snapshot of the PMI (`Pmi::save` / `Pmi::load`).
+//!
+//! The paper builds the PMI offline precisely so query time never pays the
+//! feature-mining + SIP-bound cost; a process that rebuilds the index on every
+//! start pays it anyway.  The snapshot makes the index build-once/load-many:
+//!
+//! ```text
+//! magic   8  b"PGS-PMI\0"
+//! version 4  u32 (currently 1)
+//! fprint  8  u64 fingerprint of the build parameters (threads excluded)
+//! params  …  every PmiBuildParams field, fixed-width little-endian
+//! build_seconds f64, churn u64
+//! ─────────── payload (this part is what PmiStats::size_bytes measures) ───
+//! salts    u64 count + one u64 content salt per database graph
+//! features u64 count + per feature: name, vertex labels, edges,
+//!          support list, frequency, discriminativity
+//! matrix   u64 entry count + CSR arrays of the sparse matrix verbatim
+//!          (offsets u64, feature ids u32, lower/upper bounds f64)
+//! ```
+//!
+//! All multi-byte values are little-endian; `f64`s are written as their IEEE
+//! bit patterns, so bounds, frequencies and parameters round-trip exactly and
+//! a loaded index answers queries byte-identically to the index that was
+//! saved.  The build environment has no serde, hence the hand-rolled codec.
+//!
+//! The salt list in the header ties a snapshot to the database contents it was
+//! built from: `QueryEngine::from_parts` recomputes the salts of the database
+//! it is given and refuses an index whose columns would not line up.
+
+use crate::feature::Feature;
+use crate::pmi::PmiBuildParams;
+use crate::sip_bounds::DisjointnessRule;
+use crate::storage::SparseMatrix;
+use pgs_graph::model::{Graph, Label, VertexId};
+use pgs_graph::parallel::derive_seed;
+use pgs_prob::montecarlo::MonteCarloConfig;
+use std::fmt;
+use std::path::Path;
+
+/// Magic bytes opening every PMI snapshot.
+pub const MAGIC: [u8; 8] = *b"PGS-PMI\0";
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors surfaced by [`crate::pmi::Pmi::save`] / [`crate::pmi::Pmi::load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed.
+    Io(String),
+    /// The file does not start with the PMI magic bytes.
+    BadMagic,
+    /// The file uses a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The file is structurally invalid (truncated, inconsistent counts,
+    /// fingerprint mismatch, malformed feature graph, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a PMI snapshot (bad magic bytes)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot format version {v} (expected {FORMAT_VERSION})"
+                )
+            }
+            SnapshotError::Corrupt(why) => write!(f, "corrupt PMI snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The decoded parts of a snapshot, consumed by `Pmi`'s constructor.
+pub(crate) struct PmiParts {
+    pub params: PmiBuildParams,
+    pub build_seconds: f64,
+    pub churn: usize,
+    pub graph_salts: Vec<u64>,
+    pub features: Vec<Feature>,
+    pub matrix: SparseMatrix,
+}
+
+/// A borrowed view of the same parts, used by the encoder so serialization
+/// never clones the index.
+pub(crate) struct PmiPartsRef<'a> {
+    pub params: &'a PmiBuildParams,
+    pub build_seconds: f64,
+    pub churn: usize,
+    pub graph_salts: &'a [u64],
+    pub features: &'a [Feature],
+    pub matrix: &'a SparseMatrix,
+}
+
+/// A deterministic fingerprint of the build parameters (the query-relevant
+/// ones: feature selection, bounds and seed; `threads` only affects wall-clock
+/// time and is excluded).  Stored in the header and re-derived on load as a
+/// corruption check; callers can also compare it against their own
+/// configuration before trusting a foreign index.
+pub fn params_fingerprint(params: &PmiBuildParams) -> u64 {
+    let f = &params.features;
+    let b = &params.bounds;
+    derive_seed(&[
+        u64::from(FORMAT_VERSION),
+        f.max_l as u64,
+        f.alpha.to_bits(),
+        f.beta.to_bits(),
+        f.gamma.to_bits(),
+        f.max_features as u64,
+        f.max_embeddings as u64,
+        b.max_embeddings as u64,
+        b.max_cuts as u64,
+        disjointness_tag(b.disjointness) as u64,
+        u64::from(b.use_conditional),
+        u64::from(b.tighten_with_clique),
+        b.mc.tau.to_bits(),
+        b.mc.xi.to_bits(),
+        b.mc.max_samples as u64,
+        params.seed,
+    ])
+}
+
+fn disjointness_tag(rule: DisjointnessRule) -> u8 {
+    match rule {
+        DisjointnessRule::TableDisjoint => 0,
+        DisjointnessRule::EdgeDisjoint => 1,
+    }
+}
+
+fn disjointness_from_tag(tag: u8) -> Result<DisjointnessRule, SnapshotError> {
+    match tag {
+        0 => Ok(DisjointnessRule::TableDisjoint),
+        1 => Ok(DisjointnessRule::EdgeDisjoint),
+        other => Err(SnapshotError::Corrupt(format!(
+            "unknown disjointness rule tag {other}"
+        ))),
+    }
+}
+
+/// Exact byte length of the payload sections (salts + features + matrix) —
+/// the real index size reported by `PmiStats::size_bytes`.  Everything before
+/// the payload is a fixed-size header of [`header_len`] bytes.
+pub(crate) fn payload_len(salts: &[u64], features: &[Feature], matrix: &SparseMatrix) -> usize {
+    let salts_len = 8 + 8 * salts.len();
+    let features_len: usize = 8 + features.iter().map(feature_len).sum::<usize>();
+    let matrix_len = 8 + matrix.payload_bytes();
+    salts_len + features_len + matrix_len
+}
+
+/// Byte length of the fixed header (magic + version + fingerprint + params +
+/// build seconds + churn counter).
+pub(crate) fn header_len() -> usize {
+    8 + 4 + 8 + PARAMS_LEN + 8 + 8
+}
+
+/// Fixed encoded size of `PmiBuildParams`.
+const PARAMS_LEN: usize = 6 * 8 /* feature params */
+    + 2 * 8 + 3 /* bounds caps + three flag bytes */
+    + 2 * 8 + 8 /* monte-carlo */
+    + 2 * 8 /* threads + seed */;
+
+fn feature_len(f: &Feature) -> usize {
+    4 + f.graph.name().len()
+        + 4
+        + 4 * f.graph.vertex_count()
+        + 4
+        + 12 * f.graph.edge_count()
+        + 4
+        + 4 * f.support.len()
+        + 8
+        + 8
+}
+
+pub(crate) fn encode(parts: &PmiPartsRef<'_>) -> Vec<u8> {
+    let mut w = Writer::with_capacity(
+        header_len() + payload_len(parts.graph_salts, parts.features, parts.matrix),
+    );
+    w.bytes(&MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u64(params_fingerprint(parts.params));
+    encode_params(&mut w, parts.params);
+    w.f64(parts.build_seconds);
+    w.u64(parts.churn as u64);
+
+    w.u64(parts.graph_salts.len() as u64);
+    for &s in parts.graph_salts {
+        w.u64(s);
+    }
+
+    w.u64(parts.features.len() as u64);
+    for f in parts.features {
+        encode_feature(&mut w, f);
+    }
+
+    let m = &parts.matrix;
+    w.u64(m.feature_ids().len() as u64);
+    for &o in m.offsets() {
+        w.u64(o as u64);
+    }
+    for &fi in m.feature_ids() {
+        w.u32(fi);
+    }
+    for &l in m.lowers() {
+        w.f64(l);
+    }
+    for &u in m.uppers() {
+        w.f64(u);
+    }
+    w.out
+}
+
+pub(crate) fn decode(bytes: &[u8]) -> Result<PmiParts, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(8)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let stored_fingerprint = r.u64()?;
+    let params = decode_params(&mut r)?;
+    if params_fingerprint(&params) != stored_fingerprint {
+        return Err(SnapshotError::Corrupt(
+            "build-parameter fingerprint does not match the stored parameters".into(),
+        ));
+    }
+    let build_seconds = r.f64()?;
+    let churn = r.u64()? as usize;
+
+    let salt_count = r.len_prefixed(8)?;
+    let mut graph_salts = Vec::with_capacity(salt_count);
+    for _ in 0..salt_count {
+        graph_salts.push(r.u64()?);
+    }
+
+    // The smallest possible encoded feature (empty name/vertices/edges/support)
+    // is 32 bytes; using that as the per-element floor keeps a corrupt count
+    // from pre-allocating far beyond the file size.
+    let feature_count = r.len_prefixed(32)?;
+    let mut features = Vec::with_capacity(feature_count);
+    for id in 0..feature_count {
+        features.push(decode_feature(&mut r, id, graph_salts.len())?);
+    }
+
+    let entry_count = r.len_prefixed(20)?;
+    let mut offsets = Vec::with_capacity(graph_salts.len() + 1);
+    for _ in 0..graph_salts.len() + 1 {
+        offsets.push(r.u64()? as usize);
+    }
+    let mut feature_ids = Vec::with_capacity(entry_count);
+    for _ in 0..entry_count {
+        let fi = r.u32()?;
+        if fi as usize >= feature_count {
+            return Err(SnapshotError::Corrupt(format!(
+                "matrix entry references feature {fi} but only {feature_count} features exist"
+            )));
+        }
+        feature_ids.push(fi);
+    }
+    let mut lowers = Vec::with_capacity(entry_count);
+    for _ in 0..entry_count {
+        lowers.push(r.f64()?);
+    }
+    let mut uppers = Vec::with_capacity(entry_count);
+    for _ in 0..entry_count {
+        uppers.push(r.f64()?);
+    }
+    if !r.is_empty() {
+        return Err(SnapshotError::Corrupt(
+            "trailing bytes after the matrix".into(),
+        ));
+    }
+    let matrix = SparseMatrix::from_raw(offsets, feature_ids, lowers, uppers)
+        .map_err(SnapshotError::Corrupt)?;
+    Ok(PmiParts {
+        params,
+        build_seconds,
+        churn,
+        graph_salts,
+        features,
+        matrix,
+    })
+}
+
+/// Writes `bytes` to `path` atomically enough for our purposes (truncate +
+/// write + flush via `std::fs::write`).
+pub(crate) fn write_file(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    std::fs::write(path, bytes).map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))
+}
+
+pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, SnapshotError> {
+    std::fs::read(path).map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))
+}
+
+fn encode_params(w: &mut Writer, p: &PmiBuildParams) {
+    let f = &p.features;
+    w.u64(f.max_l as u64);
+    w.f64(f.alpha);
+    w.f64(f.beta);
+    w.f64(f.gamma);
+    w.u64(f.max_features as u64);
+    w.u64(f.max_embeddings as u64);
+    let b = &p.bounds;
+    w.u64(b.max_embeddings as u64);
+    w.u64(b.max_cuts as u64);
+    w.u8(disjointness_tag(b.disjointness));
+    w.u8(u8::from(b.use_conditional));
+    w.u8(u8::from(b.tighten_with_clique));
+    w.f64(b.mc.tau);
+    w.f64(b.mc.xi);
+    w.u64(b.mc.max_samples as u64);
+    w.u64(p.threads as u64);
+    w.u64(p.seed);
+}
+
+fn decode_params(r: &mut Reader) -> Result<PmiBuildParams, SnapshotError> {
+    let mut params = PmiBuildParams::default();
+    let f = &mut params.features;
+    f.max_l = r.u64()? as usize;
+    f.alpha = r.f64()?;
+    f.beta = r.f64()?;
+    f.gamma = r.f64()?;
+    f.max_features = r.u64()? as usize;
+    f.max_embeddings = r.u64()? as usize;
+    let b = &mut params.bounds;
+    b.max_embeddings = r.u64()? as usize;
+    b.max_cuts = r.u64()? as usize;
+    b.disjointness = disjointness_from_tag(r.u8()?)?;
+    b.use_conditional = r.u8()? != 0;
+    b.tighten_with_clique = r.u8()? != 0;
+    b.mc = MonteCarloConfig {
+        tau: r.f64()?,
+        xi: r.f64()?,
+        max_samples: r.u64()? as usize,
+    };
+    params.threads = r.u64()? as usize;
+    params.seed = r.u64()?;
+    Ok(params)
+}
+
+fn encode_feature(w: &mut Writer, f: &Feature) {
+    let g = &f.graph;
+    w.u32(g.name().len() as u32);
+    w.bytes(g.name().as_bytes());
+    w.u32(g.vertex_count() as u32);
+    for &l in g.vertex_labels() {
+        w.u32(l.0);
+    }
+    w.u32(g.edge_count() as u32);
+    for (_, e) in g.edge_entries() {
+        w.u32(e.u.0);
+        w.u32(e.v.0);
+        w.u32(e.label.0);
+    }
+    w.u32(f.support.len() as u32);
+    for &gi in &f.support {
+        w.u32(gi as u32);
+    }
+    w.f64(f.frequency);
+    w.f64(f.discriminativity);
+}
+
+fn decode_feature(r: &mut Reader, id: usize, graph_count: usize) -> Result<Feature, SnapshotError> {
+    let name_len = r.len_prefixed32(1)?;
+    let name = String::from_utf8(r.bytes(name_len)?.to_vec())
+        .map_err(|_| SnapshotError::Corrupt(format!("feature {id}: name is not UTF-8")))?;
+    let mut graph = Graph::with_name(name);
+    let vertex_count = r.len_prefixed32(4)?;
+    for _ in 0..vertex_count {
+        graph.add_vertex(Label(r.u32()?));
+    }
+    let edge_count = r.len_prefixed32(12)?;
+    for _ in 0..edge_count {
+        let (u, v, l) = (r.u32()?, r.u32()?, r.u32()?);
+        graph
+            .add_edge(VertexId(u), VertexId(v), Label(l))
+            .map_err(|e| SnapshotError::Corrupt(format!("feature {id}: invalid edge: {e}")))?;
+    }
+    let support_len = r.len_prefixed32(4)?;
+    let mut support = Vec::with_capacity(support_len);
+    for _ in 0..support_len {
+        let gi = r.u32()? as usize;
+        if gi >= graph_count {
+            return Err(SnapshotError::Corrupt(format!(
+                "feature {id}: support references graph {gi} of {graph_count}"
+            )));
+        }
+        support.push(gi);
+    }
+    let frequency = r.f64()?;
+    let discriminativity = r.f64()?;
+    Ok(Feature {
+        id,
+        graph,
+        support,
+        frequency,
+        discriminativity,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian writer/reader primitives.
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn with_capacity(n: usize) -> Writer {
+        Writer {
+            out: Vec::with_capacity(n),
+        }
+    }
+    fn u8(&mut self, x: u8) {
+        self.out.push(x);
+    }
+    fn u32(&mut self, x: u32) {
+        self.out.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u64(&mut self, x: u64) {
+        self.out.extend_from_slice(&x.to_le_bytes());
+    }
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.out.extend_from_slice(b);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Corrupt(format!(
+                "truncated: wanted {n} bytes at offset {}, {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u64` length prefix and sanity-checks it against the remaining
+    /// bytes (each element needs at least `min_elem_bytes`), so a corrupt
+    /// length cannot trigger a giant allocation.
+    fn len_prefixed(&mut self, min_elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u64()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(SnapshotError::Corrupt(format!(
+                "length prefix {n} exceeds the remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// `u32` variant of [`Reader::len_prefixed`].
+    fn len_prefixed32(&mut self, min_elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(SnapshotError::Corrupt(format!(
+                "length prefix {n} exceeds the remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sip_bounds::SipBounds;
+    use pgs_graph::model::GraphBuilder;
+
+    fn encode_parts(parts: &PmiParts) -> Vec<u8> {
+        encode(&PmiPartsRef {
+            params: &parts.params,
+            build_seconds: parts.build_seconds,
+            churn: parts.churn,
+            graph_salts: &parts.graph_salts,
+            features: &parts.features,
+            matrix: &parts.matrix,
+        })
+    }
+
+    fn sample_parts() -> PmiParts {
+        let fg = GraphBuilder::new()
+            .name("f0")
+            .vertices(&[0, 1])
+            .edge(0, 1, 9)
+            .build();
+        let mut matrix = SparseMatrix::new();
+        matrix.push_column(vec![(
+            0,
+            SipBounds {
+                lower: 0.25,
+                upper: 0.75,
+            },
+        )]);
+        matrix.push_column(vec![]);
+        PmiParts {
+            params: PmiBuildParams::default(),
+            build_seconds: 0.125,
+            churn: 3,
+            graph_salts: vec![11, 22],
+            features: vec![Feature {
+                id: 0,
+                graph: fg,
+                support: vec![0],
+                frequency: 0.5,
+                discriminativity: 1.0,
+            }],
+            matrix,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let parts = sample_parts();
+        let bytes = encode_parts(&parts);
+        assert_eq!(
+            bytes.len(),
+            header_len() + payload_len(&parts.graph_salts, &parts.features, &parts.matrix)
+        );
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.build_seconds, parts.build_seconds);
+        assert_eq!(back.churn, parts.churn);
+        assert_eq!(back.graph_salts, parts.graph_salts);
+        assert_eq!(back.matrix, parts.matrix);
+        assert_eq!(back.features.len(), 1);
+        assert_eq!(back.features[0].graph, parts.features[0].graph);
+        assert_eq!(back.features[0].graph.name(), "f0");
+        assert_eq!(back.features[0].support, vec![0]);
+        assert_eq!(back.features[0].frequency, 0.5);
+        assert_eq!(
+            params_fingerprint(&back.params),
+            params_fingerprint(&parts.params)
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_parts(&sample_parts());
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode(&bytes), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = encode_parts(&sample_parts());
+        bytes[8] = 0xEE;
+        match decode(&bytes) {
+            Err(SnapshotError::UnsupportedVersion(_)) => {}
+            other => panic!("expected UnsupportedVersion, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_everywhere() {
+        let bytes = encode_parts(&sample_parts());
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).err().expect("truncation must fail");
+            assert!(
+                matches!(err, SnapshotError::Corrupt(_) | SnapshotError::BadMagic),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let mut bytes = encode_parts(&sample_parts());
+        // Flip a bit inside the stored parameters (after magic+version+fprint).
+        let off = 8 + 4 + 8 + 2;
+        bytes[off] ^= 0x01;
+        match decode(&bytes) {
+            Err(SnapshotError::Corrupt(why)) => assert!(why.contains("fingerprint")),
+            other => panic!("expected Corrupt(fingerprint), got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads() {
+        let a = PmiBuildParams {
+            threads: 1,
+            ..PmiBuildParams::default()
+        };
+        let mut b = PmiBuildParams {
+            threads: 8,
+            ..PmiBuildParams::default()
+        };
+        assert_eq!(params_fingerprint(&a), params_fingerprint(&b));
+        b.seed = 999;
+        assert_ne!(params_fingerprint(&a), params_fingerprint(&b));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(SnapshotError::BadMagic.to_string().contains("magic"));
+        assert!(SnapshotError::UnsupportedVersion(7)
+            .to_string()
+            .contains('7'));
+        assert!(SnapshotError::Io("x".into()).to_string().contains('x'));
+        assert!(SnapshotError::Corrupt("y".into()).to_string().contains('y'));
+    }
+}

@@ -28,8 +28,8 @@ pub mod structural;
 pub mod verify;
 
 pub use pipeline::{
-    default_query_threads, BatchResult, EngineConfig, PhaseStats, QueryEngine, QueryParams,
-    QueryResult,
+    default_query_threads, BatchResult, EngineConfig, EngineLoadError, ExactScanConfig,
+    IndexMismatch, PhaseStats, QueryEngine, QueryError, QueryParams, QueryResult,
 };
 pub use prune::{
     probabilistic_prune, prune_candidate, BoundInstance, CrossTermRule, PruneDecision, PruneOutcome,

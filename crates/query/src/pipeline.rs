@@ -22,10 +22,14 @@ use crate::verify::{verify_ssp_exact, verify_ssp_sampled_relaxed, VerifyOptions}
 use pgs_graph::model::Graph;
 use pgs_graph::parallel::{derive_seed, par_map_chunked, resolve_threads};
 use pgs_graph::relax::relax_query_clamped;
-use pgs_index::pmi::{Pmi, PmiBuildParams};
+use pgs_index::pmi::{graph_salt, Pmi, PmiBuildParams};
+use pgs_index::snapshot::SnapshotError;
 use pgs_prob::model::ProbabilisticGraph;
+use pgs_prob::montecarlo::MonteCarloConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
+use std::path::Path;
 use std::time::Instant;
 
 /// Phase tags mixed into per-candidate RNG seeds so the pruning and
@@ -47,6 +51,36 @@ pub enum PruningVariant {
     OptSspBound,
 }
 
+/// Precision knobs of the `Exact` baseline ([`QueryEngine::exact_scan`]).
+///
+/// These used to be magic constants buried in the scan loop; they control how
+/// faithful the "exact" answer actually is and therefore belong in the
+/// configuration.  The defaults reproduce the historical behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactScanConfig {
+    /// Cap on *relevant* edges (the union of embedding edges) up to which the
+    /// SSP is computed by exact enumeration.  Beyond it the scan falls back to
+    /// high-accuracy sampling; raising the cap trades time for exactness.
+    pub exact_edge_cap: usize,
+    /// Monte-Carlo accuracy of the sampling fallback.  Much tighter than the
+    /// pipeline's verification sampler — the baseline is the ground truth the
+    /// experiments compare against.
+    pub fallback_mc: MonteCarloConfig,
+}
+
+impl Default for ExactScanConfig {
+    fn default() -> Self {
+        ExactScanConfig {
+            exact_edge_cap: 22,
+            fallback_mc: MonteCarloConfig {
+                tau: 0.05,
+                xi: 0.01,
+                max_samples: 50_000,
+            },
+        }
+    }
+}
+
 /// Engine-level configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -54,6 +88,8 @@ pub struct EngineConfig {
     pub pmi: PmiBuildParams,
     /// Verification sampler options.
     pub verify: VerifyOptions,
+    /// Precision of the `Exact` baseline scan.
+    pub exact: ExactScanConfig,
     /// Cross-term rule of the lower bound (see [`CrossTermRule`]).
     pub cross_term: CrossTermRule,
     /// RNG seed for query-time randomness.
@@ -71,6 +107,7 @@ impl Default for EngineConfig {
         EngineConfig {
             pmi: PmiBuildParams::default(),
             verify: VerifyOptions::default(),
+            exact: ExactScanConfig::default(),
             cross_term: CrossTermRule::SafeMin,
             seed: 0xC0FFEE,
             threads: default_query_threads(),
@@ -106,6 +143,148 @@ impl Default for QueryParams {
             delta: 2,
             variant: PruningVariant::OptSspBound,
         }
+    }
+}
+
+impl QueryParams {
+    /// Validates the parameters, rejecting any ε outside `(0, 1]` — including
+    /// `NaN`.
+    ///
+    /// Unvalidated, these values fail *silently*: every comparison against a
+    /// `NaN` threshold is false, so `ssp >= ε` never fires and the answer set
+    /// is empty; ε ≤ 0 accepts every structural candidate.  Both look like
+    /// plausible query results, which is why the engine refuses them with a
+    /// typed error instead.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if self.epsilon.is_nan() || !(self.epsilon > 0.0 && self.epsilon <= 1.0) {
+            return Err(QueryError::InvalidEpsilon {
+                epsilon: self.epsilon,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A query was rejected before any work was done.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryError {
+    /// The probability threshold ε is outside `(0, 1]` or `NaN`.  Silently
+    /// evaluating it would return an empty (ε = NaN, ε > 1) or full (ε ≤ 0)
+    /// answer set.
+    InvalidEpsilon {
+        /// The rejected value.
+        epsilon: f64,
+    },
+    /// The query graph has no edges.  Silently evaluating it would return the
+    /// full database (every graph trivially contains the empty query).
+    EmptyQuery,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidEpsilon { epsilon } => write!(
+                f,
+                "invalid probability threshold ε = {epsilon}: must be a number in (0, 1]"
+            ),
+            QueryError::EmptyQuery => write!(f, "the query graph has no edges"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// An index snapshot does not belong to the database it was paired with
+/// ([`QueryEngine::from_parts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMismatch {
+    /// The index has a different number of columns than the database has
+    /// graphs.
+    GraphCount {
+        /// Columns in the index.
+        index_columns: usize,
+        /// Graphs in the database.
+        database_graphs: usize,
+    },
+    /// The content salt of a column differs from the salt of the database
+    /// graph at the same position: the graph was modified, replaced or
+    /// reordered since the index was built.
+    GraphSalt {
+        /// First mismatching position.
+        position: usize,
+    },
+    /// The index was built with different `PmiBuildParams` than the engine
+    /// configuration asks for (fingerprint over feature selection, bounds and
+    /// seed; `threads` is ignored).  Accepting it would break the
+    /// "answers byte-identically to an engine that built the index itself"
+    /// guarantee, and a later rebuild would silently switch bound regimes.
+    BuildParams {
+        /// Fingerprint stored in the index.
+        index_fingerprint: u64,
+        /// Fingerprint of the configuration's build parameters.
+        config_fingerprint: u64,
+    },
+}
+
+impl fmt::Display for IndexMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexMismatch::GraphCount {
+                index_columns,
+                database_graphs,
+            } => write!(
+                f,
+                "index covers {index_columns} graphs but the database holds {database_graphs}"
+            ),
+            IndexMismatch::GraphSalt { position } => write!(
+                f,
+                "index column {position} was built from different graph contents \
+                 (content salt mismatch)"
+            ),
+            IndexMismatch::BuildParams {
+                index_fingerprint,
+                config_fingerprint,
+            } => write!(
+                f,
+                "index was built with different parameters (index fingerprint \
+                 {index_fingerprint:#x}, configuration fingerprint {config_fingerprint:#x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexMismatch {}
+
+/// Failure of [`QueryEngine::with_index`]: either the snapshot could not be
+/// read, or it does not match the database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineLoadError {
+    /// Reading/decoding the snapshot failed.
+    Snapshot(SnapshotError),
+    /// The snapshot decoded fine but belongs to different database contents.
+    Mismatch(IndexMismatch),
+}
+
+impl fmt::Display for EngineLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineLoadError::Snapshot(e) => write!(f, "{e}"),
+            EngineLoadError::Mismatch(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineLoadError {}
+
+impl From<SnapshotError> for EngineLoadError {
+    fn from(e: SnapshotError) -> Self {
+        EngineLoadError::Snapshot(e)
+    }
+}
+
+impl From<IndexMismatch> for EngineLoadError {
+    fn from(e: IndexMismatch) -> Self {
+        EngineLoadError::Mismatch(e)
     }
 }
 
@@ -184,14 +363,15 @@ impl BatchResult {
 }
 
 /// The query engine: database + PMI + configuration.
+///
+/// The per-graph content salts that seed the per-candidate RNGs live in the
+/// PMI (one per column); `build`, `from_parts` and the mutators keep the
+/// database and the PMI columns aligned, so there is exactly one salt list to
+/// keep consistent.
 #[derive(Debug, Clone)]
 pub struct QueryEngine {
     db: Vec<ProbabilisticGraph>,
     skeletons: Vec<Graph>,
-    /// Per-graph content hashes; the per-candidate RNG seeds are derived from
-    /// these (instead of the database index) so sampled answers survive
-    /// re-ordering the database.
-    graph_salts: Vec<u64>,
     pmi: Pmi,
     config: EngineConfig,
 }
@@ -201,19 +381,102 @@ impl QueryEngine {
     pub fn build(db: Vec<ProbabilisticGraph>, config: EngineConfig) -> QueryEngine {
         let pmi = Pmi::build(&db, &config.pmi);
         let skeletons = db.iter().map(|g| g.skeleton().clone()).collect();
-        let graph_salts = db.iter().map(graph_salt).collect();
         QueryEngine {
             db,
             skeletons,
-            graph_salts,
             pmi,
             config,
         }
     }
 
+    /// Assembles an engine from a database and a pre-built PMI (typically one
+    /// loaded from a snapshot), *without* rebuilding the index.
+    ///
+    /// The PMI's per-column content salts are checked against the database
+    /// (the index must have exactly one column per graph, built from the same
+    /// graph contents in the same order) and the index's build parameters are
+    /// checked against `config.pmi` (fingerprint; `threads` excluded).  On
+    /// success, queries answer byte-identically to an engine that built the
+    /// index itself.
+    pub fn from_parts(
+        db: Vec<ProbabilisticGraph>,
+        pmi: Pmi,
+        config: EngineConfig,
+    ) -> Result<QueryEngine, IndexMismatch> {
+        let index_fingerprint = pgs_index::snapshot::params_fingerprint(pmi.build_params());
+        let config_fingerprint = pgs_index::snapshot::params_fingerprint(&config.pmi);
+        if index_fingerprint != config_fingerprint {
+            return Err(IndexMismatch::BuildParams {
+                index_fingerprint,
+                config_fingerprint,
+            });
+        }
+        if pmi.graph_count() != db.len() {
+            return Err(IndexMismatch::GraphCount {
+                index_columns: pmi.graph_count(),
+                database_graphs: db.len(),
+            });
+        }
+        if let Some(position) = db
+            .iter()
+            .map(graph_salt)
+            .zip(pmi.graph_salts())
+            .position(|(a, b)| a != *b)
+        {
+            return Err(IndexMismatch::GraphSalt { position });
+        }
+        let skeletons = db.iter().map(|g| g.skeleton().clone()).collect();
+        Ok(QueryEngine {
+            db,
+            skeletons,
+            pmi,
+            config,
+        })
+    }
+
+    /// Assembles an engine from a database and an index snapshot on disk
+    /// (the build-once/load-many path): `Pmi::load` + [`Self::from_parts`].
+    pub fn with_index(
+        db: Vec<ProbabilisticGraph>,
+        index_path: impl AsRef<Path>,
+        config: EngineConfig,
+    ) -> Result<QueryEngine, EngineLoadError> {
+        let pmi = Pmi::load(index_path)?;
+        Ok(QueryEngine::from_parts(db, pmi, config)?)
+    }
+
+    /// Inserts a graph, incrementally appending its PMI column (bounds of the
+    /// existing features — no feature re-mining, see `Pmi::append_graph`) and
+    /// returns its index.
+    pub fn insert_graph(&mut self, pg: ProbabilisticGraph) -> usize {
+        self.pmi.append_graph(&pg);
+        self.skeletons.push(pg.skeleton().clone());
+        self.db.push(pg);
+        self.db.len() - 1
+    }
+
+    /// Removes the graph at `index`, dropping its PMI column and shifting
+    /// every later graph down by one.  Returns the removed graph, or `None`
+    /// when `index` is out of range.
+    pub fn remove_graph(&mut self, index: usize) -> Option<ProbabilisticGraph> {
+        if index >= self.db.len() {
+            return None;
+        }
+        self.pmi.remove_graph(index);
+        self.skeletons.remove(index);
+        Some(self.db.remove(index))
+    }
+
     /// The indexed database.
     pub fn db(&self) -> &[ProbabilisticGraph] {
         &self.db
+    }
+
+    /// Consumes the engine and returns the database it owned (without cloning
+    /// the graphs) — the rebuild path of `DynamicDatabase::remine` uses this
+    /// to avoid a transient second copy of a large database.
+    pub fn into_db(self) -> Vec<ProbabilisticGraph> {
+        self.db
     }
 
     /// The probabilistic matrix index.
@@ -228,13 +491,20 @@ impl QueryEngine {
 
     /// Answers a T-PS query: all graphs `g` with `Pr(q ⊆sim g) ≥ ε`.
     ///
+    /// Rejects invalid parameters up front (see [`QueryParams::validate`]);
+    /// an unchecked ε = NaN would silently return an empty answer set.
+    ///
     /// All three phases run on up to [`EngineConfig::threads`] scoped workers;
     /// every candidate draws from a deterministically derived per-candidate
     /// RNG (`derive_seed([config.seed, hash(q), phase, hash(g)])`), so the
     /// answer set is byte-identical for every thread count and for every
     /// database insertion order.
-    pub fn query(&self, q: &Graph, params: &QueryParams) -> QueryResult {
-        self.query_with_threads(q, params, self.config.threads)
+    pub fn query(&self, q: &Graph, params: &QueryParams) -> Result<QueryResult, QueryError> {
+        params.validate()?;
+        if q.edge_count() == 0 {
+            return Err(QueryError::EmptyQuery);
+        }
+        Ok(self.query_with_threads(q, params, self.config.threads))
     }
 
     /// Answers a batch of T-PS queries, amortising thread spawns across the
@@ -246,7 +516,15 @@ impl QueryEngine {
     /// in parallel as [`Self::query`] does.  Either way the per-candidate
     /// seeding makes every [`QueryResult`] identical to a standalone
     /// [`Self::query`] call.
-    pub fn query_batch(&self, queries: &[Graph], params: &QueryParams) -> BatchResult {
+    pub fn query_batch(
+        &self,
+        queries: &[Graph],
+        params: &QueryParams,
+    ) -> Result<BatchResult, QueryError> {
+        params.validate()?;
+        if queries.iter().any(|q| q.edge_count() == 0) {
+            return Err(QueryError::EmptyQuery);
+        }
         let t0 = Instant::now();
         let threads = resolve_threads(self.config.threads);
         let results: Vec<QueryResult> = if queries.len() >= threads && threads > 1 {
@@ -254,17 +532,20 @@ impl QueryEngine {
                 self.query_with_threads(q, params, 1)
             })
         } else {
-            queries.iter().map(|q| self.query(q, params)).collect()
+            queries
+                .iter()
+                .map(|q| self.query_with_threads(q, params, self.config.threads))
+                .collect()
         };
         let mut stats = PhaseStats::default();
         for r in &results {
             stats.accumulate(&r.stats);
         }
-        BatchResult {
+        Ok(BatchResult {
             results,
             stats,
             wall_seconds: t0.elapsed().as_secs_f64(),
-        }
+        })
     }
 
     /// The three-phase pipeline with an explicit thread count (`0` = auto).
@@ -343,13 +624,15 @@ impl QueryEngine {
 
     /// The RNG for one `(query, phase, candidate)` triple.  Seeded from the
     /// graph's content hash — not its database index — so shuffling the
-    /// database permutes the answers without changing them.
+    /// database permutes the answers without changing them.  The salt comes
+    /// from the PMI column, which `build`/`from_parts`/the mutators keep
+    /// aligned with the database.
     fn candidate_rng(&self, query_hash: u64, phase: u64, graph_idx: usize) -> StdRng {
         StdRng::seed_from_u64(derive_seed(&[
             self.config.seed,
             query_hash,
             phase,
-            self.graph_salts[graph_idx],
+            self.pmi.graph_salts()[graph_idx],
         ]))
     }
 
@@ -360,21 +643,24 @@ impl QueryEngine {
     /// Like [`Self::query`], the scan runs on up to [`EngineConfig::threads`]
     /// workers and each graph's sampling fallback gets its own content-seeded
     /// RNG, so the answers do not drift with the iteration order either.
-    pub fn exact_scan(&self, q: &Graph, params: &QueryParams) -> QueryResult {
+    /// Precision (the exact-enumeration edge cap and the fallback sampler's
+    /// accuracy) comes from [`EngineConfig::exact`].
+    pub fn exact_scan(&self, q: &Graph, params: &QueryParams) -> Result<QueryResult, QueryError> {
+        params.validate()?;
+        if q.edge_count() == 0 {
+            return Err(QueryError::EmptyQuery);
+        }
         let query_hash = hash_query(q);
         let t0 = Instant::now();
         // Shared by every graph that falls back to sampling; computed once.
         let relaxed = relax_query_clamped(q, params.delta);
         let verdicts: Vec<bool> = par_map_chunked(&self.db, self.config.threads, |gi, pg| {
-            let ssp = match verify_ssp_exact(pg, q, params.delta, 22) {
+            let ssp = match verify_ssp_exact(pg, q, params.delta, self.config.exact.exact_edge_cap)
+            {
                 Ok(v) => v,
                 Err(_) => {
                     let precise = VerifyOptions {
-                        mc: pgs_prob::montecarlo::MonteCarloConfig {
-                            tau: 0.05,
-                            xi: 0.01,
-                            max_samples: 50_000,
-                        },
+                        mc: self.config.exact.fallback_mc,
                         ..self.config.verify
                     };
                     let mut rng = self.candidate_rng(query_hash, SEED_PHASE_EXACT_FALLBACK, gi);
@@ -389,7 +675,7 @@ impl QueryEngine {
             .filter_map(|(gi, &keep)| keep.then_some(gi))
             .collect();
         let elapsed = t0.elapsed().as_secs_f64();
-        QueryResult {
+        Ok(QueryResult {
             answers,
             stats: PhaseStats {
                 structural_candidates: self.db.len(),
@@ -402,23 +688,8 @@ impl QueryEngine {
                 verification_seconds: elapsed,
                 ..PhaseStats::default()
             },
-        }
+        })
     }
-}
-
-/// Content hash of a probabilistic graph: skeleton structure, name and the
-/// marginal presence probability of every edge.  Two byte-identical graphs
-/// collide (and therefore sample identically), which is exactly the behaviour
-/// the determinism guarantee wants.
-fn graph_salt(pg: &ProbabilisticGraph) -> u64 {
-    let mut salts = vec![pg.skeleton().structural_hash()];
-    salts.push(pg.name().len() as u64);
-    salts.extend(pg.name().bytes().map(u64::from));
-    salts.extend((0..pg.edge_count()).map(|e| {
-        pg.edge_presence_prob(pgs_graph::model::EdgeId(e as u32))
-            .to_bits()
-    }));
-    derive_seed(&salts)
 }
 
 /// A deterministic 64-bit hash of a query graph (seeding per-query RNGs).
@@ -487,8 +758,8 @@ mod tests {
                 delta: 1,
                 variant: PruningVariant::OptSspBound,
             };
-            let fast = engine.query(&wq.graph, &params);
-            let exact = engine.exact_scan(&wq.graph, &params);
+            let fast = engine.query(&wq.graph, &params).unwrap();
+            let exact = engine.exact_scan(&wq.graph, &params).unwrap();
             assert_eq!(
                 fast.answers,
                 exact.answers,
@@ -507,9 +778,9 @@ mod tests {
             delta: 1,
             variant,
         };
-        let structure = engine.query(q, &mk(PruningVariant::Structure));
-        let ssp = engine.query(q, &mk(PruningVariant::SspBound));
-        let opt = engine.query(q, &mk(PruningVariant::OptSspBound));
+        let structure = engine.query(q, &mk(PruningVariant::Structure)).unwrap();
+        let ssp = engine.query(q, &mk(PruningVariant::SspBound)).unwrap();
+        let opt = engine.query(q, &mk(PruningVariant::OptSspBound)).unwrap();
         assert_eq!(structure.answers, opt.answers);
         assert_eq!(ssp.answers, opt.answers);
         // The probabilistic filters can only shrink the candidate set.
@@ -526,7 +797,9 @@ mod tests {
     #[test]
     fn stats_are_internally_consistent() {
         let (engine, queries) = small_engine();
-        let result = engine.query(&queries[0].graph, &QueryParams::default());
+        let result = engine
+            .query(&queries[0].graph, &QueryParams::default())
+            .unwrap();
         let s = result.stats;
         assert_eq!(
             s.structural_candidates,
@@ -543,22 +816,26 @@ mod tests {
     fn higher_epsilon_returns_fewer_answers() {
         let (engine, queries) = small_engine();
         let q = &queries[0].graph;
-        let low = engine.query(
-            q,
-            &QueryParams {
-                epsilon: 0.1,
-                delta: 1,
-                variant: PruningVariant::OptSspBound,
-            },
-        );
-        let high = engine.query(
-            q,
-            &QueryParams {
-                epsilon: 0.9,
-                delta: 1,
-                variant: PruningVariant::OptSspBound,
-            },
-        );
+        let low = engine
+            .query(
+                q,
+                &QueryParams {
+                    epsilon: 0.1,
+                    delta: 1,
+                    variant: PruningVariant::OptSspBound,
+                },
+            )
+            .unwrap();
+        let high = engine
+            .query(
+                q,
+                &QueryParams {
+                    epsilon: 0.9,
+                    delta: 1,
+                    variant: PruningVariant::OptSspBound,
+                },
+            )
+            .unwrap();
         assert!(high.answers.len() <= low.answers.len());
         for a in &high.answers {
             assert!(low.answers.contains(a), "answers must be nested across ε");
@@ -569,22 +846,26 @@ mod tests {
     fn larger_delta_returns_more_answers() {
         let (engine, queries) = small_engine();
         let q = &queries[0].graph;
-        let d1 = engine.query(
-            q,
-            &QueryParams {
-                epsilon: 0.5,
-                delta: 0,
-                variant: PruningVariant::OptSspBound,
-            },
-        );
-        let d2 = engine.query(
-            q,
-            &QueryParams {
-                epsilon: 0.5,
-                delta: 2,
-                variant: PruningVariant::OptSspBound,
-            },
-        );
+        let d1 = engine
+            .query(
+                q,
+                &QueryParams {
+                    epsilon: 0.5,
+                    delta: 0,
+                    variant: PruningVariant::OptSspBound,
+                },
+            )
+            .unwrap();
+        let d2 = engine
+            .query(
+                q,
+                &QueryParams {
+                    epsilon: 0.5,
+                    delta: 2,
+                    variant: PruningVariant::OptSspBound,
+                },
+            )
+            .unwrap();
         assert!(d1.answers.len() <= d2.answers.len());
         for a in &d1.answers {
             assert!(d2.answers.contains(a), "answers must be nested across δ");
@@ -615,8 +896,8 @@ mod tests {
             config.threads = threads;
             let parallel = QueryEngine::build(base.db().to_vec(), config);
             for wq in &queries {
-                let a = sequential.query(&wq.graph, &params);
-                let b = parallel.query(&wq.graph, &params);
+                let a = sequential.query(&wq.graph, &params).unwrap();
+                let b = parallel.query(&wq.graph, &params).unwrap();
                 assert_eq!(a.answers, b.answers, "threads = {threads}");
                 assert_eq!(a.stats.pruned_by_upper, b.stats.pruned_by_upper);
                 assert_eq!(a.stats.accepted_by_lower, b.stats.accepted_by_lower);
@@ -634,13 +915,13 @@ mod tests {
             variant: PruningVariant::OptSspBound,
         };
         let graphs: Vec<Graph> = queries.iter().map(|wq| wq.graph.clone()).collect();
-        let batch = engine.query_batch(&graphs, &params);
+        let batch = engine.query_batch(&graphs, &params).unwrap();
         assert_eq!(batch.results.len(), graphs.len());
         assert!(batch.wall_seconds >= 0.0);
         assert!(batch.queries_per_second() > 0.0);
         let mut expected_stats = PhaseStats::default();
         for (q, br) in graphs.iter().zip(&batch.results) {
-            let solo = engine.query(q, &params);
+            let solo = engine.query(q, &params).unwrap();
             assert_eq!(br.answers, solo.answers);
             expected_stats.accumulate(&br.stats);
         }
@@ -654,15 +935,175 @@ mod tests {
     #[test]
     fn empty_batch_is_empty() {
         let (engine, _) = small_engine();
-        let batch = engine.query_batch(&[], &QueryParams::default());
+        let batch = engine.query_batch(&[], &QueryParams::default()).unwrap();
         assert!(batch.results.is_empty());
         assert_eq!(batch.stats, PhaseStats::default());
     }
 
     #[test]
+    fn invalid_epsilon_is_a_typed_error_not_a_silent_answer_set() {
+        let (engine, queries) = small_engine();
+        let q = &queries[0].graph;
+        for epsilon in [f64::NAN, 0.0, -0.5, 1.5, f64::INFINITY] {
+            let params = QueryParams {
+                epsilon,
+                delta: 1,
+                variant: PruningVariant::OptSspBound,
+            };
+            for result in [
+                engine.query(q, &params).map(|r| r.answers),
+                engine.exact_scan(q, &params).map(|r| r.answers),
+                engine
+                    .query_batch(std::slice::from_ref(q), &params)
+                    .map(|b| b.results[0].answers.clone()),
+            ] {
+                match result {
+                    Err(QueryError::InvalidEpsilon { epsilon: e }) => {
+                        assert!(e.is_nan() == epsilon.is_nan() && (e.is_nan() || e == epsilon));
+                    }
+                    Err(other) => panic!("ε = {epsilon}: unexpected error {other:?}"),
+                    Ok(answers) => panic!("ε = {epsilon} silently answered {answers:?}"),
+                }
+            }
+        }
+        assert!(QueryError::InvalidEpsilon { epsilon: f64::NAN }
+            .to_string()
+            .contains("(0, 1]"));
+    }
+
+    #[test]
+    fn from_parts_accepts_a_matching_index_and_answers_identically() {
+        let (engine, queries) = small_engine();
+        let pmi = engine.pmi().clone();
+        let rebuilt = QueryEngine::from_parts(engine.db().to_vec(), pmi, *engine.config()).unwrap();
+        let params = QueryParams {
+            epsilon: 0.4,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        for wq in &queries {
+            assert_eq!(
+                rebuilt.query(&wq.graph, &params).unwrap().answers,
+                engine.query(&wq.graph, &params).unwrap().answers
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_databases() {
+        let (engine, _) = small_engine();
+        let pmi = engine.pmi().clone();
+        // Wrong count.
+        let err = QueryEngine::from_parts(engine.db()[..4].to_vec(), pmi.clone(), *engine.config())
+            .unwrap_err();
+        assert!(matches!(err, IndexMismatch::GraphCount { .. }));
+        // Same count, different order → salt mismatch at the first swap.
+        let mut swapped = engine.db().to_vec();
+        swapped.swap(0, 1);
+        let err = QueryEngine::from_parts(swapped, pmi, *engine.config()).unwrap_err();
+        assert_eq!(err, IndexMismatch::GraphSalt { position: 0 });
+        assert!(err.to_string().contains("column 0"));
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_build_params() {
+        let (engine, _) = small_engine();
+        let pmi = engine.pmi().clone();
+        let mut other = *engine.config();
+        other.pmi.seed ^= 1;
+        let err = QueryEngine::from_parts(engine.db().to_vec(), pmi, other).unwrap_err();
+        assert!(matches!(err, IndexMismatch::BuildParams { .. }));
+        assert!(err.to_string().contains("different parameters"));
+        // `threads` is excluded from the fingerprint: a different worker count
+        // must still accept the index.
+        let mut threads_only = *engine.config();
+        threads_only.pmi.threads += 3;
+        assert!(
+            QueryEngine::from_parts(engine.db().to_vec(), engine.pmi().clone(), threads_only)
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn empty_query_is_a_typed_error_at_engine_level() {
+        let (engine, _) = small_engine();
+        let empty = Graph::new();
+        let params = QueryParams::default();
+        assert_eq!(
+            engine.query(&empty, &params).unwrap_err(),
+            QueryError::EmptyQuery
+        );
+        assert_eq!(
+            engine.exact_scan(&empty, &params).unwrap_err(),
+            QueryError::EmptyQuery
+        );
+        assert_eq!(
+            engine.query_batch(&[empty], &params).unwrap_err(),
+            QueryError::EmptyQuery
+        );
+    }
+
+    #[test]
+    fn with_index_loads_a_snapshot_from_disk() {
+        let (engine, queries) = small_engine();
+        let path = std::env::temp_dir().join(format!(
+            "pgs-pipeline-with-index-{}.pmi",
+            std::process::id()
+        ));
+        engine.pmi().save(&path).unwrap();
+        let loaded =
+            QueryEngine::with_index(engine.db().to_vec(), &path, *engine.config()).unwrap();
+        std::fs::remove_file(&path).ok();
+        let params = QueryParams {
+            epsilon: 0.4,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        for wq in &queries {
+            assert_eq!(
+                loaded.query(&wq.graph, &params).unwrap().answers,
+                engine.query(&wq.graph, &params).unwrap().answers
+            );
+        }
+        // A missing file surfaces as a snapshot error.
+        let err =
+            QueryEngine::with_index(engine.db().to_vec(), &path, *engine.config()).unwrap_err();
+        assert!(matches!(err, EngineLoadError::Snapshot(_)));
+    }
+
+    #[test]
+    fn insert_and_remove_keep_engine_and_index_aligned() {
+        let (engine, queries) = small_engine();
+        let mut mutated = engine.clone();
+        let extra = engine.db()[3].clone();
+        let idx = mutated.insert_graph(extra);
+        assert_eq!(idx, engine.db().len());
+        assert_eq!(mutated.pmi().graph_count(), engine.db().len() + 1);
+        let removed = mutated.remove_graph(idx).expect("index in range");
+        assert_eq!(removed.name(), engine.db()[3].name());
+        assert_eq!(mutated.pmi().graph_count(), engine.db().len());
+        assert!(mutated.remove_graph(999).is_none());
+        // After insert+remove of the same graph, answers match the original.
+        let params = QueryParams {
+            epsilon: 0.4,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        for wq in &queries {
+            assert_eq!(
+                mutated.query(&wq.graph, &params).unwrap().answers,
+                engine.query(&wq.graph, &params).unwrap().answers
+            );
+        }
+        assert_eq!(mutated.pmi().churn(), 2);
+    }
+
+    #[test]
     fn exact_scan_stats_are_documented_zeros() {
         let (engine, queries) = small_engine();
-        let result = engine.exact_scan(&queries[0].graph, &QueryParams::default());
+        let result = engine
+            .exact_scan(&queries[0].graph, &QueryParams::default())
+            .unwrap();
         let s = result.stats;
         assert_eq!(s.structural_candidates, engine.db().len());
         assert_eq!(s.probabilistic_candidates, engine.db().len());

@@ -92,9 +92,9 @@ fn repeated_runs_return_byte_identical_answers() {
     let ds = dataset();
     let engine = QueryEngine::build(ds.graphs.clone(), engine_config(0));
     for wq in &workload(&ds) {
-        let first = engine.query(&wq.graph, &params());
+        let first = engine.query(&wq.graph, &params()).unwrap();
         for _ in 0..3 {
-            let again = engine.query(&wq.graph, &params());
+            let again = engine.query(&wq.graph, &params()).unwrap();
             assert_eq!(first.answers, again.answers);
             assert_eq!(first.stats.pruned_by_upper, again.stats.pruned_by_upper);
             assert_eq!(first.stats.accepted_by_lower, again.stats.accepted_by_lower);
@@ -111,8 +111,8 @@ fn thread_count_does_not_change_answers() {
     for threads in [4usize, 0] {
         let engine = QueryEngine::build(ds.graphs.clone(), engine_config(threads));
         for wq in &queries {
-            let a = reference.query(&wq.graph, &params());
-            let b = engine.query(&wq.graph, &params());
+            let a = reference.query(&wq.graph, &params()).unwrap();
+            let b = engine.query(&wq.graph, &params()).unwrap();
             assert_eq!(
                 a.answers, b.answers,
                 "threads = {threads} diverged from the sequential run"
@@ -148,8 +148,8 @@ fn shuffled_insertion_order_permutes_but_does_not_change_sampled_answers() {
         variant: PruningVariant::Structure,
     };
     for wq in &queries {
-        let a = original.query(&wq.graph, &params);
-        let b = reordered.query(&wq.graph, &params);
+        let a = original.query(&wq.graph, &params).unwrap();
+        let b = reordered.query(&wq.graph, &params).unwrap();
         // Map the reordered engine's answers back to original indices.
         let mut mapped: Vec<usize> = b.answers.iter().map(|&i| perm[i]).collect();
         mapped.sort_unstable();
@@ -167,10 +167,10 @@ fn query_batch_equals_per_query_loop() {
     let queries = workload(&ds);
     let engine = QueryEngine::build(ds.graphs.clone(), engine_config(0));
     let graphs: Vec<Graph> = queries.iter().map(|wq| wq.graph.clone()).collect();
-    let batch = engine.query_batch(&graphs, &params());
+    let batch = engine.query_batch(&graphs, &params()).unwrap();
     assert_eq!(batch.results.len(), graphs.len());
     for (q, br) in graphs.iter().zip(&batch.results) {
-        let solo = engine.query(q, &params());
+        let solo = engine.query(q, &params()).unwrap();
         assert_eq!(br.answers, solo.answers, "batch diverged from query loop");
         assert_eq!(br.stats.verified, solo.stats.verified);
     }
@@ -198,8 +198,8 @@ fn exact_scan_sampling_fallback_is_order_independent() {
     let reordered = QueryEngine::build(shuffled, engine_config(0));
     let wq = &workload(&ds)[0];
     let params = params();
-    let a = original.exact_scan(&wq.graph, &params);
-    let b = reordered.exact_scan(&wq.graph, &params);
+    let a = original.exact_scan(&wq.graph, &params).unwrap();
+    let b = reordered.exact_scan(&wq.graph, &params).unwrap();
     let mut mapped: Vec<usize> = b.answers.iter().map(|&i| perm[i]).collect();
     mapped.sort_unstable();
     assert_eq!(a.answers, mapped, "exact-scan fallback drifted with order");
