@@ -22,9 +22,11 @@ use pgs_datagen::ppi::{generate_ppi_dataset, CorrelationModel, PpiDatasetConfig}
 use pgs_datagen::queries::{generate_query_workload, QueryWorkloadConfig};
 use pgs_datagen::scenarios::{paper_scale, DatasetScale};
 use pgs_index::pmi::{Pmi, PmiBuildParams};
+use pgs_index::sindex::StructuralIndex;
 use pgs_index::sip_bounds::BoundsConfig;
 use pgs_prob::independent::to_independent_model;
 use pgs_query::pipeline::{EngineConfig, PruningVariant, QueryEngine, QueryParams};
+use pgs_query::structural::{structural_candidates_indexed, structural_candidates_threaded};
 use pgs_query::verify::{verify_ssp_exact, verify_ssp_sampled, VerifyOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,6 +42,7 @@ fn main() {
         .collect();
     let bench_query_requested = args.iter().any(|a| a == "bench-query");
     let bench_index_requested = args.iter().any(|a| a == "bench-index");
+    let bench_structural_requested = args.iter().any(|a| a == "bench-structural");
     let arg_after = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -51,6 +54,7 @@ fn main() {
     let run_all = (figures.is_empty()
         && !bench_query_requested
         && !bench_index_requested
+        && !bench_structural_requested
         && index_save_path.is_none()
         && index_load_path.is_none())
         || figures.contains(&"all");
@@ -82,6 +86,9 @@ fn main() {
     }
     if bench_index_requested {
         bench_index(scale);
+    }
+    if bench_structural_requested {
+        bench_structural();
     }
     if let Some(path) = index_save_path {
         index_save(&path);
@@ -257,6 +264,113 @@ fn bench_index(scale: DatasetScale) {
     );
     std::fs::write("BENCH_index.json", json).expect("writing BENCH_index.json");
     println!("wrote BENCH_index.json\n");
+}
+
+/// Structural-phase benchmark (ISSUE 4's acceptance bar): brute-force
+/// full-database scan vs S-Index posting-list candidate generation, at 1k and
+/// 10k skeletons, recorded in `BENCH_structural.json`.  The candidate sets of
+/// the two paths are asserted byte-identical before anything is timed.
+fn bench_structural() {
+    println!("## bench-structural — phase 1: brute-force scan vs S-Index");
+    println!(
+        "{}",
+        format_row(
+            "|D|",
+            &[
+                "scan (ms/q)".into(),
+                "S-Index (ms/q)".into(),
+                "speedup".into(),
+                "build (ms)".into(),
+            ]
+        )
+    );
+    let mut entries: Vec<String> = Vec::new();
+    for &graph_count in &[1_000usize, 10_000] {
+        let dataset = generate_ppi_dataset(&PpiDatasetConfig {
+            graph_count,
+            vertices_per_graph: 10,
+            edges_per_graph: 14,
+            vertex_label_count: 18,
+            organism_count: 8,
+            perturbation: 0.5,
+            seed: 0x57A7,
+            ..PpiDatasetConfig::default()
+        });
+        let skeletons: Vec<pgs_graph::model::Graph> = dataset
+            .graphs
+            .iter()
+            .map(|g| g.skeleton().clone())
+            .collect();
+        let queries: Vec<pgs_graph::model::Graph> = generate_query_workload(
+            &dataset,
+            &QueryWorkloadConfig {
+                query_size: 7,
+                count: 6,
+                seed: 0x5CA9,
+            },
+        )
+        .into_iter()
+        .map(|wq| wq.graph)
+        .collect();
+        let delta = 1usize;
+
+        let t0 = Instant::now();
+        let index = StructuralIndex::build(&skeletons);
+        let build_seconds = t0.elapsed().as_secs_f64();
+
+        // Correctness first: the two paths must produce identical candidates.
+        for q in &queries {
+            let brute = structural_candidates_threaded(&skeletons, q, delta, 1);
+            let (indexed, _) = structural_candidates_indexed(&index, &skeletons, q, delta, 1);
+            assert_eq!(indexed, brute, "S-Index diverged from the brute scan");
+        }
+
+        // Best-of-3 wall time over the whole workload, single-threaded so the
+        // comparison measures the algorithms and not the thread pool.
+        let mut scan_secs = f64::INFINITY;
+        let mut sindex_secs = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            for q in &queries {
+                std::hint::black_box(structural_candidates_threaded(&skeletons, q, delta, 1));
+            }
+            scan_secs = scan_secs.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            for q in &queries {
+                std::hint::black_box(structural_candidates_indexed(
+                    &index, &skeletons, q, delta, 1,
+                ));
+            }
+            sindex_secs = sindex_secs.min(t.elapsed().as_secs_f64());
+        }
+        let n = queries.len() as f64;
+        let speedup = scan_secs / sindex_secs.max(1e-12);
+        println!(
+            "{}",
+            format_row(
+                &format!("{graph_count}"),
+                &[
+                    format!("{:.3}", scan_secs * 1e3 / n),
+                    format!("{:.3}", sindex_secs * 1e3 / n),
+                    format!("{speedup:.1}x"),
+                    format!("{:.1}", build_seconds * 1e3),
+                ]
+            )
+        );
+        entries.push(format!(
+            "    {{ \"skeletons\": {graph_count}, \"queries\": {q}, \"delta\": {delta}, \
+             \"index_build_seconds\": {build_seconds:.6}, \
+             \"scan_seconds\": {scan_secs:.6}, \"sindex_seconds\": {sindex_secs:.6}, \
+             \"speedup\": {speedup:.3}, \"candidates_identical\": true }}",
+            q = queries.len(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"structural_phase\",\n  \"series\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_structural.json", json).expect("writing BENCH_structural.json");
+    println!("wrote BENCH_structural.json\n");
 }
 
 /// Query-throughput benchmark: `threads = 1` vs automatic on a 64+ graph

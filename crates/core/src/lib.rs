@@ -77,6 +77,9 @@ pub enum DbError {
     InvalidThreshold,
     /// A graph index was out of range for the current database.
     GraphOutOfRange(usize),
+    /// The engine's `Exact` baseline configuration is unusable (`τ`/`ξ`
+    /// `NaN` or non-positive, or a zero sample cap).
+    InvalidScanConfig(String),
     /// Saving or loading an index snapshot failed.
     Snapshot(String),
     /// A loaded index snapshot does not match the database contents.
@@ -92,6 +95,9 @@ impl fmt::Display for DbError {
                 write!(f, "the probability threshold must lie in (0, 1]")
             }
             DbError::GraphOutOfRange(i) => write!(f, "graph index {i} is out of range"),
+            // The wrapped QueryError string already carries the
+            // "invalid exact-scan configuration:" prefix.
+            DbError::InvalidScanConfig(e) => write!(f, "{e}"),
             DbError::Snapshot(e) => write!(f, "index snapshot error: {e}"),
             DbError::IndexMismatch(e) => write!(f, "index/database mismatch: {e}"),
         }
@@ -105,6 +111,7 @@ impl From<QueryError> for DbError {
         match e {
             QueryError::InvalidEpsilon { .. } => DbError::InvalidThreshold,
             QueryError::EmptyQuery => DbError::EmptyQuery,
+            QueryError::InvalidExactScanConfig { .. } => DbError::InvalidScanConfig(e.to_string()),
         }
     }
 }

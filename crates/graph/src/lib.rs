@@ -11,6 +11,9 @@
 //!   `dis(q, g) = |q| - |mcs(q, g)|` ([`mcs`]),
 //! * query relaxation producing the set `U = {rq_1, .., rq_a}` of graphs obtained
 //!   by deleting `δ` edges from the query ([`relax`]),
+//! * immutable per-graph structural summaries (histograms, counts, degree
+//!   sequence) shared by the S-Index, the VF2 prefilter and the structural
+//!   query phase ([`summary`]),
 //! * gSpan-style canonical DFS codes used to deduplicate patterns ([`dfs_code`]),
 //! * a bounded frequent-pattern miner used for PMI feature generation
 //!   ([`mining`]),
@@ -40,6 +43,7 @@ pub mod model;
 pub mod parallel;
 pub mod relax;
 pub mod serialize;
+pub mod summary;
 pub mod traversal;
 pub mod vf2;
 
@@ -48,8 +52,13 @@ pub use cuts::{minimal_cuts, CutEnumOptions};
 pub use dfs_code::{canonical_code, CanonicalCode};
 pub use embeddings::{EdgeSet, Embedding};
 pub use error::GraphError;
-pub use mcs::{mcs_size, subgraph_distance, subgraph_similar};
+pub use mcs::{
+    mcs_size, subgraph_distance, subgraph_similar, subgraph_similar_summarized, SimilarityTester,
+};
 pub use model::{EdgeId, Graph, GraphBuilder, Label, VertexId};
 pub use parallel::{derive_seed, mix64, par_map_chunked, resolve_threads};
 pub use relax::{relax_query, relax_query_clamped, RelaxOptions};
-pub use vf2::{contains_subgraph, enumerate_embeddings, MatchOptions, Matcher};
+pub use summary::{EdgeSignature, StructuralSummary};
+pub use vf2::{
+    contains_subgraph, contains_subgraph_summarized, enumerate_embeddings, MatchOptions, Matcher,
+};

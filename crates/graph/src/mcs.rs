@@ -18,7 +18,8 @@
 
 use crate::model::{Graph, VertexId};
 use crate::relax::{delete_edge_subsets, RelaxOptions};
-use crate::vf2::contains_subgraph;
+use crate::summary::StructuralSummary;
+use crate::vf2::{contains_subgraph, contains_subgraph_summarized};
 
 /// Size (in edges) of the maximum common subgraph of `g1` and `g2`
 /// (largest subgraph of `g2` subgraph-isomorphic to a subgraph of `g1`).
@@ -59,10 +60,36 @@ pub fn subgraph_similar(q: &Graph, g: &Graph, delta: usize) -> bool {
     if contains_subgraph(q, g) {
         return true;
     }
-    // For small δ, testing relaxed sub-patterns is cheaper than full MCS: the
-    // distance is ≤ δ iff q with some δ edges removed embeds in g.
-    let budget: usize = (1..=delta).map(|d| binomial(q.edge_count(), d)).sum();
-    if budget <= 4_096 {
+    similar_after_deletions(q, g, delta)
+}
+
+/// [`subgraph_similar`] with cached [`StructuralSummary`] values for the query
+/// and the data graph, so the exact-containment fast path reuses them instead
+/// of recomputing both histograms.  Returns exactly what [`subgraph_similar`]
+/// returns — the structural query phase relies on the two agreeing
+/// bit-for-bit.
+pub fn subgraph_similar_summarized(
+    q: &Graph,
+    g: &Graph,
+    delta: usize,
+    q_summary: &StructuralSummary,
+    g_summary: &StructuralSummary,
+) -> bool {
+    if q.edge_count() <= delta {
+        return true;
+    }
+    if contains_subgraph_summarized(q, q_summary, g, g_summary) {
+        return true;
+    }
+    similar_after_deletions(q, g, delta)
+}
+
+/// The shared tail of the similarity test once exact containment has failed:
+/// for small δ, testing relaxed sub-patterns is cheaper than full MCS (the
+/// distance is ≤ δ iff q with some δ edges removed embeds in g); large
+/// deletion budgets fall back to the exact distance.
+fn similar_after_deletions(q: &Graph, g: &Graph, delta: usize) -> bool {
+    if deletion_budget(q, delta) <= DELETION_BUDGET_CAP {
         for d in 1..=delta {
             let opts = RelaxOptions {
                 deletions: d,
@@ -77,6 +104,97 @@ pub fn subgraph_similar(q: &Graph, g: &Graph, delta: usize) -> bool {
         false
     } else {
         subgraph_distance(q, g) <= delta
+    }
+}
+
+/// Edge subsets the deletion fast path would enumerate.
+fn deletion_budget(q: &Graph, delta: usize) -> usize {
+    (1..=delta).map(|d| binomial(q.edge_count(), d)).sum()
+}
+
+/// Beyond this many deletion subsets the similarity test switches to the
+/// exact MCS distance.
+const DELETION_BUDGET_CAP: usize = 4_096;
+
+/// A reusable `dis(q, ·) ≤ δ` tester that precomputes everything derivable
+/// from the query alone: its [`StructuralSummary`] and — on the small-budget
+/// fast path — the edge-deleted sub-patterns with *their* summaries
+/// (isomorphic duplicates included; see the constructor for why dedup is
+/// skipped).
+///
+/// [`subgraph_similar`] re-derives that work for every candidate (the
+/// sub-pattern dedup runs a canonical-code computation per subset, which
+/// dwarfs the VF2 calls on small graphs); the S-Index query path tests many
+/// candidates per query and builds one tester instead.
+/// [`SimilarityTester::matches`] returns exactly what [`subgraph_similar`]
+/// returns for every `(g, δ)` — the structural phase's brute-force/indexed
+/// equivalence rests on it.
+pub struct SimilarityTester<'a> {
+    q: &'a Graph,
+    delta: usize,
+    q_summary: StructuralSummary,
+    /// Sub-patterns in the exact order `subgraph_similar` enumerates them
+    /// (deletion count ascending); `None` when the deletion budget exceeds
+    /// the cap and candidates fall back to the exact MCS distance.
+    relaxations: Option<Vec<(Graph, StructuralSummary)>>,
+}
+
+impl<'a> SimilarityTester<'a> {
+    /// Precomputes the tester for `(q, delta)`.
+    pub fn new(q: &'a Graph, delta: usize) -> SimilarityTester<'a> {
+        let q_summary = StructuralSummary::of(q);
+        let relaxations = if q.edge_count() <= delta {
+            // Trivially similar to everything; nothing to precompute.
+            Some(Vec::new())
+        } else if deletion_budget(q, delta) <= DELETION_BUDGET_CAP {
+            let mut out = Vec::new();
+            for d in 1..=delta {
+                // No isomorphism dedup: a duplicate sub-pattern cannot change
+                // the boolean `any(contains)` below, and the canonical-code
+                // computation the dedup runs per subset costs far more than
+                // the redundant VF2 existence checks it saves.
+                let opts = RelaxOptions {
+                    deletions: d,
+                    dedup: false,
+                    ..RelaxOptions::default()
+                };
+                for sub in delete_edge_subsets(q, &opts) {
+                    let summary = StructuralSummary::of(&sub);
+                    out.push((sub, summary));
+                }
+            }
+            Some(out)
+        } else {
+            None
+        };
+        SimilarityTester {
+            q,
+            delta,
+            q_summary,
+            relaxations,
+        }
+    }
+
+    /// The query's summary (callers feed it to the S-Index filter).
+    pub fn query_summary(&self) -> &StructuralSummary {
+        &self.q_summary
+    }
+
+    /// Exactly [`subgraph_similar`]`(q, g, delta)`, using the precomputed
+    /// query-side state and `g`'s cached summary.
+    pub fn matches(&self, g: &Graph, g_summary: &StructuralSummary) -> bool {
+        if self.q.edge_count() <= self.delta {
+            return true;
+        }
+        if contains_subgraph_summarized(self.q, &self.q_summary, g, g_summary) {
+            return true;
+        }
+        match &self.relaxations {
+            Some(subs) => subs
+                .iter()
+                .any(|(sub, summary)| contains_subgraph_summarized(sub, summary, g, g_summary)),
+            None => subgraph_distance(self.q, g) <= self.delta,
+        }
     }
 }
 
@@ -291,6 +409,79 @@ mod tests {
         assert_eq!(d, 2);
         for delta in 0..=4 {
             assert_eq!(subgraph_similar(&q, &g, delta), delta >= d);
+        }
+    }
+
+    #[test]
+    fn summarized_similarity_agrees_with_the_plain_test() {
+        use crate::summary::StructuralSummary;
+        let graphs = [
+            triangle_q(),
+            graph_001(),
+            GraphBuilder::new()
+                .vertices(&[0, 0, 1, 1, 2])
+                .edge(0, 1, 9)
+                .edge(0, 2, 9)
+                .edge(1, 2, 9)
+                .edge(2, 3, 9)
+                .edge(2, 4, 9)
+                .build(),
+            GraphBuilder::new().vertices(&[7, 8]).edge(0, 1, 1).build(),
+        ];
+        let q = triangle_q();
+        let qs = StructuralSummary::of(&q);
+        for g in &graphs {
+            let gs = StructuralSummary::of(g);
+            for delta in 0..=3 {
+                assert_eq!(
+                    subgraph_similar_summarized(&q, g, delta, &qs, &gs),
+                    subgraph_similar(&q, g, delta),
+                    "delta = {delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_tester_agrees_with_subgraph_similar() {
+        use crate::summary::StructuralSummary;
+        let graphs = [
+            triangle_q(),
+            graph_001(),
+            GraphBuilder::new()
+                .vertices(&[0, 0, 1, 1, 2])
+                .edge(0, 1, 9)
+                .edge(0, 2, 9)
+                .edge(1, 2, 9)
+                .edge(2, 3, 9)
+                .edge(2, 4, 9)
+                .build(),
+            GraphBuilder::new().vertices(&[7, 8]).edge(0, 1, 1).build(),
+            Graph::new(),
+        ];
+        let queries = [
+            triangle_q(),
+            GraphBuilder::new()
+                .vertices(&[0, 1, 0, 1])
+                .edge(0, 1, 0)
+                .edge(1, 2, 0)
+                .edge(2, 3, 0)
+                .edge(0, 3, 0)
+                .build(),
+        ];
+        for q in &queries {
+            for delta in 0..=4 {
+                let tester = SimilarityTester::new(q, delta);
+                for g in &graphs {
+                    let gs = StructuralSummary::of(g);
+                    assert_eq!(
+                        tester.matches(g, &gs),
+                        subgraph_similar(q, g, delta),
+                        "query {:?} delta {delta}",
+                        q.name()
+                    );
+                }
+            }
         }
     }
 

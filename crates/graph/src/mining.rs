@@ -22,7 +22,8 @@
 
 use crate::dfs_code::{are_isomorphic, canonical_code, CanonicalCode};
 use crate::model::{Graph, VertexId};
-use crate::vf2::{contains_subgraph, enumerate_embeddings, MatchOptions};
+use crate::summary::StructuralSummary;
+use crate::vf2::{contains_subgraph_summarized, enumerate_embeddings, MatchOptions};
 use std::collections::BTreeMap;
 
 /// A mined pattern together with its support information.
@@ -74,6 +75,20 @@ impl Default for MiningOptions {
 /// limits, each with its support list, sorted by descending support then
 /// ascending size.
 pub fn mine_frequent_patterns(db: &[Graph], options: &MiningOptions) -> Vec<MinedPattern> {
+    let summaries: Vec<StructuralSummary> = db.iter().map(StructuralSummary::of).collect();
+    mine_frequent_patterns_summarized(db, &summaries, options)
+}
+
+/// [`mine_frequent_patterns`] with cached per-graph [`StructuralSummary`]
+/// values, so the per-candidate support recount's VF2 prefilter never
+/// reallocates the data-graph histograms (callers that already hold an
+/// S-Index pass its summaries straight through).
+pub fn mine_frequent_patterns_summarized(
+    db: &[Graph],
+    summaries: &[StructuralSummary],
+    options: &MiningOptions,
+) -> Vec<MinedPattern> {
+    debug_assert_eq!(db.len(), summaries.len());
     if db.is_empty() || options.min_support == 0 {
         return Vec::new();
     }
@@ -110,11 +125,19 @@ pub fn mine_frequent_patterns(db: &[Graph], options: &MiningOptions) -> Vec<Mine
                 if duplicate {
                     continue;
                 }
+                let candidate_summary = StructuralSummary::of(&candidate);
                 let support: Vec<usize> = pattern
                     .support
                     .iter()
                     .copied()
-                    .filter(|&gi| contains_subgraph(&candidate, &db[gi]))
+                    .filter(|&gi| {
+                        contains_subgraph_summarized(
+                            &candidate,
+                            &candidate_summary,
+                            &db[gi],
+                            &summaries[gi],
+                        )
+                    })
                     .collect();
                 if support.len() >= options.min_support {
                     seen.push((code, candidate.clone()));
@@ -211,6 +234,7 @@ fn extensions(pattern: &MinedPattern, db: &[Graph], options: &MiningOptions) -> 
 mod tests {
     use super::*;
     use crate::model::GraphBuilder;
+    use crate::vf2::contains_subgraph;
 
     /// A small database of three graphs that all share an a-b edge and two of
     /// which share the a-b-c path.

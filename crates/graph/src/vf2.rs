@@ -18,6 +18,7 @@
 
 use crate::embeddings::Embedding;
 use crate::model::{EdgeId, Graph, VertexId};
+use crate::summary::StructuralSummary;
 use std::collections::BTreeSet;
 
 /// Options controlling a matching run.
@@ -84,6 +85,11 @@ pub struct Matcher<'a> {
     /// For each position in `order`, the pattern neighbours already matched
     /// (pairs of (earlier pattern vertex, pattern edge label)).
     matched_neighbors: Vec<Vec<(VertexId, crate::model::Label)>>,
+    /// Precomputed result of the label-availability prefilter, when the caller
+    /// already holds [`StructuralSummary`] values for both graphs
+    /// ([`Matcher::new_with_summaries`]); `None` falls back to computing the
+    /// histograms per run.
+    label_prefilter: Option<bool>,
 }
 
 impl<'a> Matcher<'a> {
@@ -115,7 +121,26 @@ impl<'a> Matcher<'a> {
             options,
             order,
             matched_neighbors,
+            label_prefilter: None,
         }
+    }
+
+    /// Like [`Matcher::new`], but takes precomputed [`StructuralSummary`]
+    /// values for both graphs so the label-availability prefilter is an
+    /// allocation-free [`StructuralSummary::subsumes`] check instead of two
+    /// fresh histogram builds per matching run.  The summaries must describe
+    /// `pattern` and `target` exactly; a stale summary makes the prefilter —
+    /// and therefore the match outcome — wrong.
+    pub fn new_with_summaries(
+        pattern: &'a Graph,
+        target: &'a Graph,
+        options: MatchOptions,
+        pattern_summary: &StructuralSummary,
+        target_summary: &StructuralSummary,
+    ) -> Self {
+        let mut matcher = Matcher::new(pattern, target, options);
+        matcher.label_prefilter = Some(target_summary.subsumes(pattern_summary));
+        matcher
     }
 
     /// True if at least one embedding of the pattern exists in the target.
@@ -148,8 +173,12 @@ impl<'a> Matcher<'a> {
         if np > nt || self.pattern.edge_count() > self.target.edge_count() {
             return outcome;
         }
-        // Quick label-availability filter.
-        if !labels_compatible(self.pattern, self.target) {
+        // Quick label-availability filter: the cached-summary verdict when the
+        // caller supplied one, the histogram comparison otherwise.
+        let compatible = self
+            .label_prefilter
+            .unwrap_or_else(|| labels_compatible(self.pattern, self.target));
+        if !compatible {
             return outcome;
         }
         let mut state = State {
@@ -379,6 +408,25 @@ pub fn contains_subgraph(pattern: &Graph, target: &Graph) -> bool {
     Matcher::new(pattern, target, MatchOptions::existence()).exists()
 }
 
+/// [`contains_subgraph`] with cached [`StructuralSummary`] values, so the
+/// label prefilter does not reallocate histograms per call (index builds and
+/// the structural query phase call this in tight loops).
+pub fn contains_subgraph_summarized(
+    pattern: &Graph,
+    pattern_summary: &StructuralSummary,
+    target: &Graph,
+    target_summary: &StructuralSummary,
+) -> bool {
+    Matcher::new_with_summaries(
+        pattern,
+        target,
+        MatchOptions::existence(),
+        pattern_summary,
+        target_summary,
+    )
+    .exists()
+}
+
 /// Enumerates all distinct embeddings of `pattern` in `target`.
 pub fn enumerate_embeddings(
     pattern: &Graph,
@@ -386,6 +434,19 @@ pub fn enumerate_embeddings(
     options: MatchOptions,
 ) -> MatchOutcome {
     Matcher::new(pattern, target, options).embeddings()
+}
+
+/// [`enumerate_embeddings`] with cached [`StructuralSummary`] values (see
+/// [`Matcher::new_with_summaries`]).
+pub fn enumerate_embeddings_summarized(
+    pattern: &Graph,
+    pattern_summary: &StructuralSummary,
+    target: &Graph,
+    target_summary: &StructuralSummary,
+    options: MatchOptions,
+) -> MatchOutcome {
+    Matcher::new_with_summaries(pattern, target, options, pattern_summary, target_summary)
+        .embeddings()
 }
 
 #[cfg(test)]
@@ -557,6 +618,36 @@ mod tests {
         assert_eq!(emb.vertex_map.len(), 2);
         assert_eq!(g.vertex_label(emb.vertex_map[0]), Label(1));
         assert_eq!(g.vertex_label(emb.vertex_map[1]), Label(2));
+    }
+
+    #[test]
+    fn summarized_matching_agrees_with_the_plain_matcher() {
+        use crate::summary::StructuralSummary;
+        let g = graph_002();
+        let gs = StructuralSummary::of(&g);
+        let patterns = [
+            single_edge(0, 1),
+            single_edge(2, 2),
+            GraphBuilder::new()
+                .vertices(&[0, 0, 1])
+                .edge(0, 1, 9)
+                .edge(1, 2, 9)
+                .edge(0, 2, 9)
+                .build(),
+            GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 7).build(),
+            Graph::new(),
+        ];
+        for p in &patterns {
+            let ps = StructuralSummary::of(p);
+            assert_eq!(
+                contains_subgraph_summarized(p, &ps, &g, &gs),
+                contains_subgraph(p, &g),
+            );
+            let plain = enumerate_embeddings(p, &g, MatchOptions::default());
+            let summarized =
+                Matcher::new_with_summaries(p, &g, MatchOptions::default(), &ps, &gs).embeddings();
+            assert_eq!(plain.embeddings, summarized.embeddings);
+        }
     }
 
     #[test]

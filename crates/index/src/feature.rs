@@ -23,9 +23,10 @@
 //! substitution in DESIGN.md §3.
 
 use pgs_graph::embeddings::disjoint_embedding_count;
-use pgs_graph::mining::{mine_frequent_patterns, MiningOptions};
+use pgs_graph::mining::{mine_frequent_patterns_summarized, MiningOptions};
 use pgs_graph::model::Graph;
-use pgs_graph::vf2::{contains_subgraph, enumerate_embeddings, MatchOptions};
+use pgs_graph::summary::StructuralSummary;
+use pgs_graph::vf2::{contains_subgraph, enumerate_embeddings_summarized, MatchOptions};
 
 /// One indexed feature.
 #[derive(Debug, Clone)]
@@ -90,6 +91,20 @@ impl Default for FeatureSelectionParams {
 /// vertices (delegated to the pattern miner), then keep the features that pass
 /// the frequency-with-α filter and the discriminativity filter.
 pub fn select_features(db: &[Graph], params: &FeatureSelectionParams) -> Vec<Feature> {
+    let summaries: Vec<StructuralSummary> = db.iter().map(StructuralSummary::of).collect();
+    select_features_summarized(db, &summaries, params)
+}
+
+/// [`select_features`] with cached per-graph [`StructuralSummary`] values
+/// (one per database skeleton, in order).  `Pmi::build` passes the S-Index
+/// summaries straight through, so neither the miner's support recount nor the
+/// α-filter's embedding enumeration reallocates a data-graph histogram.
+pub fn select_features_summarized(
+    db: &[Graph],
+    summaries: &[StructuralSummary],
+    params: &FeatureSelectionParams,
+) -> Vec<Feature> {
+    assert_eq!(db.len(), summaries.len(), "one summary per database graph");
     if db.is_empty() {
         return Vec::new();
     }
@@ -101,7 +116,7 @@ pub fn select_features(db: &[Graph], params: &FeatureSelectionParams) -> Vec<Fea
         max_patterns_per_level: params.max_features.max(8) * 4,
         max_embeddings_per_graph: params.max_embeddings,
     };
-    let mut patterns = mine_frequent_patterns(db, &mining);
+    let mut patterns = mine_frequent_patterns_summarized(db, summaries, &mining);
     // Rule 2: process small features first so discriminativity is evaluated
     // against already-indexed sub-features.
     patterns.sort_by_key(|p| (p.graph.edge_count(), std::cmp::Reverse(p.support_count())));
@@ -113,11 +128,14 @@ pub fn select_features(db: &[Graph], params: &FeatureSelectionParams) -> Vec<Fea
         }
         // Rule 1: α-filtered support — only count graphs where the ratio of
         // disjoint embeddings is at least α.
+        let pattern_summary = StructuralSummary::of(&pattern.graph);
         let mut alpha_support: Vec<usize> = Vec::new();
         for &gi in &pattern.support {
-            let outcome = enumerate_embeddings(
+            let outcome = enumerate_embeddings_summarized(
                 &pattern.graph,
+                &pattern_summary,
                 &db[gi],
+                &summaries[gi],
                 MatchOptions::capped(params.max_embeddings),
             );
             if outcome.embeddings.is_empty() {

@@ -10,6 +10,9 @@
 //!   upper bound from disjoint minimal embedding cuts, both tightened with a
 //!   maximum-weight-clique search — in [`sip_bounds`],
 //! * PMI construction, lookup, statistics and text serialization in [`pmi`],
+//! * the S-Index — per-graph structural summaries plus an inverted
+//!   edge-signature posting list, the sublinear candidate generator of the
+//!   structural query phase — in [`sindex`],
 //! * the column-sparse cell storage shared by the in-memory index and the
 //!   on-disk snapshot in [`storage`],
 //! * the versioned binary snapshot format behind `Pmi::save` / `Pmi::load`
@@ -20,12 +23,14 @@
 
 pub mod feature;
 pub mod pmi;
+pub mod sindex;
 pub mod sip_bounds;
 pub mod snapshot;
 pub mod storage;
 
-pub use feature::{select_features, Feature, FeatureSelectionParams};
+pub use feature::{select_features, select_features_summarized, Feature, FeatureSelectionParams};
 pub use pmi::{graph_salt, Pmi, PmiBuildParams, PmiStats};
+pub use sindex::{FilterOutcome, PostingEntry, StructuralIndex};
 pub use sip_bounds::{sip_bounds, BoundsConfig, DisjointnessRule, SipBounds};
-pub use snapshot::{params_fingerprint, SnapshotError, FORMAT_VERSION};
+pub use snapshot::{params_fingerprint, SnapshotError, FORMAT_V1, FORMAT_VERSION};
 pub use storage::SparseMatrix;

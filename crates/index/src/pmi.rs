@@ -24,14 +24,16 @@
 //! build time and index size ([`PmiStats`]; `size_bytes` is the exact payload
 //! size of the snapshot, not an estimate).
 
-use crate::feature::{select_features, Feature, FeatureSelectionParams};
+use crate::feature::{select_features_summarized, Feature, FeatureSelectionParams};
+use crate::sindex::StructuralIndex;
 use crate::sip_bounds::{sip_bounds, BoundsConfig, SipBounds};
 use crate::snapshot::{self, SnapshotError};
 use crate::storage::SparseMatrix;
 use pgs_graph::embeddings::disjoint_embedding_count;
 use pgs_graph::model::Graph;
 use pgs_graph::parallel::{derive_seed, par_map_chunked};
-use pgs_graph::vf2::{contains_subgraph, enumerate_embeddings, MatchOptions};
+use pgs_graph::summary::StructuralSummary;
+use pgs_graph::vf2::{contains_subgraph_summarized, enumerate_embeddings_summarized, MatchOptions};
 use pgs_prob::model::ProbabilisticGraph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -101,15 +103,41 @@ pub struct Pmi {
     build_seconds: f64,
     /// Columns appended/removed since the features were last mined.
     churn: usize,
+    /// The S-Index: per-graph structural summaries + signature posting lists
+    /// (see [`crate::sindex`]).  Always present for a freshly built or
+    /// incrementally maintained index; `None` only for an index decoded from
+    /// a format-v1 snapshot, which predates the S-Index — the query engine
+    /// rebuilds it from the database skeletons in that case
+    /// ([`Pmi::ensure_sindex`]).
+    sindex: Option<StructuralIndex>,
+    /// One cached [`StructuralSummary`] per feature, row-aligned with
+    /// `features`.  Derived (never persisted): features only change at
+    /// build/decode time, so caching here keeps [`Pmi::append_graph`] from
+    /// re-summarising every feature on every append.
+    feature_summaries: Vec<StructuralSummary>,
 }
 
 impl Pmi {
-    /// Builds the PMI for a database of probabilistic graphs.
+    /// Builds the PMI for a database of probabilistic graphs (including the
+    /// S-Index: every per-graph structural summary is computed exactly once
+    /// here and then shared by feature mining, the matrix fill and the
+    /// structural query phase).
     pub fn build(db: &[ProbabilisticGraph], params: &PmiBuildParams) -> Pmi {
         let start = Instant::now();
         let skeletons: Vec<Graph> = db.iter().map(|g| g.skeleton().clone()).collect();
-        let features = select_features(&skeletons, &params.features);
-        let rows = fill_matrix(db, &features, params);
+        let sindex = StructuralIndex::build(&skeletons);
+        let features = select_features_summarized(&skeletons, sindex.summaries(), &params.features);
+        let feature_summaries: Vec<StructuralSummary> = features
+            .iter()
+            .map(|f| StructuralSummary::of(&f.graph))
+            .collect();
+        let rows = fill_matrix(
+            db,
+            &features,
+            &feature_summaries,
+            sindex.summaries(),
+            params,
+        );
         Pmi {
             features,
             matrix: SparseMatrix::from_dense(&rows),
@@ -117,6 +145,8 @@ impl Pmi {
             params: *params,
             build_seconds: start.elapsed().as_secs_f64(),
             churn: 0,
+            sindex: Some(sindex),
+            feature_summaries,
         }
     }
 
@@ -140,6 +170,35 @@ impl Pmi {
         &self.graph_salts
     }
 
+    /// The S-Index, or `None` when the index was decoded from a pre-S-Index
+    /// (format v1) snapshot and has not been
+    /// [re-derived](Pmi::ensure_sindex) yet.
+    pub fn sindex(&self) -> Option<&StructuralIndex> {
+        self.sindex.as_ref()
+    }
+
+    /// Rebuilds the S-Index from the database skeletons when it is missing
+    /// (the v1-snapshot migration path).  A no-op when the S-Index is already
+    /// present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skeletons` does not have exactly one entry per PMI column —
+    /// callers must pair the index with its own database first (the engine
+    /// checks the content salts before calling this).
+    pub fn ensure_sindex(&mut self, skeletons: &[Graph]) {
+        assert_eq!(
+            skeletons.len(),
+            self.graph_count(),
+            "ensure_sindex: {} skeletons for {} PMI columns",
+            skeletons.len(),
+            self.graph_count()
+        );
+        if self.sindex.is_none() {
+            self.sindex = Some(StructuralIndex::build(skeletons));
+        }
+    }
+
     /// The SIP bounds of `feature` in `graph`, or `None` when the feature does
     /// not occur in the graph skeleton.
     pub fn bounds(&self, graph: usize, feature: usize) -> Option<SipBounds> {
@@ -152,16 +211,22 @@ impl Pmi {
         self.matrix.column(graph).collect()
     }
 
-    /// Build statistics.  `size_bytes` is the exact snapshot payload size;
-    /// `build_seconds` is the wall-clock time of the original [`Pmi::build`]
-    /// (preserved across save/load, not counting incremental appends).
+    /// Build statistics.  `size_bytes` is the exact snapshot payload size
+    /// (including the S-Index section when present); `build_seconds` is the
+    /// wall-clock time of the original [`Pmi::build`] (preserved across
+    /// save/load, not counting incremental appends).
     pub fn stats(&self) -> PmiStats {
         PmiStats {
             feature_count: self.features.len(),
             graph_count: self.matrix.column_count(),
             occupied_cells: self.matrix.entry_count(),
             build_seconds: self.build_seconds,
-            size_bytes: snapshot::payload_len(&self.graph_salts, &self.features, &self.matrix),
+            size_bytes: snapshot::payload_len(
+                &self.graph_salts,
+                &self.features,
+                &self.matrix,
+                self.sindex.as_ref(),
+            ),
         }
     }
 
@@ -176,7 +241,14 @@ impl Pmi {
     /// per-column RNG is seeded from the build seed and the graph's content
     /// hash, never from the column position.
     pub fn append_graph(&mut self, pg: &ProbabilisticGraph) {
-        let column = compute_column(pg, &self.features, &self.params);
+        let skeleton_summary = StructuralSummary::of(pg.skeleton());
+        let column = compute_column(
+            pg,
+            &self.features,
+            &self.feature_summaries,
+            &skeleton_summary,
+            &self.params,
+        );
         let new_index = self.matrix.column_count();
         self.matrix.push_column(
             column
@@ -186,10 +258,15 @@ impl Pmi {
         );
         self.graph_salts.push(graph_salt(pg));
         let fp = self.params.features;
-        for f in &mut self.features {
-            if column[f.id].is_some() && alpha_supports(&f.graph, pg.skeleton(), &fp) {
+        for (f, fs) in self.features.iter_mut().zip(&self.feature_summaries) {
+            if column[f.id].is_some()
+                && alpha_supports(&f.graph, fs, pg.skeleton(), &skeleton_summary, &fp)
+            {
                 f.support.push(new_index);
             }
+        }
+        if let Some(sindex) = &mut self.sindex {
+            sindex.append_summary(skeleton_summary);
         }
         self.refresh_frequencies();
         self.churn += 1;
@@ -209,6 +286,9 @@ impl Pmi {
         );
         self.matrix.remove_column(index);
         self.graph_salts.remove(index);
+        if let Some(sindex) = &mut self.sindex {
+            sindex.remove(index);
+        }
         for f in &mut self.features {
             f.support.retain(|&gi| gi != index);
             for gi in &mut f.support {
@@ -240,20 +320,43 @@ impl Pmi {
 
     // -- persistence --------------------------------------------------------
 
-    /// Serializes the index to the versioned binary snapshot format
-    /// (see [`crate::snapshot`]); borrows everything, no index copy is made.
+    /// Serializes the index to the versioned binary snapshot format (see
+    /// [`crate::snapshot`]); borrows everything, no index copy is made.
+    /// Writes format v2 (with the S-Index section); an index decoded from a
+    /// v1 snapshot whose S-Index was never re-derived falls back to writing
+    /// v1 again — it has no summaries to persist.
     pub fn to_bytes(&self) -> Vec<u8> {
-        snapshot::encode(&snapshot::PmiPartsRef {
-            params: &self.params,
-            build_seconds: self.build_seconds,
-            churn: self.churn,
-            graph_salts: &self.graph_salts,
-            features: &self.features,
-            matrix: &self.matrix,
-        })
+        let version = if self.sindex.is_some() {
+            snapshot::FORMAT_VERSION
+        } else {
+            snapshot::FORMAT_V1
+        };
+        self.to_bytes_versioned(version)
+            .expect("current/v1 versions are always encodable")
     }
 
-    /// Deserializes an index from snapshot bytes.
+    /// Serializes the index at an explicit format version: the current
+    /// version 2, or version 1 for readers that predate the S-Index (the
+    /// downgrade path; the v1 reader rebuilds the summaries from its own
+    /// database skeletons).
+    pub fn to_bytes_versioned(&self, version: u32) -> Result<Vec<u8>, SnapshotError> {
+        snapshot::encode(
+            &snapshot::PmiPartsRef {
+                params: &self.params,
+                build_seconds: self.build_seconds,
+                churn: self.churn,
+                graph_salts: &self.graph_salts,
+                features: &self.features,
+                matrix: &self.matrix,
+                sindex: self.sindex.as_ref(),
+            },
+            version,
+        )
+    }
+
+    /// Deserializes an index from snapshot bytes (format v1 or v2; a v1 index
+    /// carries no S-Index — pair it with its database via
+    /// `QueryEngine::from_parts`, which re-derives the summaries).
     pub fn from_bytes(bytes: &[u8]) -> Result<Pmi, SnapshotError> {
         let parts = snapshot::decode(bytes)?;
         if parts.matrix.column_count() != parts.graph_salts.len() {
@@ -263,6 +366,13 @@ impl Pmi {
                 parts.graph_salts.len()
             )));
         }
+        // (`decode` already guarantees a v2 S-Index section has exactly one
+        // summary per graph salt.)
+        let feature_summaries = parts
+            .features
+            .iter()
+            .map(|f| StructuralSummary::of(&f.graph))
+            .collect();
         Ok(Pmi {
             features: parts.features,
             matrix: parts.matrix,
@@ -270,6 +380,8 @@ impl Pmi {
             params: parts.params,
             build_seconds: parts.build_seconds,
             churn: parts.churn,
+            sindex: parts.sindex,
+            feature_summaries,
         })
     }
 
@@ -333,26 +445,39 @@ impl Pmi {
 fn fill_matrix(
     db: &[ProbabilisticGraph],
     features: &[Feature],
+    feature_summaries: &[StructuralSummary],
+    skeleton_summaries: &[StructuralSummary],
     params: &PmiBuildParams,
 ) -> Vec<Vec<Option<SipBounds>>> {
-    par_map_chunked(db, params.threads, |_, pg| {
-        compute_column(pg, features, params)
+    par_map_chunked(db, params.threads, |gi, pg| {
+        compute_column(
+            pg,
+            features,
+            feature_summaries,
+            &skeleton_summaries[gi],
+            params,
+        )
     })
 }
 
 /// One graph column of the matrix; shared by the parallel build and the
-/// incremental [`Pmi::append_graph`] so both produce identical cells.
+/// incremental [`Pmi::append_graph`] so both produce identical cells.  The
+/// cached summaries (one per feature, one for the skeleton) keep the
+/// per-feature containment prefilter allocation-free.
 fn compute_column(
     pg: &ProbabilisticGraph,
     features: &[Feature],
+    feature_summaries: &[StructuralSummary],
+    skeleton_summary: &StructuralSummary,
     params: &PmiBuildParams,
 ) -> Vec<Option<SipBounds>> {
     let mut rng =
         StdRng::seed_from_u64(derive_seed(&[params.seed, pg.skeleton().structural_hash()]));
     features
         .iter()
-        .map(|f| {
-            if contains_subgraph(&f.graph, pg.skeleton()) {
+        .zip(feature_summaries)
+        .map(|(f, fs)| {
+            if contains_subgraph_summarized(&f.graph, fs, pg.skeleton(), skeleton_summary) {
                 Some(sip_bounds(pg, &f.graph, &params.bounds, &mut rng))
             } else {
                 None
@@ -365,8 +490,20 @@ fn compute_column(
 /// the ratio of disjoint embeddings among all (capped) embeddings reaches
 /// `α`.  Used by [`Pmi::append_graph`] to keep the support lists consistent
 /// with what a fresh selection run would record.
-fn alpha_supports(feature: &Graph, skeleton: &Graph, fp: &FeatureSelectionParams) -> bool {
-    let outcome = enumerate_embeddings(feature, skeleton, MatchOptions::capped(fp.max_embeddings));
+fn alpha_supports(
+    feature: &Graph,
+    feature_summary: &StructuralSummary,
+    skeleton: &Graph,
+    skeleton_summary: &StructuralSummary,
+    fp: &FeatureSelectionParams,
+) -> bool {
+    let outcome = enumerate_embeddings_summarized(
+        feature,
+        feature_summary,
+        skeleton,
+        skeleton_summary,
+        MatchOptions::capped(fp.max_embeddings),
+    );
     if outcome.embeddings.is_empty() {
         return false;
     }
@@ -378,7 +515,7 @@ fn alpha_supports(feature: &Graph, skeleton: &Graph, fp: &FeatureSelectionParams
 mod tests {
     use super::*;
     use pgs_graph::model::{EdgeId, GraphBuilder};
-    use pgs_graph::vf2::{enumerate_embeddings, MatchOptions};
+    use pgs_graph::vf2::{contains_subgraph, enumerate_embeddings, MatchOptions};
     use pgs_prob::exact::exact_sip;
     use pgs_prob::jpt::JointProbTable;
 
@@ -619,6 +756,38 @@ mod tests {
             assert_eq!(a.support, b.support, "support of feature {}", a.id);
             assert!((a.frequency - b.frequency).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn sindex_tracks_mutations_and_survives_snapshots() {
+        let db = database();
+        let full = Pmi::build(&db, &params());
+        assert_eq!(full.sindex().expect("fresh build").graph_count(), 3);
+
+        // Incremental maintenance mirrors a fresh build over the same state.
+        let mut pmi = Pmi::build(&db, &params());
+        pmi.remove_graph(1);
+        pmi.append_graph(&db[1]);
+        let reordered: Vec<Graph> = [0usize, 2, 1]
+            .iter()
+            .map(|&i| db[i].skeleton().clone())
+            .collect();
+        assert_eq!(pmi.sindex().unwrap(), &StructuralIndex::build(&reordered));
+
+        // A v2 snapshot round-trips the S-Index bit-for-bit.
+        let back = Pmi::from_bytes(&full.to_bytes()).unwrap();
+        assert_eq!(back.sindex(), full.sindex());
+        assert_eq!(back.stats(), full.stats());
+
+        // A v1 snapshot drops it; ensure_sindex re-derives an identical one.
+        let v1 = full.to_bytes_versioned(snapshot::FORMAT_V1).unwrap();
+        let mut old = Pmi::from_bytes(&v1).unwrap();
+        assert!(old.sindex().is_none());
+        // A v1-loaded index re-saves as v1 (nothing to persist).
+        assert_eq!(old.to_bytes(), v1);
+        let skeletons: Vec<Graph> = db.iter().map(|g| g.skeleton().clone()).collect();
+        old.ensure_sindex(&skeletons);
+        assert_eq!(old.sindex(), full.sindex());
     }
 
     #[test]

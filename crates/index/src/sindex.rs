@@ -1,0 +1,327 @@
+//! The S-Index: a persistent structural candidate index.
+//!
+//! Phase 1 of the query pipeline (structural pruning, Theorem 1) is a
+//! Grafil-style feature-count filter followed by an exact subgraph-distance
+//! check.  The original implementation scanned the whole database per query
+//! and rebuilt `edge_signature_histogram()` for every candidate skeleton on
+//! every query — O(queries × graphs) histogram allocations.  Grafil and later
+//! filter–verify systems precompute per-graph feature summaries plus an
+//! inverted index exactly to avoid this; the S-Index is that structure:
+//!
+//! * one immutable [`StructuralSummary`] per database graph (edge-signature
+//!   histogram, vertex-label multiset, vertex/edge counts, degree sequence),
+//!   computed once at index build time, and
+//! * an inverted **posting list** `edge signature → [(graph, count)]` over
+//!   those summaries.
+//!
+//! Candidate generation walks only the posting lists of the *query's*
+//! signatures and accumulates, per touched graph, the matched occurrence mass
+//! `Σ_sig min(count_q(sig), count_g(sig))`.  The Grafil deficit
+//! `Σ_sig max(0, count_q − count_g)` equals `|E(q)| −` that mass, so a graph
+//! passes the filter iff its mass reaches `|E(q)| − δ` — graphs sharing no
+//! signature with the query are never touched at all, which makes phase 1
+//! sublinear in the database size for selective queries.  The returned set is
+//! *identical* to brute-forcing `passes_feature_count_filter` over every
+//! graph (a property test pins this).
+//!
+//! The S-Index is persisted as a versioned section of the PMI snapshot
+//! (format v2, see [`crate::snapshot`]); only the summaries are written —
+//! posting lists are a deterministic function of the summaries and are
+//! rebuilt on load.
+
+use pgs_graph::model::Graph;
+use pgs_graph::summary::{EdgeSignature, StructuralSummary};
+use std::collections::BTreeMap;
+
+/// One posting entry: a graph containing the signature, with its multiplicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostingEntry {
+    /// Index of the graph (database/PMI column order).
+    pub graph: u32,
+    /// Number of occurrences of the signature in that graph.
+    pub count: u32,
+}
+
+/// Outcome of posting-list candidate generation
+/// ([`StructuralIndex::filter_candidates`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FilterOutcome {
+    /// Graphs passing the deficit filter, ascending — exactly the set the
+    /// brute-force per-graph filter would keep.
+    pub candidates: Vec<usize>,
+    /// Posting entries walked while accumulating (the work the filter
+    /// actually did; reported in `PhaseStats`).
+    pub posting_entries_scanned: usize,
+}
+
+/// The structural candidate index (see the module docs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StructuralIndex {
+    summaries: Vec<StructuralSummary>,
+    /// `signature → postings`, graph indices ascending within each list.
+    postings: BTreeMap<EdgeSignature, Vec<PostingEntry>>,
+}
+
+impl StructuralIndex {
+    /// Builds the index over database skeletons.
+    pub fn build(skeletons: &[Graph]) -> StructuralIndex {
+        StructuralIndex::from_summaries(skeletons.iter().map(StructuralSummary::of).collect())
+    }
+
+    /// Rebuilds the index from per-graph summaries (the snapshot decode path);
+    /// posting lists are derived deterministically from the summaries.
+    pub fn from_summaries(summaries: Vec<StructuralSummary>) -> StructuralIndex {
+        let mut index = StructuralIndex {
+            summaries: Vec::new(),
+            postings: BTreeMap::new(),
+        };
+        for summary in summaries {
+            index.append_summary(summary);
+        }
+        index
+    }
+
+    /// Number of indexed graphs.
+    pub fn graph_count(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// The per-graph summaries, in graph order.
+    pub fn summaries(&self) -> &[StructuralSummary] {
+        &self.summaries
+    }
+
+    /// The summary of graph `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn summary(&self, g: usize) -> &StructuralSummary {
+        &self.summaries[g]
+    }
+
+    /// Number of distinct edge signatures across the index.
+    pub fn signature_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total posting entries (Σ per-signature list lengths).
+    pub fn posting_entry_count(&self) -> usize {
+        self.postings.values().map(Vec::len).sum()
+    }
+
+    /// Appends one graph at the next index.
+    pub fn append(&mut self, skeleton: &Graph) {
+        self.append_summary(StructuralSummary::of(skeleton));
+    }
+
+    /// Appends one precomputed summary at the next index.
+    pub fn append_summary(&mut self, summary: StructuralSummary) {
+        let graph = self.summaries.len() as u32;
+        for &(sig, count) in summary.edge_signatures() {
+            self.postings
+                .entry(sig)
+                .or_default()
+                .push(PostingEntry { graph, count });
+        }
+        self.summaries.push(summary);
+    }
+
+    /// Removes graph `index`, shifting every later graph down by one
+    /// (mirroring `Vec::remove` on the database and PMI side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn remove(&mut self, index: usize) {
+        assert!(
+            index < self.summaries.len(),
+            "remove: graph {index} out of range ({} graphs)",
+            self.summaries.len()
+        );
+        let removed = self.summaries.remove(index);
+        let gi = index as u32;
+        for &(sig, _) in removed.edge_signatures() {
+            let list = self
+                .postings
+                .get_mut(&sig)
+                .expect("posting list of a summarised signature exists");
+            list.retain(|e| e.graph != gi);
+            if list.is_empty() {
+                self.postings.remove(&sig);
+            }
+        }
+        for list in self.postings.values_mut() {
+            for e in list.iter_mut() {
+                if e.graph > gi {
+                    e.graph -= 1;
+                }
+            }
+        }
+    }
+
+    /// Posting-list candidate generation: all graphs whose Grafil
+    /// edge-signature deficit against `query` is at most `delta`, ascending.
+    ///
+    /// When `|E(q)| ≤ δ` the filter is vacuous (every graph passes — the
+    /// cheap residual set); otherwise only graphs appearing in at least one
+    /// of the query's posting lists are touched.
+    pub fn filter_candidates(&self, query: &StructuralSummary, delta: usize) -> FilterOutcome {
+        let m = query.edge_count();
+        if m <= delta {
+            return FilterOutcome {
+                candidates: (0..self.summaries.len()).collect(),
+                posting_entries_scanned: 0,
+            };
+        }
+        let need = (m - delta) as u32;
+        let mut matched: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut scanned = 0usize;
+        for &(sig, qc) in query.edge_signatures() {
+            if let Some(list) = self.postings.get(&sig) {
+                scanned += list.len();
+                for e in list {
+                    *matched.entry(e.graph).or_insert(0) += qc.min(e.count);
+                }
+            }
+        }
+        FilterOutcome {
+            candidates: matched
+                .into_iter()
+                .filter(|&(_, mass)| mass >= need)
+                .map(|(g, _)| g as usize)
+                .collect(),
+            posting_entries_scanned: scanned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_graph::model::GraphBuilder;
+    use pgs_graph::summary::StructuralSummary;
+
+    fn skeletons() -> Vec<Graph> {
+        vec![
+            // 0: triangle a-b-d.
+            GraphBuilder::new()
+                .vertices(&[0, 1, 3])
+                .edge(0, 1, 9)
+                .edge(1, 2, 9)
+                .edge(0, 2, 9)
+                .build(),
+            // 1: the 5-edge graph 002.
+            GraphBuilder::new()
+                .vertices(&[0, 0, 1, 1, 2])
+                .edge(0, 1, 9)
+                .edge(0, 2, 9)
+                .edge(1, 2, 9)
+                .edge(2, 3, 9)
+                .edge(2, 4, 9)
+                .build(),
+            // 2: exact super-graph of the a-b-c triangle.
+            GraphBuilder::new()
+                .vertices(&[0, 1, 2, 5])
+                .edge(0, 1, 9)
+                .edge(1, 2, 9)
+                .edge(0, 2, 9)
+                .edge(2, 3, 9)
+                .build(),
+            // 3: unrelated labels entirely.
+            GraphBuilder::new()
+                .vertices(&[7, 8, 9])
+                .edge(0, 1, 1)
+                .edge(1, 2, 1)
+                .build(),
+        ]
+    }
+
+    fn query() -> Graph {
+        GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 9)
+            .edge(1, 2, 9)
+            .edge(0, 2, 9)
+            .build()
+    }
+
+    /// The brute-force reference: graph indices passing the per-graph Grafil
+    /// deficit filter.
+    fn brute(skeletons: &[Graph], q: &Graph, delta: usize) -> Vec<usize> {
+        let qs = StructuralSummary::of(q);
+        skeletons
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| {
+                q.edge_count() <= delta
+                    || qs.signature_deficit(&StructuralSummary::of(g), delta) <= delta
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn filter_matches_the_bruteforce_reference() {
+        let db = skeletons();
+        let index = StructuralIndex::build(&db);
+        let q = query();
+        let qs = StructuralSummary::of(&q);
+        for delta in 0..=4 {
+            let outcome = index.filter_candidates(&qs, delta);
+            assert_eq!(outcome.candidates, brute(&db, &q, delta), "delta = {delta}");
+        }
+        // δ ≥ |E(q)|: the vacuous residual set, no postings touched.
+        let all = index.filter_candidates(&qs, 3);
+        assert_eq!(all.candidates, vec![0, 1, 2, 3]);
+        assert_eq!(all.posting_entries_scanned, 0);
+        // Selective δ: the unrelated graph 3 is never touched.
+        let tight = index.filter_candidates(&qs, 0);
+        assert_eq!(tight.candidates, vec![2]);
+        assert!(tight.posting_entries_scanned > 0);
+    }
+
+    #[test]
+    fn append_and_remove_mirror_a_fresh_build() {
+        let db = skeletons();
+        let full = StructuralIndex::build(&db);
+        // Build incrementally.
+        let mut incremental = StructuralIndex::default();
+        for g in &db {
+            incremental.append(g);
+        }
+        assert_eq!(incremental, full);
+        // Remove a middle graph: equals a build without it.
+        let mut removed = full.clone();
+        removed.remove(1);
+        let without: Vec<Graph> = db
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 1)
+            .map(|(_, g)| g.clone())
+            .collect();
+        assert_eq!(removed, StructuralIndex::build(&without));
+        // Re-append restores a permuted-equal index of the same summaries.
+        removed.append(&db[1]);
+        assert_eq!(removed.graph_count(), db.len());
+        assert_eq!(removed.posting_entry_count(), full.posting_entry_count());
+    }
+
+    #[test]
+    fn from_summaries_round_trips() {
+        let db = skeletons();
+        let full = StructuralIndex::build(&db);
+        let rebuilt = StructuralIndex::from_summaries(full.summaries().to_vec());
+        assert_eq!(rebuilt, full);
+        assert_eq!(rebuilt.signature_count(), full.signature_count());
+    }
+
+    #[test]
+    fn empty_index() {
+        let index = StructuralIndex::build(&[]);
+        assert_eq!(index.graph_count(), 0);
+        assert_eq!(index.posting_entry_count(), 0);
+        let qs = StructuralSummary::of(&query());
+        assert!(index.filter_candidates(&qs, 1).candidates.is_empty());
+    }
+}

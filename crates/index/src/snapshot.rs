@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! magic   8  b"PGS-PMI\0"
-//! version 4  u32 (currently 1)
+//! version 4  u32 (currently 2)
 //! fprint  8  u64 fingerprint of the build parameters (threads excluded)
 //! params  …  every PmiBuildParams field, fixed-width little-endian
 //! build_seconds f64, churn u64
@@ -16,6 +16,10 @@
 //!          support list, frequency, discriminativity
 //! matrix   u64 entry count + CSR arrays of the sparse matrix verbatim
 //!          (offsets u64, feature ids u32, lower/upper bounds f64)
+//! sindex   (v2 only) u64 summary count + per graph: vertex/edge counts,
+//!          vertex-label histogram, edge-signature histogram, degree
+//!          sequence (posting lists are a deterministic function of the
+//!          summaries and are rebuilt on load)
 //! ```
 //!
 //! All multi-byte values are little-endian; `f64`s are written as their IEEE
@@ -23,16 +27,23 @@
 //! a loaded index answers queries byte-identically to the index that was
 //! saved.  The build environment has no serde, hence the hand-rolled codec.
 //!
+//! Version 1 snapshots (pre-S-Index) still load: they decode to an index
+//! without summaries, and `QueryEngine::from_parts` rebuilds the S-Index from
+//! the database skeletons it pairs the index with.  `Pmi::to_bytes_versioned`
+//! can also *write* version 1 for old readers (the downgrade path).
+//!
 //! The salt list in the header ties a snapshot to the database contents it was
 //! built from: `QueryEngine::from_parts` recomputes the salts of the database
 //! it is given and refuses an index whose columns would not line up.
 
 use crate::feature::Feature;
 use crate::pmi::PmiBuildParams;
+use crate::sindex::StructuralIndex;
 use crate::sip_bounds::DisjointnessRule;
 use crate::storage::SparseMatrix;
 use pgs_graph::model::{Graph, Label, VertexId};
 use pgs_graph::parallel::derive_seed;
+use pgs_graph::summary::{EdgeSignature, StructuralSummary};
 use pgs_prob::montecarlo::MonteCarloConfig;
 use std::fmt;
 use std::path::Path;
@@ -40,8 +51,12 @@ use std::path::Path;
 /// Magic bytes opening every PMI snapshot.
 pub const MAGIC: [u8; 8] = *b"PGS-PMI\0";
 
-/// Current snapshot format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current snapshot format version (v2: adds the S-Index section).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The pre-S-Index format version; still readable, and writable via
+/// `Pmi::to_bytes_versioned` for downgrade scenarios.
+pub const FORMAT_V1: u32 = 1;
 
 /// Errors surfaced by [`crate::pmi::Pmi::save`] / [`crate::pmi::Pmi::load`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +98,8 @@ pub(crate) struct PmiParts {
     pub graph_salts: Vec<u64>,
     pub features: Vec<Feature>,
     pub matrix: SparseMatrix,
+    /// `None` for format-v1 snapshots (pre-S-Index).
+    pub sindex: Option<StructuralIndex>,
 }
 
 /// A borrowed view of the same parts, used by the encoder so serialization
@@ -94,6 +111,7 @@ pub(crate) struct PmiPartsRef<'a> {
     pub graph_salts: &'a [u64],
     pub features: &'a [Feature],
     pub matrix: &'a SparseMatrix,
+    pub sindex: Option<&'a StructuralIndex>,
 }
 
 /// A deterministic fingerprint of the build parameters (the query-relevant
@@ -102,10 +120,17 @@ pub(crate) struct PmiPartsRef<'a> {
 /// corruption check; callers can also compare it against their own
 /// configuration before trusting a foreign index.
 pub fn params_fingerprint(params: &PmiBuildParams) -> u64 {
+    params_fingerprint_at(params, FORMAT_VERSION)
+}
+
+/// The fingerprint as computed by a specific format version: the version
+/// constant is mixed into the hash, so a v1 snapshot's stored fingerprint
+/// must be verified with the v1 formula.
+fn params_fingerprint_at(params: &PmiBuildParams, version: u32) -> u64 {
     let f = &params.features;
     let b = &params.bounds;
     derive_seed(&[
-        u64::from(FORMAT_VERSION),
+        u64::from(version),
         f.max_l as u64,
         f.alpha.to_bits(),
         f.beta.to_bits(),
@@ -141,14 +166,34 @@ fn disjointness_from_tag(tag: u8) -> Result<DisjointnessRule, SnapshotError> {
     }
 }
 
-/// Exact byte length of the payload sections (salts + features + matrix) —
-/// the real index size reported by `PmiStats::size_bytes`.  Everything before
-/// the payload is a fixed-size header of [`header_len`] bytes.
-pub(crate) fn payload_len(salts: &[u64], features: &[Feature], matrix: &SparseMatrix) -> usize {
+/// Exact byte length of the payload sections (salts + features + matrix +
+/// the S-Index section when present) — the real index size reported by
+/// `PmiStats::size_bytes`.  Everything before the payload is a fixed-size
+/// header of [`header_len`] bytes.
+pub(crate) fn payload_len(
+    salts: &[u64],
+    features: &[Feature],
+    matrix: &SparseMatrix,
+    sindex: Option<&StructuralIndex>,
+) -> usize {
     let salts_len = 8 + 8 * salts.len();
     let features_len: usize = 8 + features.iter().map(feature_len).sum::<usize>();
     let matrix_len = 8 + matrix.payload_bytes();
-    salts_len + features_len + matrix_len
+    let sindex_len = sindex.map_or(0, |s| {
+        8 + s.summaries().iter().map(summary_len).sum::<usize>()
+    });
+    salts_len + features_len + matrix_len + sindex_len
+}
+
+/// Encoded size of one structural summary.
+fn summary_len(s: &StructuralSummary) -> usize {
+    4 + 4
+        + 4
+        + 8 * s.vertex_labels().len()
+        + 4
+        + 16 * s.edge_signatures().len()
+        + 4
+        + 4 * s.degree_sequence().len()
 }
 
 /// Byte length of the fixed header (magic + version + fingerprint + params +
@@ -175,13 +220,31 @@ fn feature_len(f: &Feature) -> usize {
         + 8
 }
 
-pub(crate) fn encode(parts: &PmiPartsRef<'_>) -> Vec<u8> {
+pub(crate) fn encode(parts: &PmiPartsRef<'_>, version: u32) -> Result<Vec<u8>, SnapshotError> {
+    if version != FORMAT_VERSION && version != FORMAT_V1 {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let sindex = if version >= FORMAT_VERSION {
+        match parts.sindex {
+            Some(s) => Some(s),
+            None => {
+                return Err(SnapshotError::Corrupt(
+                    "cannot encode a v2 snapshot without an S-Index \
+                     (pair the index with its database first)"
+                        .into(),
+                ))
+            }
+        }
+    } else {
+        // v1 predates the S-Index section.
+        None
+    };
     let mut w = Writer::with_capacity(
-        header_len() + payload_len(parts.graph_salts, parts.features, parts.matrix),
+        header_len() + payload_len(parts.graph_salts, parts.features, parts.matrix, sindex),
     );
     w.bytes(&MAGIC);
-    w.u32(FORMAT_VERSION);
-    w.u64(params_fingerprint(parts.params));
+    w.u32(version);
+    w.u64(params_fingerprint_at(parts.params, version));
     encode_params(&mut w, parts.params);
     w.f64(parts.build_seconds);
     w.u64(parts.churn as u64);
@@ -210,7 +273,14 @@ pub(crate) fn encode(parts: &PmiPartsRef<'_>) -> Vec<u8> {
     for &u in m.uppers() {
         w.f64(u);
     }
-    w.out
+
+    if let Some(s) = sindex {
+        w.u64(s.summaries().len() as u64);
+        for summary in s.summaries() {
+            encode_summary(&mut w, summary);
+        }
+    }
+    Ok(w.out)
 }
 
 pub(crate) fn decode(bytes: &[u8]) -> Result<PmiParts, SnapshotError> {
@@ -219,12 +289,12 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<PmiParts, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let version = r.u32()?;
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != FORMAT_V1 {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let stored_fingerprint = r.u64()?;
     let params = decode_params(&mut r)?;
-    if params_fingerprint(&params) != stored_fingerprint {
+    if params_fingerprint_at(&params, version) != stored_fingerprint {
         return Err(SnapshotError::Corrupt(
             "build-parameter fingerprint does not match the stored parameters".into(),
         ));
@@ -270,9 +340,28 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<PmiParts, SnapshotError> {
     for _ in 0..entry_count {
         uppers.push(r.f64()?);
     }
+
+    let sindex = if version >= FORMAT_VERSION {
+        // The smallest encoded summary (empty graph) is 20 bytes.
+        let summary_count = r.len_prefixed(20)?;
+        if summary_count != graph_salts.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{summary_count} S-Index summaries but {} graph salts",
+                graph_salts.len()
+            )));
+        }
+        let mut summaries = Vec::with_capacity(summary_count);
+        for gi in 0..summary_count {
+            summaries.push(decode_summary(&mut r, gi)?);
+        }
+        Some(StructuralIndex::from_summaries(summaries))
+    } else {
+        None
+    };
+
     if !r.is_empty() {
         return Err(SnapshotError::Corrupt(
-            "trailing bytes after the matrix".into(),
+            "trailing bytes after the final section".into(),
         ));
     }
     let matrix = SparseMatrix::from_raw(offsets, feature_ids, lowers, uppers)
@@ -284,7 +373,62 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<PmiParts, SnapshotError> {
         graph_salts,
         features,
         matrix,
+        sindex,
     })
+}
+
+fn encode_summary(w: &mut Writer, s: &StructuralSummary) {
+    w.u32(s.vertex_count() as u32);
+    w.u32(s.edge_count() as u32);
+    w.u32(s.vertex_labels().len() as u32);
+    for &(l, c) in s.vertex_labels() {
+        w.u32(l.0);
+        w.u32(c);
+    }
+    w.u32(s.edge_signatures().len() as u32);
+    for &((el, la, lb), c) in s.edge_signatures() {
+        w.u32(el.0);
+        w.u32(la.0);
+        w.u32(lb.0);
+        w.u32(c);
+    }
+    w.u32(s.degree_sequence().len() as u32);
+    for &d in s.degree_sequence() {
+        w.u32(d);
+    }
+}
+
+fn decode_summary(r: &mut Reader, gi: usize) -> Result<StructuralSummary, SnapshotError> {
+    let corrupt = |why: String| SnapshotError::Corrupt(format!("S-Index summary {gi}: {why}"));
+    let vertex_count = r.u32()?;
+    let edge_count = r.u32()?;
+    let label_count = r.len_prefixed32(8)?;
+    let mut vertex_labels = Vec::with_capacity(label_count);
+    for _ in 0..label_count {
+        let l = Label(r.u32()?);
+        let c = r.u32()?;
+        vertex_labels.push((l, c));
+    }
+    let sig_count = r.len_prefixed32(16)?;
+    let mut edge_signatures: Vec<(EdgeSignature, u32)> = Vec::with_capacity(sig_count);
+    for _ in 0..sig_count {
+        let sig = (Label(r.u32()?), Label(r.u32()?), Label(r.u32()?));
+        let c = r.u32()?;
+        edge_signatures.push((sig, c));
+    }
+    let degree_count = r.len_prefixed32(4)?;
+    let mut degree_sequence = Vec::with_capacity(degree_count);
+    for _ in 0..degree_count {
+        degree_sequence.push(r.u32()?);
+    }
+    StructuralSummary::from_parts(
+        vertex_count,
+        edge_count,
+        vertex_labels,
+        edge_signatures,
+        degree_sequence,
+    )
+    .map_err(corrupt)
 }
 
 /// Writes `bytes` to `path` atomically enough for our purposes (truncate +
@@ -515,15 +659,23 @@ mod tests {
     use crate::sip_bounds::SipBounds;
     use pgs_graph::model::GraphBuilder;
 
+    fn encode_parts_at(parts: &PmiParts, version: u32) -> Result<Vec<u8>, SnapshotError> {
+        encode(
+            &PmiPartsRef {
+                params: &parts.params,
+                build_seconds: parts.build_seconds,
+                churn: parts.churn,
+                graph_salts: &parts.graph_salts,
+                features: &parts.features,
+                matrix: &parts.matrix,
+                sindex: parts.sindex.as_ref(),
+            },
+            version,
+        )
+    }
+
     fn encode_parts(parts: &PmiParts) -> Vec<u8> {
-        encode(&PmiPartsRef {
-            params: &parts.params,
-            build_seconds: parts.build_seconds,
-            churn: parts.churn,
-            graph_salts: &parts.graph_salts,
-            features: &parts.features,
-            matrix: &parts.matrix,
-        })
+        encode_parts_at(parts, FORMAT_VERSION).unwrap()
     }
 
     fn sample_parts() -> PmiParts {
@@ -532,6 +684,13 @@ mod tests {
             .vertices(&[0, 1])
             .edge(0, 1, 9)
             .build();
+        let g0 = GraphBuilder::new()
+            .name("g0")
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 9)
+            .edge(1, 2, 9)
+            .build();
+        let g1 = GraphBuilder::new().name("g1").vertices(&[4, 4]).build();
         let mut matrix = SparseMatrix::new();
         matrix.push_column(vec![(
             0,
@@ -554,6 +713,7 @@ mod tests {
                 discriminativity: 1.0,
             }],
             matrix,
+            sindex: Some(StructuralIndex::build(&[g0, g1])),
         }
     }
 
@@ -563,7 +723,13 @@ mod tests {
         let bytes = encode_parts(&parts);
         assert_eq!(
             bytes.len(),
-            header_len() + payload_len(&parts.graph_salts, &parts.features, &parts.matrix)
+            header_len()
+                + payload_len(
+                    &parts.graph_salts,
+                    &parts.features,
+                    &parts.matrix,
+                    parts.sindex.as_ref()
+                )
         );
         let back = decode(&bytes).unwrap();
         assert_eq!(back.build_seconds, parts.build_seconds);
@@ -575,10 +741,57 @@ mod tests {
         assert_eq!(back.features[0].graph.name(), "f0");
         assert_eq!(back.features[0].support, vec![0]);
         assert_eq!(back.features[0].frequency, 0.5);
+        assert_eq!(back.sindex, parts.sindex);
         assert_eq!(
             params_fingerprint(&back.params),
             params_fingerprint(&parts.params)
         );
+    }
+
+    #[test]
+    fn v1_snapshots_encode_and_decode_without_an_sindex() {
+        let parts = sample_parts();
+        let v1 = encode_parts_at(&parts, FORMAT_V1).unwrap();
+        assert!(v1.len() < encode_parts(&parts).len());
+        let back = decode(&v1).unwrap();
+        assert!(back.sindex.is_none());
+        assert_eq!(back.graph_salts, parts.graph_salts);
+        assert_eq!(back.matrix, parts.matrix);
+        // The v1 fingerprint is the v1 formula, not the current one.
+        assert_eq!(
+            u64::from_le_bytes(v1[12..20].try_into().unwrap()),
+            params_fingerprint_at(&parts.params, FORMAT_V1)
+        );
+    }
+
+    #[test]
+    fn encoding_rejects_unknown_versions_and_a_missing_sindex() {
+        let mut parts = sample_parts();
+        assert!(matches!(
+            encode_parts_at(&parts, 7),
+            Err(SnapshotError::UnsupportedVersion(7))
+        ));
+        parts.sindex = None;
+        match encode_parts_at(&parts, FORMAT_VERSION) {
+            Err(SnapshotError::Corrupt(why)) => assert!(why.contains("S-Index")),
+            other => panic!("expected Corrupt, got {:?}", other.err()),
+        }
+        // ...but v1 encoding works without one.
+        assert!(encode_parts_at(&parts, FORMAT_V1).is_ok());
+    }
+
+    #[test]
+    fn summary_count_mismatch_is_rejected() {
+        let mut parts = sample_parts();
+        let extra = GraphBuilder::new().vertices(&[0]).build();
+        if let Some(s) = &mut parts.sindex {
+            s.append(&extra);
+        }
+        let bytes = encode_parts(&parts);
+        match decode(&bytes) {
+            Err(SnapshotError::Corrupt(why)) => assert!(why.contains("summaries")),
+            other => panic!("expected Corrupt, got {:?}", other.err()),
+        }
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub use prune::{
 };
 pub use qp::{tightest_lsim, QpOptions};
 pub use setcover::{greedy_weighted_set_cover, SetCoverSolution};
-pub use structural::{structural_candidates, structural_candidates_threaded};
+pub use structural::{
+    passes_feature_count_filter, structural_candidates, structural_candidates_indexed,
+    structural_candidates_threaded, StructuralFilterStats,
+};
 pub use verify::{
     collect_embeddings_of_relaxations, collect_relaxed_embeddings, verify_ssp_exact,
     verify_ssp_sampled, verify_ssp_sampled_relaxed, VerifyOptions,

@@ -17,7 +17,7 @@
 //! every database graph directly.
 
 use crate::prune::{prune_candidate, CrossTermRule, PruneDecision, PruneOutcome};
-use crate::structural::structural_candidates_threaded;
+use crate::structural::structural_candidates_indexed;
 use crate::verify::{verify_ssp_exact, verify_ssp_sampled_relaxed, VerifyOptions};
 use pgs_graph::model::Graph;
 use pgs_graph::parallel::{derive_seed, par_map_chunked, resolve_threads};
@@ -78,6 +78,28 @@ impl Default for ExactScanConfig {
                 max_samples: 50_000,
             },
         }
+    }
+}
+
+impl ExactScanConfig {
+    /// Validates the configuration the way ε is validated: a `NaN` or
+    /// non-positive `τ`/`ξ` and a zero sample cap used to flow silently into
+    /// the Monte-Carlo clamp (`MonteCarloConfig::num_samples` substitutes
+    /// defaults), so a misconfigured "exact" baseline would quietly answer at
+    /// a different precision than requested.  [`QueryEngine::exact_scan`]
+    /// rejects such configurations with a typed error instead.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        let mc = &self.fallback_mc;
+        let bad_tau = mc.tau.is_nan() || mc.tau <= 0.0;
+        let bad_xi = mc.xi.is_nan() || mc.xi <= 0.0;
+        if bad_tau || bad_xi || mc.max_samples == 0 {
+            return Err(QueryError::InvalidExactScanConfig {
+                tau: mc.tau,
+                xi: mc.xi,
+                max_samples: mc.max_samples,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -178,6 +200,18 @@ pub enum QueryError {
     /// The query graph has no edges.  Silently evaluating it would return the
     /// full database (every graph trivially contains the empty query).
     EmptyQuery,
+    /// The `Exact` baseline's precision knobs are unusable: `τ`/`ξ` is `NaN`
+    /// or non-positive, or the sample cap is zero.  Silently evaluating would
+    /// let the Monte-Carlo clamp substitute defaults, so the "exact" answer
+    /// would be computed at a precision the caller never asked for.
+    InvalidExactScanConfig {
+        /// The configured relative error `τ`.
+        tau: f64,
+        /// The configured failure probability `ξ`.
+        xi: f64,
+        /// The configured sample cap.
+        max_samples: usize,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -188,6 +222,15 @@ impl fmt::Display for QueryError {
                 "invalid probability threshold ε = {epsilon}: must be a number in (0, 1]"
             ),
             QueryError::EmptyQuery => write!(f, "the query graph has no edges"),
+            QueryError::InvalidExactScanConfig {
+                tau,
+                xi,
+                max_samples,
+            } => write!(
+                f,
+                "invalid exact-scan configuration: τ = {tau} and ξ = {xi} must be \
+                 positive numbers and the sample cap ({max_samples}) non-zero"
+            ),
         }
     }
 }
@@ -293,6 +336,13 @@ impl From<IndexMismatch> for EngineLoadError {
 pub struct PhaseStats {
     /// `|SC_q|` — graphs surviving structural pruning.
     pub structural_candidates: usize,
+    /// S-Index posting entries walked while generating the structural
+    /// candidates (zero for the index-free `Exact` baseline and for the
+    /// vacuous `δ ≥ |E(q)|` filter).
+    pub posting_entries_scanned: usize,
+    /// Graphs surviving the posting-list feature-count filter, i.e. graphs
+    /// that received the exact subgraph-distance check in phase 1.
+    pub filter_survivors: usize,
     /// Graphs discarded by Pruning rule 1.
     pub pruned_by_upper: usize,
     /// Graphs accepted by Pruning rule 2 without verification.
@@ -321,6 +371,8 @@ impl PhaseStats {
     /// per-phase totals over a workload.
     pub fn accumulate(&mut self, other: &PhaseStats) {
         self.structural_candidates += other.structural_candidates;
+        self.posting_entries_scanned += other.posting_entries_scanned;
+        self.filter_survivors += other.filter_survivors;
         self.pruned_by_upper += other.pruned_by_upper;
         self.accepted_by_lower += other.accepted_by_lower;
         self.verified += other.verified;
@@ -425,7 +477,12 @@ impl QueryEngine {
         {
             return Err(IndexMismatch::GraphSalt { position });
         }
-        let skeletons = db.iter().map(|g| g.skeleton().clone()).collect();
+        let skeletons: Vec<Graph> = db.iter().map(|g| g.skeleton().clone()).collect();
+        // An index decoded from a pre-S-Index (v1) snapshot carries no
+        // summaries; re-derive them from the (salt-verified) skeletons so the
+        // engine invariant — the PMI always has an S-Index — holds.
+        let mut pmi = pmi;
+        pmi.ensure_sindex(&skeletons);
         Ok(QueryEngine {
             db,
             skeletons,
@@ -550,14 +607,41 @@ impl QueryEngine {
 
     /// The three-phase pipeline with an explicit thread count (`0` = auto).
     fn query_with_threads(&self, q: &Graph, params: &QueryParams, threads: usize) -> QueryResult {
+        // Trivial relaxation: when δ ≥ |E(q)| the relaxed query set collapses
+        // to the empty pattern, which every possible world contains, so
+        // SSP = 1 ≥ ε for every graph.  Answer directly instead of running
+        // the pruning bounds and the sampler on an empty pattern (they would
+        // eventually agree, after wasted work per candidate).
+        if params.delta >= q.edge_count() {
+            let n = self.db.len();
+            return QueryResult {
+                answers: (0..n).collect(),
+                stats: PhaseStats {
+                    structural_candidates: n,
+                    accepted_by_lower: n,
+                    probabilistic_candidates: n,
+                    ..PhaseStats::default()
+                },
+            };
+        }
         let query_hash = hash_query(q);
         let mut stats = PhaseStats::default();
 
-        // Phase 1: structural pruning (parallel over skeletons).
+        // Phase 1: structural pruning via the S-Index — the query summary is
+        // computed once, posting-list deficit accumulation touches only
+        // graphs sharing a signature with the query, and the exact check
+        // (parallel over filter survivors) reuses the cached summaries.
         let t0 = Instant::now();
-        let structural = structural_candidates_threaded(&self.skeletons, q, params.delta, threads);
+        let sindex = self
+            .pmi
+            .sindex()
+            .expect("engine invariant: the PMI always carries an S-Index");
+        let (structural, filter_stats) =
+            structural_candidates_indexed(sindex, &self.skeletons, q, params.delta, threads);
         stats.structural_seconds = t0.elapsed().as_secs_f64();
         stats.structural_candidates = structural.len();
+        stats.posting_entries_scanned = filter_stats.posting_entries_scanned;
+        stats.filter_survivors = filter_stats.filter_survivors;
 
         // Phase 2: probabilistic pruning (parallel over candidates).  The
         // relaxed query set is computed exactly once and shared with the
@@ -647,6 +731,7 @@ impl QueryEngine {
     /// accuracy) comes from [`EngineConfig::exact`].
     pub fn exact_scan(&self, q: &Graph, params: &QueryParams) -> Result<QueryResult, QueryError> {
         params.validate()?;
+        self.config.exact.validate()?;
         if q.edge_count() == 0 {
             return Err(QueryError::EmptyQuery);
         }
@@ -1096,6 +1181,117 @@ mod tests {
             );
         }
         assert_eq!(mutated.pmi().churn(), 2);
+    }
+
+    #[test]
+    fn trivial_relaxation_returns_the_full_database_without_sampling() {
+        // δ ≥ |E(q)|: the relaxed query collapses to the empty pattern, which
+        // every possible world contains — SSP = 1 for every graph, so every
+        // graph is an answer at any valid ε, accepted without verification.
+        let (engine, queries) = small_engine();
+        let q = &queries[0].graph;
+        let n = engine.db().len();
+        for delta in [q.edge_count(), q.edge_count() + 1, q.edge_count() + 10] {
+            for variant in [
+                PruningVariant::Structure,
+                PruningVariant::SspBound,
+                PruningVariant::OptSspBound,
+            ] {
+                for epsilon in [0.05, 0.5, 1.0] {
+                    let params = QueryParams {
+                        epsilon,
+                        delta,
+                        variant,
+                    };
+                    let result = engine.query(q, &params).unwrap();
+                    assert_eq!(result.answers, (0..n).collect::<Vec<_>>());
+                    let s = result.stats;
+                    assert_eq!(s.structural_candidates, n);
+                    assert_eq!(s.accepted_by_lower, n);
+                    assert_eq!(s.verified, 0, "the sampler must not run");
+                    assert_eq!(s.posting_entries_scanned, 0);
+                    // The exact scan agrees on the answer set.
+                    let exact = engine.exact_scan(q, &params).unwrap();
+                    assert_eq!(result.answers, exact.answers);
+                }
+            }
+        }
+        // One edge below the trivial threshold the pipeline runs normally.
+        let params = QueryParams {
+            epsilon: 0.5,
+            delta: q.edge_count() - 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        let result = engine.query(q, &params).unwrap();
+        assert_eq!(
+            result.stats.structural_candidates,
+            result.stats.pruned_by_upper + result.stats.accepted_by_lower + result.stats.verified
+        );
+    }
+
+    #[test]
+    fn invalid_exact_scan_config_is_a_typed_error() {
+        let (engine, queries) = small_engine();
+        let q = &queries[0].graph;
+        let params = QueryParams {
+            epsilon: 0.5,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        let bad_configs = [
+            (f64::NAN, 0.01, 1000),
+            (0.0, 0.01, 1000),
+            (-0.5, 0.01, 1000),
+            (0.05, f64::NAN, 1000),
+            (0.05, 0.0, 1000),
+            (0.05, 0.01, 0),
+        ];
+        for (tau, xi, max_samples) in bad_configs {
+            let mut config = *engine.config();
+            config.exact.fallback_mc = MonteCarloConfig {
+                tau,
+                xi,
+                max_samples,
+            };
+            let broken = QueryEngine::build(engine.db().to_vec(), config);
+            match broken.exact_scan(q, &params) {
+                Err(QueryError::InvalidExactScanConfig {
+                    tau: t,
+                    xi: x,
+                    max_samples: m,
+                }) => {
+                    assert!(t.is_nan() == tau.is_nan() && (t.is_nan() || t == tau));
+                    assert!(x.is_nan() == xi.is_nan() && (x.is_nan() || x == xi));
+                    assert_eq!(m, max_samples);
+                }
+                other => panic!("τ={tau} ξ={xi} cap={max_samples}: got {other:?}"),
+            }
+            // The pipeline itself never consults the exact-scan knobs.
+            assert!(broken.query(q, &params).is_ok());
+        }
+        assert!(ExactScanConfig::default().validate().is_ok());
+        assert!(QueryError::InvalidExactScanConfig {
+            tau: f64::NAN,
+            xi: 0.0,
+            max_samples: 0
+        }
+        .to_string()
+        .contains("sample cap"));
+    }
+
+    #[test]
+    fn structural_phase_reports_posting_list_work() {
+        let (engine, queries) = small_engine();
+        let params = QueryParams {
+            epsilon: 0.4,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        let result = engine.query(&queries[0].graph, &params).unwrap();
+        let s = result.stats;
+        assert!(s.posting_entries_scanned > 0, "δ < |E(q)| walks postings");
+        assert!(s.filter_survivors >= s.structural_candidates);
+        assert!(s.filter_survivors <= engine.db().len());
     }
 
     #[test]

@@ -15,13 +15,45 @@
 //!    distance of Definition 8 (`pgs_graph::mcs::subgraph_similar`), so the
 //!    phase returns exactly `SC_q = {g | dis(q, gc) ≤ δ}` as assumed by
 //!    Section 1.2.
+//!
+//! Two implementations of stage 1 exist:
+//!
+//! * [`structural_candidates_indexed`] — the production path.  The query's
+//!   summary is computed **once**, the deficit filter runs over the S-Index
+//!   posting lists (`pgs_index::sindex`), touching only graphs that share at
+//!   least one edge signature with the query, and the exact check reuses the
+//!   cached per-graph summaries.  Sublinear in the database size for
+//!   selective queries.
+//! * [`structural_candidates`] / [`structural_candidates_threaded`] — the
+//!   brute-force reference: a full scan with the per-graph filter.  The query
+//!   histogram is still computed once per query (it used to be rebuilt inside
+//!   the per-candidate closure — the bug this module's rewrite fixed), but
+//!   every skeleton is visited.  Kept for index-free callers, the
+//!   equivalence property tests and the `bench-structural` baseline.
+//!
+//! Both return the same index set, bit for bit, for every input — the
+//! determinism suite and a randomized property test pin this.
 
-use pgs_graph::mcs::subgraph_similar;
+use pgs_graph::mcs::{subgraph_similar, SimilarityTester};
 use pgs_graph::model::Graph;
 use pgs_graph::parallel::par_map_chunked;
+use pgs_graph::summary::StructuralSummary;
+use pgs_index::sindex::StructuralIndex;
+
+/// Work counters of one indexed structural phase run
+/// (surfaced as `PhaseStats` fields).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StructuralFilterStats {
+    /// Posting entries walked during deficit accumulation.
+    pub posting_entries_scanned: usize,
+    /// Graphs surviving the feature-count filter (= graphs handed to the
+    /// exact subgraph-distance check).
+    pub filter_survivors: usize,
+}
 
 /// Returns the indices of the skeleton graphs that are deterministically
-/// subgraph-similar to `q` under distance threshold `delta` (the set `SC_q`).
+/// subgraph-similar to `q` under distance threshold `delta` (the set `SC_q`),
+/// by brute-force scan.
 pub fn structural_candidates(skeletons: &[Graph], q: &Graph, delta: usize) -> Vec<usize> {
     structural_candidates_threaded(skeletons, q, delta, 1)
 }
@@ -35,8 +67,12 @@ pub fn structural_candidates_threaded(
     delta: usize,
     threads: usize,
 ) -> Vec<usize> {
+    // Computed once per query and shared by every worker — not once per
+    // candidate skeleton.
+    let q_summary = StructuralSummary::of(q);
     let keep = par_map_chunked(skeletons, threads, |_, g| {
-        passes_feature_count_filter(q, g, delta) && subgraph_similar(q, g, delta)
+        passes_feature_count_filter_summarized(&q_summary, g, delta)
+            && subgraph_similar(q, g, delta)
     });
     keep.iter()
         .enumerate()
@@ -44,22 +80,69 @@ pub fn structural_candidates_threaded(
         .collect()
 }
 
+/// `SC_q` via the S-Index: posting-list deficit accumulation generates the
+/// filter survivors without touching unrelated graphs, then the exact check
+/// confirms them — through one [`SimilarityTester`], so the query summary
+/// *and* the edge-deleted sub-patterns are derived once per query instead of
+/// once per candidate.  Returns the candidate list
+/// (ascending, identical to [`structural_candidates`]) plus the phase's work
+/// counters.
+///
+/// `index` must summarise exactly `skeletons` (the engine keeps the two
+/// aligned through builds and incremental mutations).
+pub fn structural_candidates_indexed(
+    index: &StructuralIndex,
+    skeletons: &[Graph],
+    q: &Graph,
+    delta: usize,
+    threads: usize,
+) -> (Vec<usize>, StructuralFilterStats) {
+    debug_assert_eq!(index.graph_count(), skeletons.len());
+    let tester = SimilarityTester::new(q, delta);
+    let outcome = index.filter_candidates(tester.query_summary(), delta);
+    let stats = StructuralFilterStats {
+        posting_entries_scanned: outcome.posting_entries_scanned,
+        filter_survivors: outcome.candidates.len(),
+    };
+    let keep = par_map_chunked(&outcome.candidates, threads, |_, &gi| {
+        tester.matches(&skeletons[gi], index.summary(gi))
+    });
+    let candidates = outcome
+        .candidates
+        .iter()
+        .zip(&keep)
+        .filter_map(|(&gi, &k)| k.then_some(gi))
+        .collect();
+    (candidates, stats)
+}
+
 /// Grafil-style edge-signature count filter: a necessary condition for
 /// `dis(q, g) ≤ delta`.
 pub fn passes_feature_count_filter(q: &Graph, g: &Graph, delta: usize) -> bool {
-    if q.edge_count() <= delta {
+    passes_feature_count_filter_summarized(&StructuralSummary::of(q), g, delta)
+}
+
+/// [`passes_feature_count_filter`] against a precomputed query summary, so a
+/// scan over many graphs builds the query histogram exactly once.  Only the
+/// data graph's edge-signature histogram is needed — building its full
+/// summary (vertex labels, degree sort) here would make the scan pay for
+/// state it never reads.
+pub fn passes_feature_count_filter_summarized(
+    q_summary: &StructuralSummary,
+    g: &Graph,
+    delta: usize,
+) -> bool {
+    if q_summary.edge_count() <= delta {
         return true;
     }
     // Every edge deletion removes exactly one edge-signature occurrence from
     // the query, so if `q` minus at most `delta` edges embeds in `g`, the total
     // per-signature deficit `Σ max(0, count_q(sig) − count_g(sig))` cannot
     // exceed `delta`.
-    let qh = q.edge_signature_histogram();
     let gh = g.edge_signature_histogram();
     let mut deficit = 0usize;
-    for (sig, qc) in qh {
-        let gc = gh.get(&sig).copied().unwrap_or(0);
-        deficit += qc.saturating_sub(gc);
+    for &(sig, qc) in q_summary.edge_signatures() {
+        deficit += (qc as usize).saturating_sub(gh.get(&sig).copied().unwrap_or(0));
         if deficit > delta {
             return false;
         }
@@ -128,6 +211,26 @@ mod tests {
     }
 
     #[test]
+    fn indexed_candidates_match_the_bruteforce_scan() {
+        let db = database();
+        let index = StructuralIndex::build(&db);
+        let q = query();
+        for delta in 0..=4 {
+            let brute = structural_candidates(&db, &q, delta);
+            for threads in [1usize, 0, 3] {
+                let (indexed, stats) =
+                    structural_candidates_indexed(&index, &db, &q, delta, threads);
+                assert_eq!(indexed, brute, "delta = {delta}, threads = {threads}");
+                assert!(stats.filter_survivors >= indexed.len());
+            }
+        }
+        // The unrelated graph 3 is never even touched for a selective query.
+        let (_, stats) = structural_candidates_indexed(&index, &db, &q, 0, 1);
+        assert_eq!(stats.filter_survivors, 1);
+        assert!(stats.posting_entries_scanned > 0);
+    }
+
+    #[test]
     fn filter_agrees_with_exact_check_as_a_necessary_condition() {
         // The count filter may keep extra graphs but must never drop a graph
         // that the exact check accepts.
@@ -158,11 +261,20 @@ mod tests {
         let q = GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 9).build();
         let candidates = structural_candidates(&db, &q, 1);
         assert_eq!(candidates.len(), db.len());
+        let index = StructuralIndex::build(&db);
+        let (indexed, stats) = structural_candidates_indexed(&index, &db, &q, 1, 1);
+        assert_eq!(indexed.len(), db.len());
+        // The vacuous filter never walks a posting list.
+        assert_eq!(stats.posting_entries_scanned, 0);
     }
 
     #[test]
     fn empty_database_gives_no_candidates() {
         assert!(structural_candidates(&[], &query(), 1).is_empty());
+        let index = StructuralIndex::build(&[]);
+        assert!(structural_candidates_indexed(&index, &[], &query(), 1, 1)
+            .0
+            .is_empty());
     }
 
     #[test]

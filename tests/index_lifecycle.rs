@@ -1,22 +1,30 @@
-//! Integration tests of the index lifecycle: snapshot save/load round-trips,
-//! incremental database mutation, and the query-parameter validation that
-//! used to fail silently.
+//! Integration tests of the index lifecycle: snapshot save/load round-trips
+//! (v2 with the S-Index section, and v1 back-compat), incremental database
+//! mutation, posting-list/brute-force equivalence of the structural phase,
+//! and the query-parameter validation that used to fail silently.
 //!
-//! The acceptance bar (ISSUE 3): a loaded snapshot must answer *byte-identically*
-//! to the engine that built the index, for every pruning variant; an
-//! insert/remove sequence through `DynamicDatabase` must match a fresh rebuild
-//! on the same final database; and ε = NaN / ε ≤ 0 / ε > 1 must be a typed
-//! error instead of a silently empty or full answer set.
+//! The acceptance bars (ISSUEs 3 and 4): a loaded snapshot must answer
+//! *byte-identically* to the engine that built the index, for every pruning
+//! variant; a v1 (pre-S-Index) snapshot must still load, with the summaries
+//! re-derived from the database skeletons; an insert/remove sequence through
+//! `DynamicDatabase` must match a fresh rebuild on the same final database —
+//! S-Index included; the S-Index candidate generator must return exactly the
+//! brute-force scan's index set on randomized graphs/queries/δ; and ε = NaN /
+//! ε ≤ 0 / ε > 1 must be a typed error instead of a silently empty or full
+//! answer set.
 
 use pgs::prelude::*;
 use pgs::prob::montecarlo::MonteCarloConfig;
 use pgs::query::pipeline::QueryEngine;
+use pgs::query::structural::{structural_candidates, structural_candidates_indexed};
 use pgs::query::verify::VerifyOptions;
 use pgs_graph::model::EdgeId;
 use pgs_index::feature::FeatureSelectionParams;
 use pgs_index::pmi::{Pmi, PmiBuildParams};
+use pgs_index::sindex::StructuralIndex;
 use pgs_index::sip_bounds::BoundsConfig;
 use pgs_index::snapshot::SnapshotError;
+use proptest::prelude::*;
 use std::path::PathBuf;
 
 /// Graph 001 of Figure 1 (triangle a-b-d).
@@ -294,6 +302,14 @@ fn insert_remove_sequence_matches_a_fresh_rebuild() {
     // the mined feature sets differ (and candidate counts may differ), but
     // pruning is sound and verification is exact, so the *answers* agree.
     let fresh = DynamicDatabase::build(expected, exact_verify_config());
+    // The S-Index, unlike the mined features, is a pure function of the
+    // database contents: the incrementally maintained one must equal the
+    // fresh build's exactly.
+    assert_eq!(
+        db.engine().pmi().sindex().expect("S-Index present"),
+        fresh.engine().pmi().sindex().expect("S-Index present"),
+        "incremental S-Index diverged from a fresh rebuild"
+    );
     let queries = pgs::datagen::queries::generate_query_workload(
         &dataset,
         &pgs::datagen::queries::QueryWorkloadConfig {
@@ -381,6 +397,165 @@ fn incremental_snapshot_still_round_trips() {
             reopened.query(&wq.graph, &params).unwrap().answers,
             db.query(&wq.graph, &params).unwrap().answers
         );
+    }
+}
+
+#[test]
+fn v1_snapshot_still_loads_and_answers_identically() {
+    // An index serialized in the pre-S-Index format (v1) must keep working:
+    // decoding yields no summaries, and `QueryEngine::from_parts` re-derives
+    // them from the (salt-verified) database skeletons, so every answer —
+    // and every per-phase count — matches the v2-built engine exactly.
+    let engine = QueryEngine::build(figure_1_database(), figure_1_config());
+    let v1_bytes = engine
+        .pmi()
+        .to_bytes_versioned(pgs_index::snapshot::FORMAT_V1)
+        .unwrap();
+    let v2_bytes = engine.pmi().to_bytes();
+    assert_eq!(
+        v2_bytes[8..12],
+        pgs_index::snapshot::FORMAT_VERSION.to_le_bytes(),
+        "a freshly built index saves as v2"
+    );
+    assert!(v1_bytes.len() < v2_bytes.len());
+
+    let old = Pmi::from_bytes(&v1_bytes).unwrap();
+    assert!(old.sindex().is_none(), "v1 carries no S-Index");
+    let migrated = QueryEngine::from_parts(figure_1_database(), old, figure_1_config()).unwrap();
+    assert_eq!(
+        migrated.pmi().sindex(),
+        engine.pmi().sindex(),
+        "the re-derived S-Index equals the originally built one"
+    );
+    let q = query_q();
+    for variant in all_variants() {
+        for epsilon in [0.05, 0.3, 0.6, 0.95] {
+            for delta in [0usize, 1, 2] {
+                let params = QueryParams {
+                    epsilon,
+                    delta,
+                    variant,
+                };
+                let a = engine.query(&q, &params).unwrap();
+                let b = migrated.query(&q, &params).unwrap();
+                assert_eq!(a.answers, b.answers, "{variant:?} ε={epsilon} δ={delta}");
+                assert_eq!(
+                    a.stats.posting_entries_scanned,
+                    b.stats.posting_entries_scanned
+                );
+                assert_eq!(a.stats.filter_survivors, b.stats.filter_survivors);
+            }
+        }
+    }
+    // Once migrated, the index persists as v2 again (with the S-Index).
+    let resaved = migrated.pmi().to_bytes();
+    assert_eq!(resaved, v2_bytes);
+}
+
+#[test]
+fn sindex_matches_bruteforce_on_a_generated_workload() {
+    // Phase-1 candidate sets must be byte-identical between the S-Index path
+    // and the brute-force scan on a realistic workload (the acceptance
+    // criterion of ISSUE 4), across δ and thread counts.
+    let dataset = generate_ppi_dataset(&PpiDatasetConfig {
+        graph_count: 32,
+        vertices_per_graph: 10,
+        edges_per_graph: 14,
+        vertex_label_count: 6,
+        organism_count: 3,
+        perturbation: 0.4,
+        seed: 0x51DE,
+        ..PpiDatasetConfig::default()
+    });
+    let skeletons: Vec<Graph> = dataset
+        .graphs
+        .iter()
+        .map(|g| g.skeleton().clone())
+        .collect();
+    let index = StructuralIndex::build(&skeletons);
+    let queries = pgs::datagen::queries::generate_query_workload(
+        &dataset,
+        &pgs::datagen::queries::QueryWorkloadConfig {
+            query_size: 5,
+            count: 6,
+            seed: 0xA11,
+        },
+    );
+    for wq in &queries {
+        for delta in 0..=3 {
+            let brute = structural_candidates(&skeletons, &wq.graph, delta);
+            for threads in [1usize, 0] {
+                let (indexed, stats) =
+                    structural_candidates_indexed(&index, &skeletons, &wq.graph, delta, threads);
+                assert_eq!(
+                    indexed,
+                    brute,
+                    "query {} δ={delta} threads={threads}",
+                    wq.graph.name()
+                );
+                assert!(stats.filter_survivors >= indexed.len());
+            }
+        }
+    }
+}
+
+/// Strategy: a small random connected labelled graph (same shape as the one
+/// in `tests/property.rs`, scaled down for the equivalence sweep).
+fn arb_graph(max_vertices: usize, labels: u32) -> impl Strategy<Value = Graph> {
+    (2..=max_vertices)
+        .prop_flat_map(move |n| {
+            (
+                proptest::collection::vec(0..labels, n),
+                proptest::collection::vec((0..n, 0..n), 0..n * 2),
+                proptest::collection::vec(0..u64::MAX, n - 1),
+            )
+        })
+        .prop_map(|(vlabels, extra, parents)| {
+            let mut g = Graph::new();
+            for &l in &vlabels {
+                g.add_vertex(Label(l));
+            }
+            for i in 1..vlabels.len() {
+                let p = (parents[i - 1] % i as u64) as u32;
+                let _ = g.add_edge(VertexId(i as u32), VertexId(p), Label(0));
+            }
+            for (u, v) in extra {
+                if u != v {
+                    let _ = g.add_edge(VertexId(u as u32), VertexId(v as u32), Label(0));
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    /// Posting-list candidate generation returns exactly the same index set
+    /// as the brute-force `structural_candidates` on randomized
+    /// graphs/queries/δ.
+    #[test]
+    fn posting_list_candidates_equal_bruteforce(
+        db in proptest::collection::vec(arb_graph(8, 4), 1..10),
+        q in arb_graph(6, 4),
+        delta in 0usize..4,
+    ) {
+        let index = StructuralIndex::build(&db);
+        let brute = structural_candidates(&db, &q, delta);
+        let (indexed, stats) = structural_candidates_indexed(&index, &db, &q, delta, 1);
+        prop_assert_eq!(&indexed, &brute);
+        prop_assert!(stats.filter_survivors >= indexed.len());
+        // Incremental construction yields the same index, hence the same set.
+        let mut grown = StructuralIndex::default();
+        for g in &db {
+            grown.append(g);
+        }
+        let (grown_set, _) = structural_candidates_indexed(&grown, &db, &q, delta, 1);
+        prop_assert_eq!(&grown_set, &brute);
     }
 }
 
