@@ -20,7 +20,7 @@
 use pgs_bench::{bench_engine_config, bench_feature_params, build_setup_with, format_row};
 use pgs_datagen::ppi::{generate_ppi_dataset, CorrelationModel, PpiDatasetConfig};
 use pgs_datagen::queries::{generate_query_workload, QueryWorkloadConfig};
-use pgs_datagen::scenarios::{paper_scale, DatasetScale};
+use pgs_datagen::scenarios::{paper_scale, verification_candidate, DatasetScale};
 use pgs_index::pmi::{Pmi, PmiBuildParams};
 use pgs_index::sindex::StructuralIndex;
 use pgs_index::sip_bounds::BoundsConfig;
@@ -43,6 +43,7 @@ fn main() {
     let bench_query_requested = args.iter().any(|a| a == "bench-query");
     let bench_index_requested = args.iter().any(|a| a == "bench-index");
     let bench_structural_requested = args.iter().any(|a| a == "bench-structural");
+    let bench_verify_requested = args.iter().any(|a| a == "bench-verify");
     let arg_after = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -55,6 +56,7 @@ fn main() {
         && !bench_query_requested
         && !bench_index_requested
         && !bench_structural_requested
+        && !bench_verify_requested
         && index_save_path.is_none()
         && index_load_path.is_none())
         || figures.contains(&"all");
@@ -89,6 +91,9 @@ fn main() {
     }
     if bench_structural_requested {
         bench_structural();
+    }
+    if bench_verify_requested {
+        bench_verify();
     }
     if let Some(path) = index_save_path {
         index_save(&path);
@@ -371,6 +376,187 @@ fn bench_structural() {
     );
     std::fs::write("BENCH_structural.json", json).expect("writing BENCH_structural.json");
     println!("wrote BENCH_structural.json\n");
+}
+
+/// Verification benchmark (ISSUE 5's acceptance bar): the pre-PR full-world
+/// sample loop vs the projected bitset `UnionSampler`, on a small candidate
+/// (every table relevant) and a large one (≥ 4× more tables than the
+/// embedding union touches), recorded in `BENCH_verify.json`.  Asserts that
+/// both samplers land inside the `(τ, ξ)` band of `verify_ssp_exact` and
+/// that query answers stay byte-identical across 1-thread and auto-thread
+/// runs before reporting any timing.
+fn bench_verify() {
+    use pgs_graph::relax::relax_query_clamped;
+    use pgs_query::verify::{verify_ssp_sampled_baseline, verify_ssp_with_stats};
+
+    println!("## bench-verify — phase 3: full-world loop vs UnionSampler");
+    println!(
+        "{}",
+        format_row(
+            "candidate",
+            &[
+                "old (ms/q)".into(),
+                "new (ms/q)".into(),
+                "old (samp/s)".into(),
+                "new (samp/s)".into(),
+                "speedup".into(),
+            ]
+        )
+    );
+    let delta = 1usize;
+    let options = VerifyOptions {
+        exact_cutoff: 0, // force the sampling path on both sides
+        mc: pgs_prob::montecarlo::MonteCarloConfig {
+            tau: 0.05,
+            xi: 0.01,
+            max_samples: 50_000,
+        },
+        ..VerifyOptions::default()
+    };
+    let n = options.mc.num_samples();
+    let mut entries: Vec<String> = Vec::new();
+    let mut large_speedup = 0.0f64;
+    for (name, extra) in [("small", 1usize), ("large", 24)] {
+        let (pg, q) = verification_candidate(extra);
+        let relaxed = relax_query_clamped(&q, delta);
+        let union_tables = {
+            let embeddings =
+                pgs_query::verify::collect_embeddings_of_relaxations(&pg, &relaxed, 256);
+            let relevant: Vec<pgs_graph::model::EdgeId> =
+                embeddings.iter().flatten().copied().collect();
+            pg.tables_touched(&relevant).len()
+        };
+        let exact = verify_ssp_exact(&pg, &q, delta, 22).expect("small relevant set");
+
+        // Accuracy first: both estimators must sit inside the (τ, ξ) band.
+        let band = options.mc.tau * exact + 1e-9;
+        let mut rng = StdRng::seed_from_u64(0x0BE7);
+        let old_ssp = verify_ssp_sampled_baseline(&pg, &q, delta, &relaxed, &options, &mut rng);
+        let mut rng = StdRng::seed_from_u64(0x0BE8);
+        let new_ssp = verify_ssp_with_stats(&pg, &q, delta, &relaxed, &options, 1, &mut rng).ssp;
+        let within_band = (old_ssp - exact).abs() <= band && (new_ssp - exact).abs() <= band;
+        assert!(
+            within_band,
+            "{name}: old {old_ssp} / new {new_ssp} outside the (τ, ξ) band of exact {exact}"
+        );
+
+        // Best-of-3 over `reps` full verification calls per measurement
+        // (embedding collection + sampling — the per-candidate cost the
+        // pipeline actually pays).
+        let reps = 5usize;
+        let mut old_secs = f64::INFINITY;
+        let mut new_secs = f64::INFINITY;
+        for _ in 0..3 {
+            let mut rng = StdRng::seed_from_u64(0x5EED);
+            let t = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(verify_ssp_sampled_baseline(
+                    &pg, &q, delta, &relaxed, &options, &mut rng,
+                ));
+            }
+            old_secs = old_secs.min(t.elapsed().as_secs_f64());
+            let mut rng = StdRng::seed_from_u64(0x5EED);
+            let t = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(verify_ssp_with_stats(
+                    &pg, &q, delta, &relaxed, &options, 1, &mut rng,
+                ));
+            }
+            new_secs = new_secs.min(t.elapsed().as_secs_f64());
+        }
+        let old_sps = (reps * n) as f64 / old_secs.max(1e-12);
+        let new_sps = (reps * n) as f64 / new_secs.max(1e-12);
+        let speedup = new_sps / old_sps.max(1e-12);
+        if name == "large" {
+            large_speedup = speedup;
+        }
+        println!(
+            "{}",
+            format_row(
+                &format!("{name} ({} tables)", pg.tables().len()),
+                &[
+                    format!("{:.3}", old_secs * 1e3 / reps as f64),
+                    format!("{:.3}", new_secs * 1e3 / reps as f64),
+                    format!("{:.0}", old_sps),
+                    format!("{:.0}", new_sps),
+                    format!("{speedup:.1}x"),
+                ]
+            )
+        );
+        entries.push(format!(
+            "    {{ \"candidate\": \"{name}\", \"graph_tables\": {gt}, \"union_tables\": {ut}, \
+             \"graph_edges\": {ge}, \"samples_per_call\": {n}, \"delta\": {delta}, \
+             \"exact_ssp\": {exact:.6}, \"old_ssp\": {old_ssp:.6}, \"new_ssp\": {new_ssp:.6}, \
+             \"within_band\": {within_band}, \
+             \"old\": {{ \"seconds_per_query\": {old_q:.6}, \"samples_per_second\": {old_sps:.1} }}, \
+             \"new\": {{ \"seconds_per_query\": {new_q:.6}, \"samples_per_second\": {new_sps:.1} }}, \
+             \"speedup\": {speedup:.3} }}",
+            gt = pg.tables().len(),
+            ut = union_tables,
+            ge = pg.edge_count(),
+            old_q = old_secs / reps as f64,
+            new_q = new_secs / reps as f64,
+        ));
+    }
+    assert!(
+        large_speedup >= 5.0,
+        "acceptance: UnionSampler must deliver ≥ 5× samples/sec on the large candidate \
+         (measured {large_speedup:.1}x)"
+    );
+
+    // Determinism: a real engine workload with the sampler forced on must
+    // answer byte-identically at 1 thread and auto threads.
+    let dataset = generate_ppi_dataset(&PpiDatasetConfig {
+        graph_count: 24,
+        vertices_per_graph: 10,
+        edges_per_graph: 14,
+        vertex_label_count: 6,
+        organism_count: 2,
+        seed: 0xD00D,
+        ..PpiDatasetConfig::default()
+    });
+    let queries: Vec<pgs_graph::model::Graph> = generate_query_workload(
+        &dataset,
+        &QueryWorkloadConfig {
+            query_size: 5,
+            count: 6,
+            seed: 0x11,
+        },
+    )
+    .into_iter()
+    .map(|wq| wq.graph)
+    .collect();
+    let base = EngineConfig {
+        verify: VerifyOptions {
+            exact_cutoff: 0,
+            ..bench_engine_config(0xFEED).verify
+        },
+        ..bench_engine_config(0xFEED)
+    };
+    let sequential =
+        QueryEngine::build(dataset.graphs.clone(), EngineConfig { threads: 1, ..base });
+    let auto = QueryEngine::build(dataset.graphs, EngineConfig { threads: 0, ..base });
+    let params = QueryParams {
+        epsilon: 0.4,
+        delta: 1,
+        variant: PruningVariant::OptSspBound,
+    };
+    let answers_identical = queries.iter().all(|q| {
+        sequential.query(q, &params).unwrap().answers == auto.query(q, &params).unwrap().answers
+    });
+    assert!(
+        answers_identical,
+        "1-thread and auto-thread answers must be byte-identical"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"verification_sampler\",\n  \
+         \"answers_identical_across_threads\": {answers_identical},\n  \
+         \"series\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_verify.json", json).expect("writing BENCH_verify.json");
+    println!("wrote BENCH_verify.json\n");
 }
 
 /// Query-throughput benchmark: `threads = 1` vs automatic on a 64+ graph

@@ -80,6 +80,9 @@ pub enum DbError {
     /// The engine's `Exact` baseline configuration is unusable (`τ`/`ξ`
     /// `NaN` or non-positive, or a zero sample cap).
     InvalidScanConfig(String),
+    /// The engine's verification sampler options are unusable (`τ`/`ξ`
+    /// `NaN` or non-positive, or a zero embedding cap).
+    InvalidVerifyConfig(String),
     /// Saving or loading an index snapshot failed.
     Snapshot(String),
     /// A loaded index snapshot does not match the database contents.
@@ -95,9 +98,10 @@ impl fmt::Display for DbError {
                 write!(f, "the probability threshold must lie in (0, 1]")
             }
             DbError::GraphOutOfRange(i) => write!(f, "graph index {i} is out of range"),
-            // The wrapped QueryError string already carries the
-            // "invalid exact-scan configuration:" prefix.
+            // The wrapped QueryError strings already carry their
+            // "invalid … configuration/options:" prefixes.
             DbError::InvalidScanConfig(e) => write!(f, "{e}"),
+            DbError::InvalidVerifyConfig(e) => write!(f, "{e}"),
             DbError::Snapshot(e) => write!(f, "index snapshot error: {e}"),
             DbError::IndexMismatch(e) => write!(f, "index/database mismatch: {e}"),
         }
@@ -112,6 +116,7 @@ impl From<QueryError> for DbError {
             QueryError::InvalidEpsilon { .. } => DbError::InvalidThreshold,
             QueryError::EmptyQuery => DbError::EmptyQuery,
             QueryError::InvalidExactScanConfig { .. } => DbError::InvalidScanConfig(e.to_string()),
+            QueryError::InvalidVerifyOptions { .. } => DbError::InvalidVerifyConfig(e.to_string()),
         }
     }
 }

@@ -66,6 +66,55 @@ pub fn paper_scale(scale: DatasetScale) -> PpiDatasetConfig {
     }
 }
 
+/// A verification-phase candidate shared by the `bench-verify` harness and
+/// the verifier's test suite: a labelled triangle region (vertex labels 0/1/2,
+/// edge label 9, one correlated max-rule JPT) the returned query embeds into
+/// exactly, plus `extra` pendant edges (vertex label 7, edge label 4) each in
+/// its own single-edge JPT the embedding union never touches.
+///
+/// With `extra ≥ 4` the graph has ≥ 4× more JPT tables than the union of the
+/// query's embeddings touches — the shape the `UnionSampler`'s table
+/// projection exploits and the full-world baseline loop pays for.
+pub fn verification_candidate(
+    extra: usize,
+) -> (pgs_prob::model::ProbabilisticGraph, pgs_graph::model::Graph) {
+    use pgs_graph::model::{EdgeId, GraphBuilder};
+    use pgs_prob::jpt::JointProbTable;
+    let mut labels = vec![0u32, 1, 2];
+    labels.extend(std::iter::repeat_n(7, extra));
+    let mut b = GraphBuilder::new()
+        .name("verify-candidate")
+        .vertices(&labels)
+        .edge(0, 1, 9)
+        .edge(1, 2, 9)
+        .edge(0, 2, 9);
+    for i in 0..extra {
+        b = b.edge(i as u32 % 3, 3 + i as u32, 4);
+    }
+    let skeleton = b.build();
+    let mut tables = vec![JointProbTable::from_max_rule(&[
+        (EdgeId(0), 0.7),
+        (EdgeId(1), 0.6),
+        (EdgeId(2), 0.8),
+    ])
+    .expect("valid triangle JPT")];
+    for i in 0..extra {
+        tables.push(
+            JointProbTable::independent(&[(EdgeId(3 + i as u32), 0.2 + 0.05 * (i % 10) as f64)])
+                .expect("valid pendant JPT"),
+        );
+    }
+    let pg = pgs_prob::model::ProbabilisticGraph::new(skeleton, tables, true)
+        .expect("pendant tables are neighbor-edge sets");
+    let query = GraphBuilder::new()
+        .vertices(&[0, 1, 2])
+        .edge(0, 1, 9)
+        .edge(1, 2, 9)
+        .edge(0, 2, 9)
+        .build();
+    (pg, query)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +139,17 @@ mod tests {
     fn tiny_scale_generates_quickly() {
         let ds = generate_ppi_dataset(&paper_scale(DatasetScale::Tiny));
         assert_eq!(ds.graphs.len(), 24);
+    }
+
+    #[test]
+    fn verification_candidate_has_the_advertised_shape() {
+        let (pg, q) = verification_candidate(12);
+        assert_eq!(pg.tables().len(), 13);
+        assert_eq!(pg.edge_count(), 3 + 12);
+        assert_eq!(q.edge_count(), 3);
+        // The query's only embedding is the triangle: the union touches one
+        // table, so the graph has > 4x more tables than the union.
+        let triangle: Vec<_> = (0..3).map(pgs_graph::model::EdgeId).collect();
+        assert_eq!(pg.tables_touched(&triangle).len(), 1);
     }
 }

@@ -1,0 +1,173 @@
+//! Walker–Vose alias tables: O(1) sampling from a fixed discrete distribution.
+//!
+//! The verification sampler (Algorithm 5) repeatedly draws an embedding with
+//! probability `Pr(Bf_i) / V` and then one row per JPT; both distributions are
+//! fixed for the whole sample loop, so the linear scans the naive sampler pays
+//! per draw can be replaced by a table built once.  A Walker alias table
+//! answers each draw with a single uniform variate and two array lookups,
+//! independent of the number of outcomes.
+
+use rand::Rng;
+
+/// A Walker alias table over the outcomes `0..n`.
+///
+/// Built once from a slice of non-negative weights (not necessarily
+/// normalised); each [`AliasTable::sample`] costs one `f64` draw and O(1)
+/// work.  Zero-weight outcomes are never returned as long as the total weight
+/// is positive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Acceptance threshold of each bucket (the scaled weight share kept by
+    /// the bucket's own outcome).
+    prob: Vec<f64>,
+    /// The donor outcome a rejected draw falls through to.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights.
+    ///
+    /// Returns `None` when the slice is empty, any weight is negative or
+    /// non-finite, or the total weight is not strictly positive — a
+    /// distribution cannot be formed in any of those cases.
+    pub fn new(weights: &[f64]) -> Option<AliasTable> {
+        let n = weights.len();
+        if n == 0 || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || total.is_nan() {
+            return None;
+        }
+        // Scale so the average bucket holds exactly weight 1, then repeatedly
+        // top up an under-full bucket from an over-full one (Vose's method).
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![1.0f64; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &w) in scaled.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers (in either stack) are exactly-full up to rounding.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no outcomes (never the case for a constructed
+    /// table; present for the conventional `len`/`is_empty` pair).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome: a single uniform variate selects the bucket and the
+    /// accept/alias branch.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let u: f64 = rng.gen::<f64>() * n as f64;
+        let mut i = u as usize;
+        if i >= n {
+            // Only reachable through floating-point rounding at u ≈ n.
+            i = n - 1;
+        }
+        if u - (i as f64) < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -0.1]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+        assert!(AliasTable::new(&[f64::INFINITY, 1.0]).is_none());
+    }
+
+    #[test]
+    fn singleton_always_returns_zero() {
+        let t = AliasTable::new(&[0.7]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [0.1, 0.4, 0.2, 0.3];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let f = counts[i] as f64 / n as f64;
+            assert!((f - w).abs() < 0.01, "outcome {i}: {f} vs weight {w}");
+        }
+    }
+
+    #[test]
+    fn unnormalised_weights_are_rescaled() {
+        let a = AliasTable::new(&[1.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| a.sample(&mut rng) == 1).count();
+        assert!((hits as f64 / n as f64 - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_outcomes_are_never_drawn() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 2.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50_000 {
+            let x = t.sample(&mut rng);
+            assert!(x == 1 || x == 3, "drew zero-weight outcome {x}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let t = AliasTable::new(&[0.2, 0.5, 0.3]).unwrap();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|_| t.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+}

@@ -17,6 +17,7 @@
 use crate::model::ProbabilisticGraph;
 use crate::montecarlo::MonteCarloConfig;
 use crate::sample::{all_absent, all_present};
+use crate::union_sampler::{mask_covered, mask_disjoint, ProjectedWorlds};
 use crate::world::enumerate_assignments_over;
 use pgs_graph::embeddings::EdgeSet;
 use pgs_graph::model::EdgeId;
@@ -32,10 +33,12 @@ pub enum EventKind {
 }
 
 impl EventKind {
-    fn holds(self, world_is_present: &dyn Fn(EdgeId) -> bool, edges: &[EdgeId]) -> bool {
+    /// True if the event holds in a projected bitset world (`mask` built over
+    /// the same projection as `world`).
+    fn holds_mask(self, world: &[u64], mask: &[u64]) -> bool {
         match self {
-            EventKind::Embedding => edges.iter().all(|&e| world_is_present(e)),
-            EventKind::Cut => edges.iter().all(|&e| !world_is_present(e)),
+            EventKind::Embedding => mask_covered(world, mask),
+            EventKind::Cut => mask_disjoint(world, mask),
         }
     }
 }
@@ -62,16 +65,26 @@ pub fn conditional_event_probability<R: Rng + ?Sized>(
             return value;
         }
     }
+    // Sampling path: project onto the tables the relevant edges touch (every
+    // other table is independent of both events under the partitioned model)
+    // and evaluate the events as word-wise mask compares on a reused scratch
+    // bitset — zero allocation per trial.
+    let projection = ProjectedWorlds::new(pg, &relevant);
+    let target_mask = projection.mask_of(target);
+    let competitor_masks: Vec<Vec<u64>> =
+        competitors.iter().map(|c| projection.mask_of(c)).collect();
+    let mut scratch = vec![0u64; projection.words()];
     let n = config.num_samples();
     let mut n1 = 0usize;
     let mut n2 = 0usize;
     for _ in 0..n {
-        let world = pg.sample_world(rng);
-        let present = |e: EdgeId| world[e.index()];
-        let competitor_hit = competitors.iter().any(|c| kind.holds(&present, c));
+        projection.sample_into(rng, &mut scratch);
+        let competitor_hit = competitor_masks
+            .iter()
+            .any(|m| kind.holds_mask(&scratch, m));
         if !competitor_hit {
             n2 += 1;
-            if kind.holds(&present, target) {
+            if kind.holds_mask(&scratch, &target_mask) {
                 n1 += 1;
             }
         }
@@ -264,6 +277,67 @@ mod tests {
         assert!(
             (sampled - exact).abs() < 0.03,
             "sampled {sampled} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn projected_sampling_path_matches_exact_on_large_instance() {
+        // 18 relevant edges: above the 16-edge exact shortcut (the projected
+        // sampling path runs) but still small enough for the exact oracle.
+        let m = 18usize;
+        let g = {
+            let mut b = GraphBuilder::new().vertices(&vec![0u32; m + 1]);
+            for i in 0..m {
+                b = b.edge(i as u32, i as u32 + 1, 0);
+            }
+            b.build()
+        };
+        let probs: Vec<f64> = (0..m).map(|i| 0.8 + 0.01 * (i % 10) as f64).collect();
+        let pg = ProbabilisticGraph::independent(g, &probs).unwrap();
+        let target: Vec<EdgeId> = (0..6).map(|i| EdgeId(i as u32)).collect();
+        let competitors: Vec<EdgeSet> = vec![
+            (4..12).map(|i| EdgeId(i as u32)).collect(),
+            (10..18).map(|i| EdgeId(i as u32)).collect(),
+        ];
+        let exact =
+            exact_conditional_event_probability(&pg, &target, &competitors, EventKind::Embedding)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let sampled = conditional_event_probability(
+            &pg,
+            &target,
+            &competitors,
+            EventKind::Embedding,
+            &MonteCarloConfig {
+                tau: 0.05,
+                xi: 0.01,
+                max_samples: 60_000,
+            },
+            &mut rng,
+        );
+        assert!(
+            (sampled - exact).abs() < 0.03,
+            "sampled {sampled} vs exact {exact}"
+        );
+        // Same instance, cut events.
+        let exact_cut =
+            exact_conditional_event_probability(&pg, &target, &competitors, EventKind::Cut)
+                .unwrap();
+        let sampled_cut = conditional_event_probability(
+            &pg,
+            &target,
+            &competitors,
+            EventKind::Cut,
+            &MonteCarloConfig {
+                tau: 0.05,
+                xi: 0.01,
+                max_samples: 60_000,
+            },
+            &mut rng,
+        );
+        assert!(
+            (sampled_cut - exact_cut).abs() < 0.03,
+            "sampled {sampled_cut} vs exact {exact_cut}"
         );
     }
 

@@ -269,16 +269,24 @@ impl JointProbTable {
         (self.probs.len() - 1) as u32
     }
 
-    /// Samples one assignment conditioned on a partial assignment (rows
-    /// inconsistent with `constraint` are excluded and the rest renormalised).
-    /// Constraint entries referring to edges outside this table are ignored.
-    /// If the constraint has probability zero the constraint is still honoured
-    /// and the remaining variables are sampled uniformly.
-    pub fn sample_mask_conditioned<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        constraint: &[(EdgeId, bool)],
-    ) -> u32 {
+    /// Bitmask (over this table's bit positions) of the given edges; edges
+    /// outside the table are ignored.  Precomputing this once per
+    /// `(embedding, table)` pair is what lets the verification sampler avoid
+    /// re-scanning an `(EdgeId, bool)` constraint slice on every draw.
+    pub fn presence_mask(&self, edges: &[EdgeId]) -> u32 {
+        let mut mask = 0u32;
+        for &e in edges {
+            if let Some(bit) = self.position_of(e) {
+                mask |= 1 << bit;
+            }
+        }
+        mask
+    }
+
+    /// Resolves a partial-assignment constraint into `(fixed_mask,
+    /// fixed_value)` bit pairs over this table's positions (entries referring
+    /// to foreign edges are ignored).
+    pub fn resolve_constraint(&self, constraint: &[(EdgeId, bool)]) -> (u32, u32) {
         let mut fixed_mask = 0u32;
         let mut fixed_value = 0u32;
         for &(e, present) in constraint {
@@ -289,6 +297,54 @@ impl JointProbTable {
                 }
             }
         }
+        (fixed_mask, fixed_value)
+    }
+
+    /// Marginal distribution over a subset of this table's bit positions.
+    ///
+    /// `keep[i]` is a bit position of this table; the result has `2^keep.len()`
+    /// entries where entry `m` is the total probability of all rows whose
+    /// restriction to `keep` (bit `i` of `m` ⇔ bit `keep[i]` of the row) equals
+    /// `m`.  Under the partitioned model this is exactly the distribution the
+    /// union event sees when only the `keep` edges of the table are relevant.
+    pub fn marginal_rows(&self, keep: &[usize]) -> Vec<f64> {
+        let mut out = vec![0.0f64; 1usize << keep.len()];
+        for (row, &p) in self.probs.iter().enumerate() {
+            let mut sub = 0usize;
+            for (i, &bit) in keep.iter().enumerate() {
+                if row & (1usize << bit) != 0 {
+                    sub |= 1 << i;
+                }
+            }
+            out[sub] += p;
+        }
+        out
+    }
+
+    /// Samples one assignment conditioned on a partial assignment (rows
+    /// inconsistent with `constraint` are excluded and the rest renormalised).
+    /// Constraint entries referring to edges outside this table are ignored.
+    /// If the constraint has probability zero the constraint is still honoured
+    /// and the remaining variables are sampled uniformly.
+    pub fn sample_mask_conditioned<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        constraint: &[(EdgeId, bool)],
+    ) -> u32 {
+        let (fixed_mask, fixed_value) = self.resolve_constraint(constraint);
+        self.sample_mask_fixed(rng, fixed_mask, fixed_value)
+    }
+
+    /// Samples one assignment with the constraint already resolved into
+    /// `(fixed_mask, fixed_value)` bits (see [`Self::resolve_constraint`]);
+    /// the repeated-sampling path of the verification engine resolves the
+    /// constraint once and calls this in the loop.
+    pub fn sample_mask_fixed<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        fixed_mask: u32,
+        fixed_value: u32,
+    ) -> u32 {
         if fixed_mask == 0 {
             return self.sample_mask(rng);
         }
@@ -538,6 +594,58 @@ mod tests {
         let det = JointProbTable::new(vec![e(0), e(1)], vec![0.0, 0.0, 0.0, 1.0]).unwrap();
         let mask = det.sample_mask_conditioned(&mut rng, &[(e(0), false)]);
         assert_eq!(mask & 1, 0);
+    }
+
+    #[test]
+    fn presence_mask_and_resolve_constraint() {
+        let t = figure1_jpt();
+        // Edges e1,e2,e3 occupy bits 0,1,2 after canonicalisation.
+        assert_eq!(t.presence_mask(&[e(1), e(3)]), 0b101);
+        // Foreign edges are ignored.
+        assert_eq!(t.presence_mask(&[e(9)]), 0);
+        assert_eq!(t.presence_mask(&[]), 0);
+        let (m, v) = t.resolve_constraint(&[(e(1), true), (e(2), false), (e(9), true)]);
+        assert_eq!(m, 0b011);
+        assert_eq!(v, 0b001);
+    }
+
+    #[test]
+    fn marginal_rows_marginalise_dropped_bits() {
+        let t = figure1_jpt();
+        // Keep only bit 0 (edge e1): the two rows are Pr(e1=0) and Pr(e1=1).
+        let rows = t.marginal_rows(&[0]);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[1] - t.edge_marginal(e(1))).abs() < 1e-12);
+        assert!((rows[0] + rows[1] - 1.0).abs() < 1e-12);
+        // Keep bits (2, 0) in swapped order: entry 0b01 means e3=1, e1=0.
+        let rows = t.marginal_rows(&[2, 0]);
+        assert_eq!(rows.len(), 4);
+        let expect = t.marginal(&[(e(3), true), (e(1), false)]);
+        assert!((rows[0b01] - expect).abs() < 1e-12);
+        // Keeping every bit reproduces the table.
+        let rows = t.marginal_rows(&[0, 1, 2]);
+        for (m, &p) in t.row_probabilities().iter().enumerate() {
+            assert!((rows[m] - p).abs() < 1e-12);
+        }
+        // Keeping nothing leaves the single empty assignment of mass 1.
+        let rows = t.marginal_rows(&[]);
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_mask_fixed_matches_conditioned_sampling() {
+        let t = figure1_jpt();
+        let constraint = vec![(e(1), true), (e(3), false)];
+        let (m, v) = t.resolve_constraint(&constraint);
+        let mut a = StdRng::seed_from_u64(31);
+        let mut b = StdRng::seed_from_u64(31);
+        for _ in 0..256 {
+            assert_eq!(
+                t.sample_mask_conditioned(&mut a, &constraint),
+                t.sample_mask_fixed(&mut b, m, v)
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alias;
 pub mod conditional;
 pub mod error;
 pub mod exact;
@@ -33,8 +34,10 @@ pub mod model;
 pub mod montecarlo;
 pub mod neighbor;
 pub mod sample;
+pub mod union_sampler;
 pub mod world;
 
+pub use alias::AliasTable;
 pub use conditional::{conditional_event_probability, EventKind};
 pub use error::ProbError;
 pub use exact::{exact_sip, exact_ssp, prob_of_partial_assignment};
@@ -43,4 +46,5 @@ pub use jpt::JointProbTable;
 pub use model::ProbabilisticGraph;
 pub use montecarlo::MonteCarloConfig;
 pub use neighbor::partition_neighbor_edges;
+pub use union_sampler::{ProjectedWorlds, UnionSampler};
 pub use world::{enumerate_worlds, PossibleWorld};

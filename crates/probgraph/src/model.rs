@@ -175,14 +175,24 @@ impl ProbabilisticGraph {
 
     /// Samples a possible world as a presence bitmap over all edges.
     pub fn sample_world<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<bool> {
-        let mut present = vec![false; self.edge_count()];
+        let mut present = Vec::new();
+        self.sample_world_into(rng, &mut present);
+        present
+    }
+
+    /// Samples a possible world into a caller-owned presence bitmap, resizing
+    /// it to the edge count.  Repeated-sampling loops (Algorithms 3 and 5, the
+    /// empirical event estimators) reuse one buffer instead of allocating a
+    /// fresh `Vec<bool>` per trial.
+    pub fn sample_world_into<R: Rng + ?Sized>(&self, rng: &mut R, present: &mut Vec<bool>) {
+        present.clear();
+        present.resize(self.edge_count(), false);
         for table in &self.tables {
             let mask = table.sample_mask(rng);
             for (bit, &e) in table.edges().iter().enumerate() {
                 present[e.index()] = mask & (1 << bit) != 0;
             }
         }
-        present
     }
 
     /// Samples a possible world conditioned on a partial assignment (used by

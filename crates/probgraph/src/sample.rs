@@ -6,10 +6,15 @@
 
 use crate::model::ProbabilisticGraph;
 use crate::montecarlo::MonteCarloConfig;
+use crate::union_sampler::{mask_covered, ProjectedWorlds};
 use pgs_graph::model::EdgeId;
 use rand::Rng;
 
 /// Samples `n` worlds and returns the fraction in which `event` holds.
+///
+/// The loop reuses one world buffer across all trials
+/// ([`ProbabilisticGraph::sample_world_into`]); the closure sees each trial's
+/// presence bitmap in turn.
 pub fn estimate_event_probability<R, F>(
     pg: &ProbabilisticGraph,
     config: &MonteCarloConfig,
@@ -22,8 +27,9 @@ where
 {
     let n = config.num_samples();
     let mut hits = 0usize;
+    let mut world = Vec::with_capacity(pg.edge_count());
     for _ in 0..n {
-        let world = pg.sample_world(rng);
+        pg.sample_world_into(rng, &mut world);
         if event(&world) {
             hits += 1;
         }
@@ -45,13 +51,27 @@ pub fn all_absent(world: &[bool], edges: &[EdgeId]) -> bool {
 /// (exact computation is available via
 /// [`ProbabilisticGraph::prob_all_present`]; this is used to cross-check the
 /// samplers in tests and benchmarks).
+///
+/// Uses the projected bitset-world representation: only the tables touched by
+/// `edges` are sampled and the event check is a word-wise mask compare.
 pub fn estimate_all_present<R: Rng + ?Sized>(
     pg: &ProbabilisticGraph,
     edges: &[EdgeId],
     config: &MonteCarloConfig,
     rng: &mut R,
 ) -> f64 {
-    estimate_event_probability(pg, config, rng, |world| all_present(world, edges))
+    let projection = ProjectedWorlds::new(pg, edges);
+    let mask = projection.mask_of(edges);
+    let mut scratch = vec![0u64; projection.words()];
+    let n = config.num_samples();
+    let mut hits = 0usize;
+    for _ in 0..n {
+        projection.sample_into(rng, &mut scratch);
+        if mask_covered(&scratch, &mask) {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
 }
 
 #[cfg(test)]

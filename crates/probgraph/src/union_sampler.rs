@@ -1,0 +1,596 @@
+//! Projected bitset-world sampling for union-of-embedding events.
+//!
+//! The Karp–Luby coverage estimator (Algorithm 5) repeatedly (1) picks an
+//! embedding `i` with probability `Pr(Bf_i)/V`, (2) samples a possible world
+//! conditioned on `Bf_i` holding, and (3) counts the trial iff no earlier
+//! embedding also holds.  The estimator is designed so each trial costs on the
+//! order of one embedding — not one graph — and the machinery here delivers
+//! that bound:
+//!
+//! * **Projection** ([`ProjectedWorlds`]): only the JPT tables touched by the
+//!   union of the event edges are sampled.  Under the partitioned model every
+//!   untouched table is independent of the union event, so marginalising it
+//!   away changes nothing (the same argument the S-Index uses for its
+//!   independent-embedding bounds).  Each touched table is itself marginalised
+//!   onto its relevant edges, shrinking `2^arity` rows to `2^relevant`.
+//! * **Compact bitset universe**: the relevant edges are renumbered into a
+//!   dense `u64`-word bitset, table by table, so one sampled table row lands
+//!   in a world with one shift/OR and an embedding-holds check is a word-wise
+//!   `AND`/compare against a precomputed presence mask.
+//! * **Alias tables** ([`crate::alias::AliasTable`]): the embedding choice and
+//!   every per-table row draw are O(1) instead of linear scans, and each
+//!   embedding's per-table conditioning masks are resolved once at
+//!   construction instead of re-scanning an `(EdgeId, bool)` slice per draw.
+//!
+//! The sample loop itself performs **zero heap allocations**: worlds are
+//! written into a caller-owned scratch buffer of `words()` words.
+//! [`UnionSampler::estimate_chunked`] splits the trials into fixed-size chunks
+//! with per-chunk RNGs derived from a base seed, so the estimate is
+//! byte-identical for every thread count.
+
+use crate::alias::AliasTable;
+use crate::model::ProbabilisticGraph;
+use pgs_graph::model::EdgeId;
+use pgs_graph::parallel::{derive_seed, par_map_chunked};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Trials per deterministic chunk of [`UnionSampler::estimate_chunked`].  The
+/// chunk layout is part of the determinism contract: it depends only on the
+/// trial count, never on the worker count.
+const CHUNK_TRIALS: usize = 1024;
+
+/// A probabilistic graph projected onto the JPT tables touched by a set of
+/// relevant edges, with the relevant edges renumbered into a compact bitset
+/// universe and one alias table per projected table row distribution.
+#[derive(Debug, Clone)]
+pub struct ProjectedWorlds {
+    /// `(edge, compact bit)` pairs, sorted by edge id for lookup.
+    edge_bits: Vec<(EdgeId, u32)>,
+    /// Number of compact bits (= number of relevant edges).
+    bits: usize,
+    /// Number of `u64` words a world occupies (at least 1).
+    words: usize,
+    tables: Vec<ProjectedTable>,
+}
+
+/// One relevant table, marginalised onto its relevant edges.
+#[derive(Debug, Clone)]
+struct ProjectedTable {
+    /// First compact bit of this table's contiguous block.
+    offset: u32,
+    /// Number of projected bits (`1..=MAX_ARITY`).
+    width: u32,
+    /// Marginal probability of each of the `2^width` projected rows.
+    probs: Vec<f64>,
+    /// O(1) row sampler over `probs`.
+    alias: AliasTable,
+}
+
+impl ProjectedWorlds {
+    /// Projects `pg` onto the tables touched by `relevant` (edge ids of the
+    /// skeleton; duplicates are fine).  Compact bits are assigned table by
+    /// table, so each table's projected row scatters into a world with a
+    /// single shift/OR.
+    pub fn new(pg: &ProbabilisticGraph, relevant: &[EdgeId]) -> ProjectedWorlds {
+        let mut sorted: Vec<EdgeId> = relevant.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Self::new_sorted(pg, &sorted)
+    }
+
+    /// [`Self::new`] for a relevant-edge set that is already sorted and
+    /// deduplicated — callers that computed the set anyway (the verification
+    /// path sorts it for the exact-cutoff check) skip the re-normalisation.
+    pub fn new_sorted(pg: &ProbabilisticGraph, sorted: &[EdgeId]) -> ProjectedWorlds {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] < w[1]),
+            "must be sorted + deduped"
+        );
+        let touched = pg.tables_touched(sorted);
+        let mut edge_bits: Vec<(EdgeId, u32)> = Vec::with_capacity(sorted.len());
+        let mut tables: Vec<ProjectedTable> = Vec::with_capacity(touched.len());
+        let mut offset = 0u32;
+        for &ti in &touched {
+            let table = &pg.tables()[ti];
+            // Table bit positions of the relevant edges, in table bit order
+            // (ascending edge id, the table's canonical order).
+            let keep: Vec<usize> = table
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| sorted.binary_search(e).is_ok())
+                .map(|(bit, _)| bit)
+                .collect();
+            for (i, &bit) in keep.iter().enumerate() {
+                edge_bits.push((table.edges()[bit], offset + i as u32));
+            }
+            let probs = table.marginal_rows(&keep);
+            let alias =
+                AliasTable::new(&probs).expect("a valid JPT marginal is a non-empty distribution");
+            tables.push(ProjectedTable {
+                offset,
+                width: keep.len() as u32,
+                probs,
+                alias,
+            });
+            offset += keep.len() as u32;
+        }
+        edge_bits.sort_unstable_by_key(|&(e, _)| e);
+        let bits = offset as usize;
+        ProjectedWorlds {
+            edge_bits,
+            bits,
+            words: bits.div_ceil(64).max(1),
+            tables,
+        }
+    }
+
+    /// Number of `u64` words of one projected world (scratch buffer size).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Number of relevant edges (compact bits).
+    pub fn relevant_edges(&self) -> usize {
+        self.bits
+    }
+
+    /// Number of projected (touched) tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Compact bit of a relevant edge, if the edge is part of the projection.
+    pub fn bit_of(&self, e: EdgeId) -> Option<u32> {
+        self.edge_bits
+            .binary_search_by_key(&e, |&(edge, _)| edge)
+            .ok()
+            .map(|i| self.edge_bits[i].1)
+    }
+
+    /// Presence bitmask of an edge set over the compact universe.  Every edge
+    /// must be part of the projection (it is, whenever the projection was
+    /// built over a superset of the event's edges).
+    pub fn mask_of(&self, edges: &[EdgeId]) -> Vec<u64> {
+        let mut mask = vec![0u64; self.words];
+        for &e in edges {
+            let bit = self
+                .bit_of(e)
+                .expect("event edge outside the projection's relevant set");
+            mask[bit as usize / 64] |= 1u64 << (bit % 64);
+        }
+        mask
+    }
+
+    /// Samples one projected world into `scratch` (length [`Self::words`]),
+    /// overwriting its contents.  No heap allocation.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut [u64]) {
+        scratch.fill(0);
+        for t in &self.tables {
+            let row = t.alias.sample(rng) as u64;
+            scatter(scratch, t.offset, t.width, row);
+        }
+    }
+}
+
+/// ORs a `width`-bit row into the bitset at bit `offset` (rows never exceed
+/// `MAX_ARITY` = 16 bits, so at most two words are touched).
+#[inline]
+fn scatter(world: &mut [u64], offset: u32, width: u32, row: u64) {
+    let w = (offset / 64) as usize;
+    let s = offset % 64;
+    world[w] |= row << s;
+    if s + width > 64 {
+        world[w + 1] |= row >> (64 - s);
+    }
+}
+
+/// True if every bit of `mask` is set in `world`.
+#[inline]
+pub fn mask_covered(world: &[u64], mask: &[u64]) -> bool {
+    world.iter().zip(mask).all(|(w, m)| w & m == *m)
+}
+
+/// True if no bit of `mask` is set in `world`.
+#[inline]
+pub fn mask_disjoint(world: &[u64], mask: &[u64]) -> bool {
+    world.iter().zip(mask).all(|(w, m)| w & m == 0)
+}
+
+/// Conditional row sampler of one `(embedding, table)` pair: the rows of the
+/// projected table consistent with "all embedding edges of this table
+/// present", with an alias table over their renormalised probabilities.
+#[derive(Debug, Clone)]
+struct CondTable {
+    /// Position of the table in `ProjectedWorlds::tables`.
+    table_pos: u32,
+    /// Consistent projected row values.
+    rows: Vec<u32>,
+    /// O(1) sampler over `rows`.
+    alias: AliasTable,
+}
+
+/// The Algorithm 5 coverage sampler for one candidate: projection, embedding
+/// alias, presence masks and per-embedding conditional row samplers, all
+/// precomputed so one trial is a handful of O(1) draws and word ops.
+#[derive(Debug, Clone)]
+pub struct UnionSampler {
+    projection: ProjectedWorlds,
+    /// `V = Σ Pr(Bf_i)` — the estimator's normalising constant.
+    total_weight: f64,
+    /// Chooses embedding `i` with probability `Pr(Bf_i) / V`.
+    embedding_alias: AliasTable,
+    /// Presence masks, `embeddings.len() × stride` words flattened.
+    masks: Vec<u64>,
+    stride: usize,
+    /// Per embedding: conditional samplers of the tables it touches, sorted
+    /// by table position.
+    cond: Vec<Vec<CondTable>>,
+}
+
+impl UnionSampler {
+    /// Builds the sampler for the union event of `embeddings` (edge sets of
+    /// the skeleton of `pg`).
+    ///
+    /// Returns `None` when the union event has zero probability (no
+    /// embeddings, or every `Pr(Bf_i) = 0`) — the caller should answer `0.0`
+    /// directly.
+    pub fn new(pg: &ProbabilisticGraph, embeddings: &[Vec<EdgeId>]) -> Option<UnionSampler> {
+        let mut relevant: Vec<EdgeId> = embeddings.iter().flatten().copied().collect();
+        relevant.sort_unstable();
+        relevant.dedup();
+        Self::with_relevant(pg, embeddings, &relevant)
+    }
+
+    /// [`Self::new`] with the union of the embedding edges already computed
+    /// (sorted + deduplicated) — the verification path derives that set for
+    /// its exact-cutoff check and passes it on instead of re-flattening.
+    pub fn with_relevant(
+        pg: &ProbabilisticGraph,
+        embeddings: &[Vec<EdgeId>],
+        relevant: &[EdgeId],
+    ) -> Option<UnionSampler> {
+        if embeddings.is_empty() {
+            return None;
+        }
+        let weights: Vec<f64> = embeddings.iter().map(|e| pg.prob_all_present(e)).collect();
+        let total_weight: f64 = weights.iter().sum();
+        if total_weight <= 0.0 || total_weight.is_nan() {
+            return None;
+        }
+        let embedding_alias = AliasTable::new(&weights)?;
+        let projection = ProjectedWorlds::new_sorted(pg, relevant);
+        let stride = projection.words();
+        let mut masks = vec![0u64; embeddings.len() * stride];
+        for (i, emb) in embeddings.iter().enumerate() {
+            masks[i * stride..(i + 1) * stride].copy_from_slice(&projection.mask_of(emb));
+        }
+        let cond = embeddings
+            .iter()
+            .map(|emb| conditional_tables(&projection, emb))
+            .collect();
+        Some(UnionSampler {
+            projection,
+            total_weight,
+            embedding_alias,
+            masks,
+            stride,
+            cond,
+        })
+    }
+
+    /// The normalising constant `V = Σ Pr(Bf_i)`.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// The underlying projection (scratch sizing, diagnostics).
+    pub fn projection(&self) -> &ProjectedWorlds {
+        &self.projection
+    }
+
+    /// Words per scratch world buffer.
+    pub fn words(&self) -> usize {
+        self.stride
+    }
+
+    /// Runs one Karp–Luby trial into the caller-owned `scratch` buffer
+    /// (length [`Self::words`]); returns whether the trial counts (no earlier
+    /// embedding also holds in the sampled world).  No heap allocation.
+    pub fn sample_trial<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut [u64]) -> bool {
+        let chosen = self.embedding_alias.sample(rng);
+        scratch.fill(0);
+        let conds = &self.cond[chosen];
+        let mut ci = 0usize;
+        for (tp, t) in self.projection.tables.iter().enumerate() {
+            let row = match conds.get(ci) {
+                Some(c) if c.table_pos as usize == tp => {
+                    ci += 1;
+                    c.rows[c.alias.sample(rng)] as u64
+                }
+                _ => t.alias.sample(rng) as u64,
+            };
+            scatter(scratch, t.offset, t.width, row);
+        }
+        // Canonical-pair check: count iff no earlier embedding holds.
+        self.masks[..chosen * self.stride]
+            .chunks_exact(self.stride)
+            .all(|mask| !mask_covered(scratch, mask))
+    }
+
+    /// Sequential estimate over `n` trials drawn from `rng`:
+    /// `V · cnt / n`, clamped to `[0, 1]`.
+    pub fn estimate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let mut scratch = vec![0u64; self.stride];
+        let mut count = 0usize;
+        for _ in 0..n {
+            if self.sample_trial(rng, &mut scratch) {
+                count += 1;
+            }
+        }
+        (self.total_weight * count as f64 / n as f64).clamp(0.0, 1.0)
+    }
+
+    /// Deterministic, parallel estimate: the `n` trials are split into
+    /// fixed-size chunks, chunk `c` draws from
+    /// `StdRng::seed_from_u64(derive_seed([seed, c]))`, and the chunks run on
+    /// up to `threads` workers (`0` = automatic).  The chunk layout depends
+    /// only on `n`, so the result is byte-identical for every thread count.
+    pub fn estimate_chunked(&self, n: usize, seed: u64, threads: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let chunks: Vec<usize> = (0..n.div_ceil(CHUNK_TRIALS)).collect();
+        let counts: Vec<usize> = par_map_chunked(&chunks, threads, |_, &c| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(&[seed, c as u64]));
+            let trials = CHUNK_TRIALS.min(n - c * CHUNK_TRIALS);
+            let mut scratch = vec![0u64; self.stride];
+            let mut count = 0usize;
+            for _ in 0..trials {
+                if self.sample_trial(&mut rng, &mut scratch) {
+                    count += 1;
+                }
+            }
+            count
+        });
+        let count: usize = counts.iter().sum();
+        (self.total_weight * count as f64 / n as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Resolves one embedding's conditioning against every projected table it
+/// touches: the consistent rows of each table plus an alias over their
+/// renormalised probabilities.
+fn conditional_tables(projection: &ProjectedWorlds, embedding: &[EdgeId]) -> Vec<CondTable> {
+    let mut out: Vec<CondTable> = Vec::new();
+    for (tp, t) in projection.tables.iter().enumerate() {
+        // Row-local fixed bits: embedding edges inside this table's block.
+        let mut fixed = 0u32;
+        for &e in embedding {
+            if let Some(bit) = projection.bit_of(e) {
+                if bit >= t.offset && bit < t.offset + t.width {
+                    fixed |= 1 << (bit - t.offset);
+                }
+            }
+        }
+        if fixed == 0 {
+            continue;
+        }
+        let mut rows: Vec<u32> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        for (row, &p) in t.probs.iter().enumerate() {
+            if row as u32 & fixed == fixed {
+                rows.push(row as u32);
+                weights.push(p);
+            }
+        }
+        let alias = AliasTable::new(&weights).unwrap_or_else(|| {
+            // Zero conditional mass means Pr(Bf_i) = 0, so this embedding is
+            // never chosen by the alias over weights; still honour the fixed
+            // bits so the sampler stays well-defined.
+            rows = vec![fixed];
+            AliasTable::new(&[1.0]).expect("singleton distribution")
+        });
+        out.push(CondTable {
+            table_pos: tp as u32,
+            rows,
+            alias,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_union_probability;
+    use crate::jpt::JointProbTable;
+    use crate::montecarlo::MonteCarloConfig;
+    use pgs_graph::model::GraphBuilder;
+
+    /// Figure-1-style fixture: triangle table + pendant table.
+    fn fixture_002() -> ProbabilisticGraph {
+        let skeleton = GraphBuilder::new()
+            .name("002")
+            .vertices(&[0, 0, 1, 1, 2])
+            .edge(0, 1, 9)
+            .edge(0, 2, 9)
+            .edge(1, 2, 9)
+            .edge(2, 3, 9)
+            .edge(2, 4, 9)
+            .build();
+        let t1 =
+            JointProbTable::from_max_rule(&[(EdgeId(0), 0.7), (EdgeId(1), 0.6), (EdgeId(2), 0.8)])
+                .unwrap();
+        let t2 = JointProbTable::from_max_rule(&[(EdgeId(3), 0.5), (EdgeId(4), 0.4)]).unwrap();
+        ProbabilisticGraph::new(skeleton, vec![t1, t2], true).unwrap()
+    }
+
+    /// A graph whose table count is ≥ 4× what the embedding union touches: a
+    /// correlated pair {e0, e1} plus `extra` pendant chain tables the union
+    /// never mentions.
+    fn fixture_many_irrelevant_tables(extra: usize) -> ProbabilisticGraph {
+        let mut builder = GraphBuilder::new().vertices(&vec![0u32; 3 + extra]);
+        builder = builder.edge(0, 1, 1).edge(1, 2, 1);
+        for i in 0..extra {
+            builder = builder.edge(2 + i as u32, 3 + i as u32, 2);
+        }
+        let skeleton = builder.build();
+        let mut tables =
+            vec![JointProbTable::from_max_rule(&[(EdgeId(0), 0.6), (EdgeId(1), 0.5)]).unwrap()];
+        for i in 0..extra {
+            tables.push(
+                JointProbTable::independent(&[(EdgeId(2 + i as u32), 0.3 + 0.4 * (i % 2) as f64)])
+                    .unwrap(),
+            );
+        }
+        ProbabilisticGraph::new(skeleton, tables, true).unwrap()
+    }
+
+    #[test]
+    fn projection_covers_only_touched_tables() {
+        let pg = fixture_many_irrelevant_tables(8);
+        let projection = ProjectedWorlds::new(&pg, &[EdgeId(0), EdgeId(1)]);
+        assert_eq!(projection.table_count(), 1);
+        assert_eq!(projection.relevant_edges(), 2);
+        assert_eq!(projection.words(), 1);
+        assert_eq!(projection.bit_of(EdgeId(0)), Some(0));
+        assert_eq!(projection.bit_of(EdgeId(1)), Some(1));
+        assert_eq!(projection.bit_of(EdgeId(5)), None);
+        assert_eq!(projection.mask_of(&[EdgeId(0), EdgeId(1)]), vec![0b11]);
+    }
+
+    #[test]
+    fn projected_sampling_matches_marginals() {
+        let pg = fixture_002();
+        // Project onto a strict subset of one table + the pendant table.
+        let relevant = vec![EdgeId(0), EdgeId(2), EdgeId(3)];
+        let projection = ProjectedWorlds::new(&pg, &relevant);
+        assert_eq!(projection.table_count(), 2);
+        assert_eq!(projection.relevant_edges(), 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut scratch = vec![0u64; projection.words()];
+        let n = 60_000;
+        let mask_e0 = projection.mask_of(&[EdgeId(0)]);
+        let mask_joint = projection.mask_of(&[EdgeId(0), EdgeId(2)]);
+        let (mut c0, mut cj) = (0usize, 0usize);
+        for _ in 0..n {
+            projection.sample_into(&mut rng, &mut scratch);
+            if mask_covered(&scratch, &mask_e0) {
+                c0 += 1;
+            }
+            if mask_covered(&scratch, &mask_joint) {
+                cj += 1;
+            }
+        }
+        let f0 = c0 as f64 / n as f64;
+        let fj = cj as f64 / n as f64;
+        assert!((f0 - pg.edge_presence_prob(EdgeId(0))).abs() < 0.02);
+        // The correlated joint must survive the projection (table marginals
+        // keep intra-table correlation).
+        let joint = pg.prob_all_present(&[EdgeId(0), EdgeId(2)]);
+        assert!((fj - joint).abs() < 0.02);
+    }
+
+    #[test]
+    fn union_estimate_matches_exact_on_fixture_002() {
+        let pg = fixture_002();
+        // Embeddings of the triangle minus one edge (δ = 1 relaxations).
+        let embeddings: Vec<Vec<EdgeId>> = vec![
+            vec![EdgeId(0), EdgeId(1)],
+            vec![EdgeId(0), EdgeId(2)],
+            vec![EdgeId(1), EdgeId(2)],
+        ];
+        let exact = exact_union_probability(&pg, &embeddings, 22).unwrap();
+        let sampler = UnionSampler::new(&pg, &embeddings).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = sampler.estimate(40_000, &mut rng);
+        assert!(
+            (est - exact).abs() < 0.02,
+            "estimate {est} vs exact {exact}"
+        );
+        // V is the sum of the embedding probabilities.
+        let v: f64 = embeddings.iter().map(|e| pg.prob_all_present(e)).sum();
+        assert!((sampler.total_weight() - v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_estimate_matches_exact_with_irrelevant_tables() {
+        let pg = fixture_many_irrelevant_tables(12);
+        assert!(pg.tables().len() >= 13);
+        let embeddings: Vec<Vec<EdgeId>> = vec![vec![EdgeId(0)], vec![EdgeId(0), EdgeId(1)]];
+        let sampler = UnionSampler::new(&pg, &embeddings).unwrap();
+        // 13 tables in the graph, 1 touched by the union.
+        assert_eq!(sampler.projection().table_count(), 1);
+        let exact = exact_union_probability(&pg, &embeddings, 22).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let est = sampler.estimate(40_000, &mut rng);
+        assert!(
+            (est - exact).abs() < 0.02,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn chunked_estimate_is_thread_count_invariant_and_repeatable() {
+        let pg = fixture_002();
+        let embeddings: Vec<Vec<EdgeId>> = vec![
+            vec![EdgeId(0), EdgeId(1)],
+            vec![EdgeId(1), EdgeId(2)],
+            vec![EdgeId(3), EdgeId(4)],
+        ];
+        let sampler = UnionSampler::new(&pg, &embeddings).unwrap();
+        let n = MonteCarloConfig::default().num_samples() + 777; // non-multiple of the chunk size
+        let reference = sampler.estimate_chunked(n, 0xFACE, 1);
+        for threads in [2usize, 3, 4, 8, 0] {
+            assert_eq!(
+                sampler.estimate_chunked(n, 0xFACE, threads),
+                reference,
+                "threads = {threads}"
+            );
+        }
+        // Repeat with the same seed: identical. Different seed: a different
+        // (but close) estimate.
+        assert_eq!(sampler.estimate_chunked(n, 0xFACE, 4), reference);
+        let other = sampler.estimate_chunked(n, 0xBEEF, 4);
+        assert!((other - reference).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_probability_unions_return_none() {
+        let pg = fixture_002();
+        assert!(UnionSampler::new(&pg, &[]).is_none());
+        // A deterministic-zero table: Pr(e0 present) = 0.
+        let g = GraphBuilder::new().vertices(&[0, 0]).edge(0, 1, 1).build();
+        let t = JointProbTable::new(vec![EdgeId(0)], vec![1.0, 0.0]).unwrap();
+        let dead = ProbabilisticGraph::new(g, vec![t], true).unwrap();
+        assert!(UnionSampler::new(&dead, &[vec![EdgeId(0)]]).is_none());
+    }
+
+    #[test]
+    fn empty_embedding_dominates_the_union() {
+        let pg = fixture_002();
+        // The empty pattern holds in every world: the union probability is 1
+        // and no later embedding is ever counted against it.
+        let embeddings: Vec<Vec<EdgeId>> = vec![vec![], vec![EdgeId(0)]];
+        let sampler = UnionSampler::new(&pg, &embeddings).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = sampler.estimate(20_000, &mut rng);
+        assert!((est - 1.0).abs() < 0.05, "estimate {est}");
+    }
+
+    #[test]
+    fn scatter_spills_across_word_boundaries() {
+        let mut world = vec![0u64; 2];
+        scatter(&mut world, 60, 8, 0b1011_0101);
+        assert_eq!(world[0], 0b0101u64 << 60);
+        assert_eq!(world[1], 0b1011);
+        assert!(mask_covered(&world, &[0b0101u64 << 60, 0b1011]));
+        assert!(!mask_covered(&world, &[1u64 << 59, 0]));
+        assert!(mask_disjoint(&world, &[0b1010u64 << 60, 0b0100]));
+    }
+}

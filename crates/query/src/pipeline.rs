@@ -18,7 +18,7 @@
 
 use crate::prune::{prune_candidate, CrossTermRule, PruneDecision, PruneOutcome};
 use crate::structural::structural_candidates_indexed;
-use crate::verify::{verify_ssp_exact, verify_ssp_sampled_relaxed, VerifyOptions};
+use crate::verify::{verify_ssp_exact, verify_ssp_with_stats, VerifyOptions};
 use pgs_graph::model::Graph;
 use pgs_graph::parallel::{derive_seed, par_map_chunked, resolve_threads};
 use pgs_graph::relax::relax_query_clamped;
@@ -212,6 +212,19 @@ pub enum QueryError {
         /// The configured sample cap.
         max_samples: usize,
     },
+    /// The verification sampler's options are unusable: the embedding cap is
+    /// zero (it used to be silently clamped to one VF2 embedding per relaxed
+    /// query), or `τ`/`ξ` is `NaN` or non-positive (the Monte-Carlo clamp
+    /// would substitute defaults).  Either way the engine would quietly
+    /// verify at a precision nobody asked for.
+    InvalidVerifyOptions {
+        /// The configured embedding cap.
+        max_embeddings: usize,
+        /// The configured relative error `τ`.
+        tau: f64,
+        /// The configured failure probability `ξ`.
+        xi: f64,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -230,6 +243,15 @@ impl fmt::Display for QueryError {
                 f,
                 "invalid exact-scan configuration: τ = {tau} and ξ = {xi} must be \
                  positive numbers and the sample cap ({max_samples}) non-zero"
+            ),
+            QueryError::InvalidVerifyOptions {
+                max_embeddings,
+                tau,
+                xi,
+            } => write!(
+                f,
+                "invalid verification options: τ = {tau} and ξ = {xi} must be \
+                 positive numbers and the embedding cap ({max_embeddings}) non-zero"
             ),
         }
     }
@@ -349,6 +371,12 @@ pub struct PhaseStats {
     pub accepted_by_lower: usize,
     /// Graphs sent to the verification sampler.
     pub verified: usize,
+    /// Candidates answered by verification's exact short-circuit (trivial δ,
+    /// no embeddings, or a relevant-edge set within `exact_cutoff`) — no
+    /// Monte-Carlo trials were drawn for them.
+    pub exact_verifications: usize,
+    /// Monte-Carlo trials drawn across all sampled verifications.
+    pub samples_drawn: usize,
     /// Graphs surviving probabilistic pruning (accepted + to-verify); the
     /// paper's "candidate size" for Figures 10–12.
     pub probabilistic_candidates: usize,
@@ -376,6 +404,8 @@ impl PhaseStats {
         self.pruned_by_upper += other.pruned_by_upper;
         self.accepted_by_lower += other.accepted_by_lower;
         self.verified += other.verified;
+        self.exact_verifications += other.exact_verifications;
+        self.samples_drawn += other.samples_drawn;
         self.probabilistic_candidates += other.probabilistic_candidates;
         self.structural_seconds += other.structural_seconds;
         self.probabilistic_seconds += other.probabilistic_seconds;
@@ -558,6 +588,7 @@ impl QueryEngine {
     /// database insertion order.
     pub fn query(&self, q: &Graph, params: &QueryParams) -> Result<QueryResult, QueryError> {
         params.validate()?;
+        self.config.verify.validate()?;
         if q.edge_count() == 0 {
             return Err(QueryError::EmptyQuery);
         }
@@ -579,6 +610,7 @@ impl QueryEngine {
         params: &QueryParams,
     ) -> Result<BatchResult, QueryError> {
         params.validate()?;
+        self.config.verify.validate()?;
         if queries.iter().any(|q| q.edge_count() == 0) {
             return Err(QueryError::EmptyQuery);
         }
@@ -677,30 +709,47 @@ impl QueryEngine {
         stats.accepted_by_lower = outcome.accepted.len();
         stats.probabilistic_candidates = outcome.surviving();
 
-        // Phase 3: verification (parallel over candidates).
+        // Phase 3: verification.  With more candidates than workers the
+        // parallelism goes *across* candidates (each sampler runs its chunks
+        // sequentially); with few surviving candidates it goes *within* each
+        // candidate's sample loop instead (the chunked Karp–Luby trials).
+        // Either way every candidate's trials come from the same fixed chunk
+        // layout and derived seeds, so the split is purely a wall-clock
+        // decision — the answers are byte-identical for every thread count.
         let t2 = Instant::now();
         let mut answers = outcome.accepted.clone();
         stats.verified = outcome.candidates.len();
-        let verdicts: Vec<bool> = par_map_chunked(&outcome.candidates, threads, |_, &gi| {
-            let mut rng = self.candidate_rng(query_hash, SEED_PHASE_VERIFY, gi);
-            let ssp = verify_ssp_sampled_relaxed(
-                &self.db[gi],
-                q,
-                params.delta,
-                &relaxed,
-                &self.config.verify,
-                &mut rng,
-            );
-            ssp >= params.epsilon
-        });
-        answers.extend(
-            outcome
-                .candidates
-                .iter()
-                .zip(&verdicts)
-                .filter(|(_, &keep)| keep)
-                .map(|(&gi, _)| gi),
-        );
+        let workers = resolve_threads(threads);
+        let (across, within) = if outcome.candidates.len() >= workers {
+            (workers, 1)
+        } else {
+            (1, workers)
+        };
+        let verdicts: Vec<(bool, usize, bool)> =
+            par_map_chunked(&outcome.candidates, across, |_, &gi| {
+                let mut rng = self.candidate_rng(query_hash, SEED_PHASE_VERIFY, gi);
+                let verdict = verify_ssp_with_stats(
+                    &self.db[gi],
+                    q,
+                    params.delta,
+                    &relaxed,
+                    &self.config.verify,
+                    within,
+                    &mut rng,
+                );
+                (
+                    verdict.ssp >= params.epsilon,
+                    verdict.samples_drawn,
+                    verdict.exact,
+                )
+            });
+        for (&gi, &(keep, samples, exact)) in outcome.candidates.iter().zip(&verdicts) {
+            if keep {
+                answers.push(gi);
+            }
+            stats.samples_drawn += samples;
+            stats.exact_verifications += usize::from(exact);
+        }
         stats.verification_seconds = t2.elapsed().as_secs_f64();
         answers.sort_unstable();
         QueryResult { answers, stats }
@@ -732,6 +781,9 @@ impl QueryEngine {
     pub fn exact_scan(&self, q: &Graph, params: &QueryParams) -> Result<QueryResult, QueryError> {
         params.validate()?;
         self.config.exact.validate()?;
+        // The sampling fallback inherits everything but the Monte-Carlo knobs
+        // from the verification options, so those must be usable too.
+        self.config.verify.validate()?;
         if q.edge_count() == 0 {
             return Err(QueryError::EmptyQuery);
         }
@@ -739,26 +791,37 @@ impl QueryEngine {
         let t0 = Instant::now();
         // Shared by every graph that falls back to sampling; computed once.
         let relaxed = relax_query_clamped(q, params.delta);
-        let verdicts: Vec<bool> = par_map_chunked(&self.db, self.config.threads, |gi, pg| {
-            let ssp = match verify_ssp_exact(pg, q, params.delta, self.config.exact.exact_edge_cap)
-            {
-                Ok(v) => v,
+        let verdicts: Vec<(bool, usize, bool)> = par_map_chunked(
+            &self.db,
+            self.config.threads,
+            |gi, pg| match verify_ssp_exact(pg, q, params.delta, self.config.exact.exact_edge_cap) {
+                Ok(v) => (v >= params.epsilon, 0, true),
                 Err(_) => {
                     let precise = VerifyOptions {
                         mc: self.config.exact.fallback_mc,
                         ..self.config.verify
                     };
                     let mut rng = self.candidate_rng(query_hash, SEED_PHASE_EXACT_FALLBACK, gi);
-                    verify_ssp_sampled_relaxed(pg, q, params.delta, &relaxed, &precise, &mut rng)
+                    let outcome =
+                        verify_ssp_with_stats(pg, q, params.delta, &relaxed, &precise, 1, &mut rng);
+                    (
+                        outcome.ssp >= params.epsilon,
+                        outcome.samples_drawn,
+                        outcome.exact,
+                    )
                 }
-            };
-            ssp >= params.epsilon
-        });
-        let answers: Vec<usize> = verdicts
-            .iter()
-            .enumerate()
-            .filter_map(|(gi, &keep)| keep.then_some(gi))
-            .collect();
+            },
+        );
+        let mut answers: Vec<usize> = Vec::new();
+        let mut samples_drawn = 0usize;
+        let mut exact_verifications = 0usize;
+        for (gi, &(keep, samples, exact)) in verdicts.iter().enumerate() {
+            if keep {
+                answers.push(gi);
+            }
+            samples_drawn += samples;
+            exact_verifications += usize::from(exact);
+        }
         let elapsed = t0.elapsed().as_secs_f64();
         Ok(QueryResult {
             answers,
@@ -766,6 +829,8 @@ impl QueryEngine {
                 structural_candidates: self.db.len(),
                 probabilistic_candidates: self.db.len(),
                 verified: self.db.len(),
+                exact_verifications,
+                samples_drawn,
                 // The scan does no pruning: both pruning timers are exactly
                 // zero by definition, and every graph counts as a candidate.
                 structural_seconds: 0.0,
@@ -1280,6 +1345,122 @@ mod tests {
     }
 
     #[test]
+    fn invalid_verify_options_are_a_typed_error() {
+        let (engine, queries) = small_engine();
+        let q = &queries[0].graph;
+        let params = QueryParams::default();
+        let bad = [
+            (0usize, 0.1, 0.05),
+            (256, f64::NAN, 0.05),
+            (256, 0.0, 0.05),
+            (256, 0.1, -0.5),
+        ];
+        for (max_embeddings, tau, xi) in bad {
+            let mut config = *engine.config();
+            config.verify.max_embeddings = max_embeddings;
+            config.verify.mc.tau = tau;
+            config.verify.mc.xi = xi;
+            let broken = QueryEngine::build(engine.db().to_vec(), config);
+            for result in [
+                broken.query(q, &params).map(|r| r.answers),
+                broken.exact_scan(q, &params).map(|r| r.answers),
+                broken
+                    .query_batch(std::slice::from_ref(q), &params)
+                    .map(|b| b.results[0].answers.clone()),
+            ] {
+                match result {
+                    Err(QueryError::InvalidVerifyOptions {
+                        max_embeddings: m,
+                        tau: t,
+                        xi: x,
+                    }) => {
+                        assert_eq!(m, max_embeddings);
+                        assert!(t.is_nan() == tau.is_nan() && (t.is_nan() || t == tau));
+                        assert!(x.is_nan() == xi.is_nan() && (x.is_nan() || x == xi));
+                    }
+                    other => panic!("cap={max_embeddings} τ={tau} ξ={xi}: got {other:?}"),
+                }
+            }
+        }
+        assert!(QueryError::InvalidVerifyOptions {
+            max_embeddings: 0,
+            tau: 0.1,
+            xi: 0.05
+        }
+        .to_string()
+        .contains("embedding cap"));
+    }
+
+    #[test]
+    fn verification_counters_split_exact_and_sampled_work() {
+        let (engine, queries) = small_engine();
+        let q = &queries[0].graph;
+        let params = QueryParams {
+            epsilon: 0.4,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        // The small_engine config keeps verification exact (cutoff 18 covers
+        // every candidate): all verified candidates are exact shortcuts.
+        let exact_run = engine.query(q, &params).unwrap();
+        assert_eq!(
+            exact_run.stats.exact_verifications,
+            exact_run.stats.verified
+        );
+        assert_eq!(exact_run.stats.samples_drawn, 0);
+        // Forcing the sampling path flips the counters.
+        let mut config = *engine.config();
+        config.verify.exact_cutoff = 0;
+        let sampling = QueryEngine::build(engine.db().to_vec(), config);
+        let sampled_run = sampling.query(q, &params).unwrap();
+        if sampled_run.stats.verified > 0 {
+            assert!(sampled_run.stats.samples_drawn > 0);
+            assert!(sampled_run.stats.exact_verifications <= sampled_run.stats.verified);
+        }
+        // Counters aggregate across a batch.
+        let batch = sampling
+            .query_batch(std::slice::from_ref(q), &params)
+            .unwrap();
+        assert_eq!(batch.stats.samples_drawn, sampled_run.stats.samples_drawn);
+        assert_eq!(
+            batch.stats.exact_verifications,
+            sampled_run.stats.exact_verifications
+        );
+    }
+
+    #[test]
+    fn forced_sampling_answers_are_thread_count_invariant() {
+        // The determinism suite covers the default configuration; this pins
+        // the intra-candidate chunked sampler specifically (exact_cutoff = 0
+        // sends every verified candidate through the UnionSampler, and the
+        // tiny candidate sets make the pipeline pick within-candidate
+        // parallelism for threads > 1).
+        let (base, queries) = small_engine();
+        let params = QueryParams {
+            epsilon: 0.4,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        let mut config = *base.config();
+        config.verify.exact_cutoff = 0;
+        config.threads = 1;
+        let sequential = QueryEngine::build(base.db().to_vec(), config);
+        for threads in [0usize, 2, 4] {
+            let mut config = *base.config();
+            config.verify.exact_cutoff = 0;
+            config.threads = threads;
+            let parallel = QueryEngine::build(base.db().to_vec(), config);
+            for wq in &queries {
+                let a = sequential.query(&wq.graph, &params).unwrap();
+                let b = parallel.query(&wq.graph, &params).unwrap();
+                assert_eq!(a.answers, b.answers, "threads = {threads}");
+                assert_eq!(a.stats.samples_drawn, b.stats.samples_drawn);
+                assert_eq!(a.stats.exact_verifications, b.stats.exact_verifications);
+            }
+        }
+    }
+
+    #[test]
     fn structural_phase_reports_posting_list_work() {
         let (engine, queries) = small_engine();
         let params = QueryParams {
@@ -1309,5 +1490,21 @@ mod tests {
         assert_eq!(s.pruned_by_upper, 0);
         assert_eq!(s.accepted_by_lower, 0);
         assert!(s.verification_seconds >= 0.0);
+        // Every test graph fits under the exact edge cap, so the whole scan
+        // is exact and no Monte-Carlo trial is drawn.
+        assert_eq!(s.exact_verifications, engine.db().len());
+        assert_eq!(s.samples_drawn, 0);
+        // Shrinking both exact caps forces the sampling fallback, which must
+        // now be reflected in the counters.
+        let mut config = *engine.config();
+        config.exact.exact_edge_cap = 0;
+        config.verify.exact_cutoff = 0;
+        let forced = QueryEngine::build(engine.db().to_vec(), config);
+        let s = forced
+            .exact_scan(&queries[0].graph, &QueryParams::default())
+            .unwrap()
+            .stats;
+        assert!(s.samples_drawn > 0, "fallback trials must be counted");
+        assert!(s.exact_verifications < engine.db().len());
     }
 }

@@ -15,9 +15,19 @@
 //! 3. the estimate is `V · cnt / N`, an unbiased estimator of the union
 //!    probability with the usual `(τ, ξ)` Monte-Carlo guarantees.
 //!
+//! The estimator is executed by [`pgs_prob::union_sampler::UnionSampler`]:
+//! the graph is projected onto the JPT tables the embedding union actually
+//! touches, worlds live in a compact reusable bitset, embedding choice and
+//! per-table row draws go through Walker alias tables, and the trials are
+//! chunked with per-chunk derived RNGs so the estimate is byte-identical for
+//! every thread count (see DESIGN.md §11).  The pre-projection loop survives
+//! as [`verify_ssp_sampled_baseline`] — the benchmark and property-test
+//! reference.
+//!
 //! [`verify_ssp_exact`] wraps the exact evaluator of `pgs-prob` and doubles as
 //! the `Exact` baseline of Figures 9 and 13.
 
+use crate::pipeline::QueryError;
 use pgs_graph::embeddings::EdgeSet;
 use pgs_graph::model::Graph;
 use pgs_graph::relax::relax_query_clamped;
@@ -26,7 +36,9 @@ use pgs_prob::error::ProbError;
 use pgs_prob::exact::exact_ssp;
 use pgs_prob::model::ProbabilisticGraph;
 use pgs_prob::montecarlo::MonteCarloConfig;
+use pgs_prob::union_sampler::UnionSampler;
 use rand::Rng;
+use std::collections::HashSet;
 
 /// Options of the verification sampler.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +60,51 @@ impl Default for VerifyOptions {
             mc: MonteCarloConfig::default(),
             max_embeddings: 256,
             exact_cutoff: 12,
+        }
+    }
+}
+
+impl VerifyOptions {
+    /// Validates the options the way `ExactScanConfig::validate` does.
+    ///
+    /// A `max_embeddings` of zero used to be silently clamped to one VF2
+    /// embedding per relaxed query, and a `NaN`/non-positive `τ` or `ξ` flows
+    /// into the Monte-Carlo clamp which substitutes defaults — in both cases
+    /// the engine would quietly answer at a precision nobody asked for, so
+    /// the query entry points reject such options with a typed error instead.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        let bad_tau = self.mc.tau.is_nan() || self.mc.tau <= 0.0;
+        let bad_xi = self.mc.xi.is_nan() || self.mc.xi <= 0.0;
+        if bad_tau || bad_xi || self.max_embeddings == 0 {
+            return Err(QueryError::InvalidVerifyOptions {
+                max_embeddings: self.max_embeddings,
+                tau: self.mc.tau,
+                xi: self.mc.xi,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The result of one candidate verification: the SSP value plus the work
+/// counters the pipeline aggregates into `PhaseStats`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifyOutcome {
+    /// The (estimated or exact) subgraph similarity probability.
+    pub ssp: f64,
+    /// Monte-Carlo trials drawn (zero on the exact path).
+    pub samples_drawn: usize,
+    /// True when the answer came from the exact short-circuit (trivial δ,
+    /// no embeddings, or relevant-edge set within `exact_cutoff`).
+    pub exact: bool,
+}
+
+impl VerifyOutcome {
+    fn exactly(ssp: f64) -> VerifyOutcome {
+        VerifyOutcome {
+            ssp,
+            samples_drawn: 0,
+            exact: true,
         }
     }
 }
@@ -86,6 +143,72 @@ pub fn verify_ssp_sampled_relaxed<R: Rng + ?Sized>(
     options: &VerifyOptions,
     rng: &mut R,
 ) -> f64 {
+    verify_ssp_with_stats(pg, q, delta, relaxed, options, 1, rng).ssp
+}
+
+/// Full-fat verification entry point: Algorithm 5 over the
+/// [`UnionSampler`], with work counters and optional intra-candidate
+/// parallelism.
+///
+/// The Monte-Carlo trials are chunked deterministically and run on up to
+/// `threads` workers (`0` = automatic, `1` = sequential); the per-chunk RNGs
+/// are derived from one seed drawn from `rng`, so for a fixed caller RNG
+/// state the result is **byte-identical for every thread count**.
+pub fn verify_ssp_with_stats<R: Rng + ?Sized>(
+    pg: &ProbabilisticGraph,
+    q: &Graph,
+    delta: usize,
+    relaxed: &[Graph],
+    options: &VerifyOptions,
+    threads: usize,
+    rng: &mut R,
+) -> VerifyOutcome {
+    if q.edge_count() <= delta {
+        return VerifyOutcome::exactly(1.0);
+    }
+    let embeddings = collect_embeddings_of_relaxations(pg, relaxed, options.max_embeddings);
+    if embeddings.is_empty() {
+        return VerifyOutcome::exactly(0.0);
+    }
+    // Small instances: answer exactly (cheaper and noise-free).
+    let mut relevant: Vec<_> = embeddings.iter().flatten().copied().collect();
+    relevant.sort_unstable();
+    relevant.dedup();
+    if relevant.len() <= options.exact_cutoff {
+        if let Ok(value) =
+            pgs_prob::exact::exact_union_probability(pg, &embeddings, options.exact_cutoff)
+        {
+            return VerifyOutcome::exactly(value);
+        }
+    }
+
+    // --- Algorithm 5 over the projected bitset sampler -------------------
+    let Some(sampler) = UnionSampler::with_relevant(pg, &embeddings, &relevant) else {
+        // The union event has probability zero (every Pr(Bf_i) = 0).
+        return VerifyOutcome::exactly(0.0);
+    };
+    let n = options.mc.num_samples();
+    let seed: u64 = rng.gen();
+    VerifyOutcome {
+        ssp: sampler.estimate_chunked(n, seed, threads),
+        samples_drawn: n,
+        exact: false,
+    }
+}
+
+/// The pre-projection Algorithm 5 loop, kept verbatim as the baseline the
+/// benchmark harness (`experiments -- bench-verify`) and the property tests
+/// measure the [`UnionSampler`] against: per trial it allocates a fresh world
+/// over *all* edges, rebuilds the conditioning constraint, samples every JPT
+/// table and picks the conditioning embedding by a linear scan.
+pub fn verify_ssp_sampled_baseline<R: Rng + ?Sized>(
+    pg: &ProbabilisticGraph,
+    q: &Graph,
+    delta: usize,
+    relaxed: &[Graph],
+    options: &VerifyOptions,
+    rng: &mut R,
+) -> f64 {
     if q.edge_count() <= delta {
         return 1.0;
     }
@@ -93,7 +216,6 @@ pub fn verify_ssp_sampled_relaxed<R: Rng + ?Sized>(
     if embeddings.is_empty() {
         return 0.0;
     }
-    // Small instances: answer exactly (cheaper and noise-free).
     let mut relevant: Vec<_> = embeddings.iter().flatten().copied().collect();
     relevant.sort_unstable();
     relevant.dedup();
@@ -104,8 +226,6 @@ pub fn verify_ssp_sampled_relaxed<R: Rng + ?Sized>(
             return value;
         }
     }
-
-    // --- Algorithm 5 -----------------------------------------------------
     let probs: Vec<f64> = embeddings.iter().map(|e| pg.prob_all_present(e)).collect();
     let v: f64 = probs.iter().sum();
     if v <= 0.0 {
@@ -163,11 +283,18 @@ pub fn collect_relaxed_embeddings(
 
 /// Collects the distinct embeddings (edge sets) of every graph in `relaxed`
 /// within the skeleton of `pg`, capped at `max_embeddings` in total.
+///
+/// Deduplication is a hash-set membership test on the (already sorted)
+/// edge set — O(1) amortised per embedding instead of the former
+/// `Vec::contains` linear scan, which made collection quadratic in the
+/// embedding cap.  The output keeps first-seen order, so the collected list
+/// is identical to what the linear scan produced.
 pub fn collect_embeddings_of_relaxations(
     pg: &ProbabilisticGraph,
     relaxed: &[Graph],
     max_embeddings: usize,
 ) -> Vec<EdgeSet> {
+    let mut seen: HashSet<EdgeSet> = HashSet::new();
     let mut out: Vec<EdgeSet> = Vec::new();
     for rq in relaxed {
         if rq.edge_count() == 0 {
@@ -179,7 +306,7 @@ pub fn collect_embeddings_of_relaxations(
             MatchOptions::capped(max_embeddings.saturating_sub(out.len()).max(1)),
         );
         for emb in outcome.embeddings {
-            if !out.contains(&emb.edges) {
+            if seen.insert(emb.edges.clone()) {
                 out.push(emb.edges);
             }
         }
@@ -193,6 +320,7 @@ pub fn collect_embeddings_of_relaxations(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pgs_datagen::scenarios::verification_candidate;
     use pgs_graph::model::{EdgeId, GraphBuilder};
     use pgs_prob::jpt::JointProbTable;
     use rand::rngs::StdRng;
@@ -215,6 +343,9 @@ mod tests {
         ProbabilisticGraph::new(skeleton, vec![t1, t2], true).unwrap()
     }
 
+    /// Triangle over labels {0, 1, 2}: embeds in `fixture_002` through its
+    /// relaxations and exactly in the labelled triangle region of
+    /// `pgs_datagen::scenarios::verification_candidate`.
     fn query() -> Graph {
         GraphBuilder::new()
             .vertices(&[0, 1, 2])
@@ -250,6 +381,77 @@ mod tests {
     }
 
     #[test]
+    fn sampled_ssp_matches_exact_with_irrelevant_tables() {
+        // The projection must not change the answer when the graph carries
+        // many JPT tables the embedding union never touches.
+        let (pg, q) = verification_candidate(12);
+        assert_eq!(pg.tables().len(), 13);
+        let options = VerifyOptions {
+            exact_cutoff: 0,
+            mc: MonteCarloConfig {
+                tau: 0.05,
+                xi: 0.01,
+                max_samples: 40_000,
+            },
+            ..VerifyOptions::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1234);
+        for delta in 0..=1 {
+            let exact = verify_ssp_exact(&pg, &q, delta, 22).unwrap();
+            let relaxed = relax_query_clamped(&q, delta);
+            let outcome = verify_ssp_with_stats(&pg, &q, delta, &relaxed, &options, 1, &mut rng);
+            assert!(!outcome.exact);
+            assert_eq!(outcome.samples_drawn, options.mc.num_samples());
+            assert!(
+                (outcome.ssp - exact).abs() < 0.03,
+                "delta={delta}: sampled {} vs exact {exact}",
+                outcome.ssp
+            );
+        }
+    }
+
+    #[test]
+    fn with_stats_is_thread_count_invariant() {
+        let (pg, q) = verification_candidate(8);
+        let options = VerifyOptions {
+            exact_cutoff: 0,
+            ..VerifyOptions::default()
+        };
+        let relaxed = relax_query_clamped(&q, 1);
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(99);
+            verify_ssp_with_stats(&pg, &q, 1, &relaxed, &options, threads, &mut rng)
+        };
+        let reference = run(1);
+        for threads in [2usize, 4, 8, 0] {
+            assert_eq!(run(threads), reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn baseline_and_union_sampler_agree() {
+        let (pg, q) = verification_candidate(6);
+        let options = VerifyOptions {
+            exact_cutoff: 0,
+            mc: MonteCarloConfig {
+                tau: 0.05,
+                xi: 0.01,
+                max_samples: 40_000,
+            },
+            ..VerifyOptions::default()
+        };
+        let relaxed = relax_query_clamped(&q, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let baseline = verify_ssp_sampled_baseline(&pg, &q, 1, &relaxed, &options, &mut rng);
+        let mut rng = StdRng::seed_from_u64(8);
+        let fast = verify_ssp_sampled_relaxed(&pg, &q, 1, &relaxed, &options, &mut rng);
+        assert!(
+            (baseline - fast).abs() < 0.03,
+            "baseline {baseline} vs union sampler {fast}"
+        );
+    }
+
+    #[test]
     fn exact_shortcut_is_used_for_small_instances() {
         let pg = fixture_002();
         let q = query();
@@ -258,6 +460,12 @@ mod tests {
         let via_default = verify_ssp_sampled(&pg, &q, 1, &VerifyOptions::default(), &mut rng);
         // With the default cutoff (12 ≥ 5 relevant edges) the result is exact.
         assert!((via_default - exact).abs() < 1e-9);
+        // The stats variant reports the shortcut.
+        let relaxed = relax_query_clamped(&q, 1);
+        let outcome =
+            verify_ssp_with_stats(&pg, &q, 1, &relaxed, &VerifyOptions::default(), 1, &mut rng);
+        assert!(outcome.exact);
+        assert_eq!(outcome.samples_drawn, 0);
     }
 
     #[test]
@@ -291,6 +499,86 @@ mod tests {
         }
         let capped = collect_relaxed_embeddings(&pg, &q, 1, 2);
         assert!(capped.len() <= 2);
+    }
+
+    #[test]
+    fn hashset_dedup_matches_the_linear_scan_reference() {
+        // The pre-PR O(n²) reference implementation, kept here as the oracle:
+        // the hash-set dedup must collect the same embeddings in the same
+        // order for any (pg, relaxed, cap) input.
+        fn reference(pg: &ProbabilisticGraph, relaxed: &[Graph], cap: usize) -> Vec<EdgeSet> {
+            let mut out: Vec<EdgeSet> = Vec::new();
+            for rq in relaxed {
+                if rq.edge_count() == 0 {
+                    continue;
+                }
+                let outcome = enumerate_embeddings(
+                    rq,
+                    pg.skeleton(),
+                    MatchOptions::capped(cap.saturating_sub(out.len()).max(1)),
+                );
+                for emb in outcome.embeddings {
+                    if !out.contains(&emb.edges) {
+                        out.push(emb.edges);
+                    }
+                }
+                if out.len() >= cap {
+                    break;
+                }
+            }
+            out
+        }
+        for extra in [0usize, 4, 9] {
+            let (pg, triangle) = verification_candidate(extra);
+            for delta in 0..=2usize {
+                for cap in [1usize, 2, 5, 100] {
+                    let relaxed = relax_query_clamped(&triangle, delta);
+                    assert_eq!(
+                        collect_embeddings_of_relaxations(&pg, &relaxed, cap),
+                        reference(&pg, &relaxed, cap),
+                        "extra={extra} delta={delta} cap={cap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verify_options_validation() {
+        assert!(VerifyOptions::default().validate().is_ok());
+        let bad = [
+            VerifyOptions {
+                max_embeddings: 0,
+                ..VerifyOptions::default()
+            },
+            VerifyOptions {
+                mc: MonteCarloConfig {
+                    tau: f64::NAN,
+                    ..MonteCarloConfig::default()
+                },
+                ..VerifyOptions::default()
+            },
+            VerifyOptions {
+                mc: MonteCarloConfig {
+                    tau: -1.0,
+                    ..MonteCarloConfig::default()
+                },
+                ..VerifyOptions::default()
+            },
+            VerifyOptions {
+                mc: MonteCarloConfig {
+                    xi: 0.0,
+                    ..MonteCarloConfig::default()
+                },
+                ..VerifyOptions::default()
+            },
+        ];
+        for options in bad {
+            match options.validate() {
+                Err(QueryError::InvalidVerifyOptions { .. }) => {}
+                other => panic!("expected a typed error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,10 @@ use pgs_graph::relax::relax_query;
 use pgs_graph::vf2::{contains_subgraph, enumerate_embeddings, MatchOptions};
 use pgs_index::sip_bounds::{sip_bounds, BoundsConfig};
 use pgs_prob::neighbor::{is_neighbor_edge_set, partition_with_triangles};
+use pgs_query::verify::{
+    collect_embeddings_of_relaxations, verify_ssp_sampled_baseline, verify_ssp_sampled_relaxed,
+    VerifyOptions,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -197,6 +201,76 @@ proptest! {
             let brute = exact_ssp_bruteforce(&pg, &q, delta, 14).unwrap();
             let lemma = exact_ssp(&pg, &q, delta, 14).unwrap();
             prop_assert!((brute - lemma).abs() < 1e-9, "delta {delta}: {brute} vs {lemma}");
+        }
+    }
+
+    #[test]
+    fn union_sampler_agrees_with_the_fullworld_baseline(pg in arb_probabilistic_graph(), qsize in 2usize..4, delta in 0usize..2) {
+        // The projected bitset sampler (UnionSampler) and the pre-projection
+        // full-world loop estimate the same Karp–Luby union probability; both
+        // must sit within Monte-Carlo tolerance of the exact union value (and
+        // hence of each other).
+        prop_assume!(pg.edge_count() >= 3 && pg.edge_count() <= 12);
+        let mut rng = StdRng::seed_from_u64(29);
+        let q = pgs_graph::generate::random_connected_subgraph(pg.skeleton(), qsize, &mut rng);
+        prop_assume!(q.is_some());
+        let q = q.unwrap();
+        let delta = delta.min(q.edge_count().saturating_sub(1));
+        let relaxed = pgs_graph::relax::relax_query_clamped(&q, delta);
+        let options = VerifyOptions {
+            exact_cutoff: 0, // force both samplers off the exact shortcut
+            mc: pgs::prob::montecarlo::MonteCarloConfig {
+                tau: 0.05,
+                xi: 0.01,
+                max_samples: 20_000,
+            },
+            ..VerifyOptions::default()
+        };
+        let embeddings = collect_embeddings_of_relaxations(&pg, &relaxed, options.max_embeddings);
+        let exact = pgs::prob::exact::exact_union_probability(&pg, &embeddings, 22).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let baseline = verify_ssp_sampled_baseline(&pg, &q, delta, &relaxed, &options, &mut rng);
+        let mut rng = StdRng::seed_from_u64(37);
+        let fast = verify_ssp_sampled_relaxed(&pg, &q, delta, &relaxed, &options, &mut rng);
+        prop_assert!((fast - exact).abs() < 0.04, "union sampler {fast} vs exact {exact}");
+        prop_assert!((baseline - exact).abs() < 0.04, "baseline {baseline} vs exact {exact}");
+        prop_assert!((fast - baseline).abs() < 0.08, "union sampler {fast} vs baseline {baseline}");
+    }
+
+    #[test]
+    fn embedding_collection_dedup_matches_linear_scan(pg in arb_probabilistic_graph(), qsize in 1usize..4, delta in 0usize..2) {
+        // The hash-set dedup of collect_embeddings_of_relaxations must
+        // produce exactly the list the old Vec::contains scan produced, for
+        // every cap.
+        prop_assume!(pg.edge_count() >= 2 && pg.edge_count() <= 12);
+        let mut rng = StdRng::seed_from_u64(41);
+        let q = pgs_graph::generate::random_connected_subgraph(pg.skeleton(), qsize.min(pg.edge_count()), &mut rng);
+        prop_assume!(q.is_some());
+        let q = q.unwrap();
+        let relaxed = pgs_graph::relax::relax_query_clamped(&q, delta.min(q.edge_count().saturating_sub(1)));
+        for cap in [1usize, 3, 64] {
+            let fast = collect_embeddings_of_relaxations(&pg, &relaxed, cap);
+            // Reference: the pre-PR quadratic dedup.
+            let mut reference: Vec<EdgeSet> = Vec::new();
+            for rq in &relaxed {
+                if rq.edge_count() == 0 {
+                    continue;
+                }
+                let outcome = enumerate_embeddings(
+                    rq,
+                    pg.skeleton(),
+                    MatchOptions::capped(cap.saturating_sub(reference.len()).max(1)),
+                );
+                for emb in outcome.embeddings {
+                    if !reference.contains(&emb.edges) {
+                        reference.push(emb.edges);
+                    }
+                }
+                if reference.len() >= cap {
+                    break;
+                }
+            }
+            prop_assert_eq!(&fast, &reference, "cap = {}", cap);
         }
     }
 
