@@ -83,6 +83,10 @@ pub enum DbError {
     /// The engine's verification sampler options are unusable (`τ`/`ξ`
     /// `NaN` or non-positive, or a zero embedding cap).
     InvalidVerifyConfig(String),
+    /// The engine's thread count exceeds the worker ceiling
+    /// (`pgs_graph::parallel::MAX_THREADS`); taken literally it would ask
+    /// for an absurd number of OS threads.
+    InvalidThreadConfig(String),
     /// Saving or loading an index snapshot failed.
     Snapshot(String),
     /// A loaded index snapshot does not match the database contents.
@@ -102,6 +106,7 @@ impl fmt::Display for DbError {
             // "invalid … configuration/options:" prefixes.
             DbError::InvalidScanConfig(e) => write!(f, "{e}"),
             DbError::InvalidVerifyConfig(e) => write!(f, "{e}"),
+            DbError::InvalidThreadConfig(e) => write!(f, "{e}"),
             DbError::Snapshot(e) => write!(f, "index snapshot error: {e}"),
             DbError::IndexMismatch(e) => write!(f, "index/database mismatch: {e}"),
         }
@@ -117,6 +122,7 @@ impl From<QueryError> for DbError {
             QueryError::EmptyQuery => DbError::EmptyQuery,
             QueryError::InvalidExactScanConfig { .. } => DbError::InvalidScanConfig(e.to_string()),
             QueryError::InvalidVerifyOptions { .. } => DbError::InvalidVerifyConfig(e.to_string()),
+            QueryError::InvalidThreads { .. } => DbError::InvalidThreadConfig(e.to_string()),
         }
     }
 }
@@ -260,10 +266,11 @@ impl ProbGraphDatabase {
         Ok(engine.query(query, params)?)
     }
 
-    /// Answers a batch of T-PS queries in one call, amortising thread spawns
-    /// across the workload (see `QueryEngine::query_batch`).  Every result is
-    /// byte-identical to a standalone [`Self::query_detailed`] call with the
-    /// same parameters.
+    /// Answers a batch of T-PS queries in one dispatch on the persistent
+    /// worker pool (see `QueryEngine::query_batch` — nothing is spawned per
+    /// call; parked pool workers are reused across queries and across
+    /// batches).  Every result is byte-identical to a standalone
+    /// [`Self::query_detailed`] call with the same parameters.
     pub fn query_batch(
         &self,
         queries: &[Graph],

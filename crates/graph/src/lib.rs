@@ -23,7 +23,10 @@
 //!   minimal s–t cuts of the paper's parallel graph `cG`, Theorem 6) ([`cuts`]),
 //! * random graph generators and connected-subgraph extraction used to build
 //!   synthetic workloads ([`generate`]),
-//! * a small text serialization format for graph databases ([`serialize`]).
+//! * a small text serialization format for graph databases ([`serialize`]),
+//! * deterministic chunked parallelism ([`parallel`]) dispatched on a
+//!   lazily-spawned persistent worker pool ([`pool`]), shared by the PMI
+//!   build and every query phase.
 //!
 //! Everything here is purely deterministic; the probabilistic layer lives in the
 //! `pgs-prob` crate.
@@ -41,6 +44,7 @@ pub mod mcs;
 pub mod mining;
 pub mod model;
 pub mod parallel;
+pub mod pool;
 pub mod relax;
 pub mod serialize;
 pub mod summary;
@@ -56,7 +60,10 @@ pub use mcs::{
     mcs_size, subgraph_distance, subgraph_similar, subgraph_similar_summarized, SimilarityTester,
 };
 pub use model::{EdgeId, Graph, GraphBuilder, Label, VertexId};
-pub use parallel::{derive_seed, mix64, par_map_chunked, resolve_threads};
+pub use parallel::{
+    derive_seed, mix64, par_map_chunked, par_map_chunked_costed, resolve_threads, CostHint,
+    MAX_THREADS,
+};
 pub use relax::{relax_query, relax_query_clamped, RelaxOptions};
 pub use summary::{EdgeSignature, StructuralSummary};
 pub use vf2::{

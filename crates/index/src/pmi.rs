@@ -7,7 +7,7 @@
 //!
 //! Construction mines/selects features (Algorithm 4), then fills the matrix
 //! with [`crate::sip_bounds::sip_bounds`], parallelised over database graphs
-//! with scoped threads.  The occupied cells live in the column-sparse
+//! on the persistent worker pool.  The occupied cells live in the column-sparse
 //! [`SparseMatrix`] (see [`crate::storage`]), which is also the on-disk layout:
 //! [`Pmi::save`] / [`Pmi::load`] snapshot the index through the versioned
 //! binary codec of [`crate::snapshot`], so a process can build once and load
@@ -31,7 +31,7 @@ use crate::snapshot::{self, SnapshotError};
 use crate::storage::SparseMatrix;
 use pgs_graph::embeddings::disjoint_embedding_count;
 use pgs_graph::model::Graph;
-use pgs_graph::parallel::{derive_seed, par_map_chunked};
+use pgs_graph::parallel::{derive_seed, par_map_chunked_costed, CostHint};
 use pgs_graph::summary::StructuralSummary;
 use pgs_graph::vf2::{contains_subgraph_summarized, enumerate_embeddings_summarized, MatchOptions};
 use pgs_prob::model::ProbabilisticGraph;
@@ -449,7 +449,10 @@ fn fill_matrix(
     skeleton_summaries: &[StructuralSummary],
     params: &PmiBuildParams,
 ) -> Vec<Vec<Option<SipBounds>>> {
-    par_map_chunked(db, params.threads, |gi, pg| {
+    // A column runs VF2 containment and bound computations over every
+    // feature — far beyond the dispatch floor, so two graphs already justify
+    // fanning out to the pool.
+    par_map_chunked_costed(db, params.threads, CostHint::HEAVY, |gi, pg| {
         compute_column(
             pg,
             features,

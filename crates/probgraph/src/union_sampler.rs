@@ -31,7 +31,7 @@
 use crate::alias::AliasTable;
 use crate::model::ProbabilisticGraph;
 use pgs_graph::model::EdgeId;
-use pgs_graph::parallel::{derive_seed, par_map_chunked};
+use pgs_graph::parallel::{derive_seed, par_map_chunked_costed, CostHint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -345,18 +345,21 @@ impl UnionSampler {
             return 0.0;
         }
         let chunks: Vec<usize> = (0..n.div_ceil(CHUNK_TRIALS)).collect();
-        let counts: Vec<usize> = par_map_chunked(&chunks, threads, |_, &c| {
-            let mut rng = StdRng::seed_from_u64(derive_seed(&[seed, c as u64]));
-            let trials = CHUNK_TRIALS.min(n - c * CHUNK_TRIALS);
-            let mut scratch = vec![0u64; self.stride];
-            let mut count = 0usize;
-            for _ in 0..trials {
-                if self.sample_trial(&mut rng, &mut scratch) {
-                    count += 1;
+        // Each chunk runs up to 1024 full trials — heavy enough that even two
+        // chunks are worth handing to the pool.
+        let counts: Vec<usize> =
+            par_map_chunked_costed(&chunks, threads, CostHint::HEAVY, |_, &c| {
+                let mut rng = StdRng::seed_from_u64(derive_seed(&[seed, c as u64]));
+                let trials = CHUNK_TRIALS.min(n - c * CHUNK_TRIALS);
+                let mut scratch = vec![0u64; self.stride];
+                let mut count = 0usize;
+                for _ in 0..trials {
+                    if self.sample_trial(&mut rng, &mut scratch) {
+                        count += 1;
+                    }
                 }
-            }
-            count
-        });
+                count
+            });
         let count: usize = counts.iter().sum();
         (self.total_weight * count as f64 / n as f64).clamp(0.0, 1.0)
     }

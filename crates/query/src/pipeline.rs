@@ -20,7 +20,9 @@ use crate::prune::{prune_candidate, CrossTermRule, PruneDecision, PruneOutcome};
 use crate::structural::structural_candidates_indexed;
 use crate::verify::{verify_ssp_exact, verify_ssp_with_stats, VerifyOptions};
 use pgs_graph::model::Graph;
-use pgs_graph::parallel::{derive_seed, par_map_chunked, resolve_threads};
+use pgs_graph::parallel::{
+    derive_seed, par_map_chunked_costed, resolve_threads, CostHint, MAX_THREADS,
+};
 use pgs_graph::relax::relax_query_clamped;
 use pgs_index::pmi::{graph_salt, Pmi, PmiBuildParams};
 use pgs_index::snapshot::SnapshotError;
@@ -118,10 +120,34 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Worker threads for the query path (`0` = automatic, `1` = sequential).
     ///
-    /// Every candidate draws from its own deterministically derived RNG, so
-    /// the answers are byte-identical for every value of this knob — it only
-    /// changes wall-clock time.
+    /// Work is dispatched on the process-wide persistent pool
+    /// (`pgs_graph::pool`); every candidate draws from its own
+    /// deterministically derived RNG, so the answers are byte-identical for
+    /// every value of this knob — it only changes wall-clock time.  Explicit
+    /// values beyond `pgs_graph::parallel::MAX_THREADS` are rejected with
+    /// [`QueryError::InvalidThreads`] (see [`EngineConfig::validate`]).
     pub threads: usize,
+}
+
+impl EngineConfig {
+    /// Validates the engine-level knobs that are not covered by the
+    /// per-subsystem validators ([`QueryParams::validate`],
+    /// `VerifyOptions::validate`, [`ExactScanConfig::validate`]).
+    ///
+    /// Today that is the thread count: `resolve_threads` clamps explicit
+    /// values to `MAX_THREADS` as a last line of defence, but an engine
+    /// configured with `threads = 100_000` is a caller bug (it used to
+    /// attempt one hundred thousand OS threads), so the query entry points
+    /// reject it with a typed error instead of silently clamping.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if self.threads > MAX_THREADS {
+            return Err(QueryError::InvalidThreads {
+                threads: self.threads,
+                max: MAX_THREADS,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Default for EngineConfig {
@@ -225,6 +251,15 @@ pub enum QueryError {
         /// The configured failure probability `ξ`.
         xi: f64,
     },
+    /// `EngineConfig::threads` exceeds the worker ceiling.  Taken literally it
+    /// would ask the pool for an absurd number of OS threads; clamping it
+    /// silently would hide a caller bug, so the engine refuses it instead.
+    InvalidThreads {
+        /// The configured thread count.
+        threads: usize,
+        /// The ceiling (`pgs_graph::parallel::MAX_THREADS`).
+        max: usize,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -252,6 +287,10 @@ impl fmt::Display for QueryError {
                 f,
                 "invalid verification options: τ = {tau} and ξ = {xi} must be \
                  positive numbers and the embedding cap ({max_embeddings}) non-zero"
+            ),
+            QueryError::InvalidThreads { threads, max } => write!(
+                f,
+                "invalid thread count {threads}: must be at most {max} (0 = automatic)"
             ),
         }
     }
@@ -581,13 +620,15 @@ impl QueryEngine {
     /// Rejects invalid parameters up front (see [`QueryParams::validate`]);
     /// an unchecked ε = NaN would silently return an empty answer set.
     ///
-    /// All three phases run on up to [`EngineConfig::threads`] scoped workers;
-    /// every candidate draws from a deterministically derived per-candidate
-    /// RNG (`derive_seed([config.seed, hash(q), phase, hash(g)])`), so the
-    /// answer set is byte-identical for every thread count and for every
-    /// database insertion order.
+    /// All three phases fan out on up to [`EngineConfig::threads`] persistent
+    /// pool workers (tiny inputs stay inline, see the `pgs_graph::parallel`
+    /// cost model); every candidate draws from a deterministically derived
+    /// per-candidate RNG (`derive_seed([config.seed, hash(q), phase,
+    /// hash(g)])`), so the answer set is byte-identical for every thread
+    /// count and for every database insertion order.
     pub fn query(&self, q: &Graph, params: &QueryParams) -> Result<QueryResult, QueryError> {
         params.validate()?;
+        self.config.validate()?;
         self.config.verify.validate()?;
         if q.edge_count() == 0 {
             return Err(QueryError::EmptyQuery);
@@ -595,12 +636,11 @@ impl QueryEngine {
         Ok(self.query_with_threads(q, params, self.config.threads))
     }
 
-    /// Answers a batch of T-PS queries, amortising thread spawns across the
-    /// workload.
+    /// Answers a batch of T-PS queries in one pool dispatch.
     ///
     /// With enough queries to saturate the workers the batch is parallelised
     /// *across* queries (each query then runs its phases sequentially, which
-    /// avoids double-spawning); with fewer queries each query runs its phases
+    /// avoids nested dispatch); with fewer queries each query runs its phases
     /// in parallel as [`Self::query`] does.  Either way the per-candidate
     /// seeding makes every [`QueryResult`] identical to a standalone
     /// [`Self::query`] call.
@@ -610,6 +650,7 @@ impl QueryEngine {
         params: &QueryParams,
     ) -> Result<BatchResult, QueryError> {
         params.validate()?;
+        self.config.validate()?;
         self.config.verify.validate()?;
         if queries.iter().any(|q| q.edge_count() == 0) {
             return Err(QueryError::EmptyQuery);
@@ -617,7 +658,7 @@ impl QueryEngine {
         let t0 = Instant::now();
         let threads = resolve_threads(self.config.threads);
         let results: Vec<QueryResult> = if queries.len() >= threads && threads > 1 {
-            par_map_chunked(queries, threads, |_, q| {
+            par_map_chunked_costed(queries, threads, CostHint::HEAVY, |_, q| {
                 self.query_with_threads(q, params, 1)
             })
         } else {
@@ -689,7 +730,7 @@ impl QueryEngine {
             PruningVariant::SspBound | PruningVariant::OptSspBound => {
                 let optimal = params.variant == PruningVariant::OptSspBound;
                 let decisions: Vec<PruneDecision> =
-                    par_map_chunked(&structural, threads, |_, &gi| {
+                    par_map_chunked_costed(&structural, threads, CostHint::MODERATE, |_, &gi| {
                         let mut rng = self.candidate_rng(query_hash, SEED_PHASE_PRUNE, gi);
                         prune_candidate(
                             &self.pmi,
@@ -726,7 +767,7 @@ impl QueryEngine {
             (1, workers)
         };
         let verdicts: Vec<(bool, usize, bool)> =
-            par_map_chunked(&outcome.candidates, across, |_, &gi| {
+            par_map_chunked_costed(&outcome.candidates, across, CostHint::HEAVY, |_, &gi| {
                 let mut rng = self.candidate_rng(query_hash, SEED_PHASE_VERIFY, gi);
                 let verdict = verify_ssp_with_stats(
                     &self.db[gi],
@@ -780,6 +821,7 @@ impl QueryEngine {
     /// accuracy) comes from [`EngineConfig::exact`].
     pub fn exact_scan(&self, q: &Graph, params: &QueryParams) -> Result<QueryResult, QueryError> {
         params.validate()?;
+        self.config.validate()?;
         self.config.exact.validate()?;
         // The sampling fallback inherits everything but the Monte-Carlo knobs
         // from the verification options, so those must be usable too.
@@ -791,27 +833,33 @@ impl QueryEngine {
         let t0 = Instant::now();
         // Shared by every graph that falls back to sampling; computed once.
         let relaxed = relax_query_clamped(q, params.delta);
-        let verdicts: Vec<(bool, usize, bool)> = par_map_chunked(
-            &self.db,
-            self.config.threads,
-            |gi, pg| match verify_ssp_exact(pg, q, params.delta, self.config.exact.exact_edge_cap) {
-                Ok(v) => (v >= params.epsilon, 0, true),
-                Err(_) => {
-                    let precise = VerifyOptions {
-                        mc: self.config.exact.fallback_mc,
-                        ..self.config.verify
-                    };
-                    let mut rng = self.candidate_rng(query_hash, SEED_PHASE_EXACT_FALLBACK, gi);
-                    let outcome =
-                        verify_ssp_with_stats(pg, q, params.delta, &relaxed, &precise, 1, &mut rng);
-                    (
-                        outcome.ssp >= params.epsilon,
-                        outcome.samples_drawn,
-                        outcome.exact,
-                    )
+        let verdicts: Vec<(bool, usize, bool)> =
+            par_map_chunked_costed(&self.db, self.config.threads, CostHint::HEAVY, |gi, pg| {
+                match verify_ssp_exact(pg, q, params.delta, self.config.exact.exact_edge_cap) {
+                    Ok(v) => (v >= params.epsilon, 0, true),
+                    Err(_) => {
+                        let precise = VerifyOptions {
+                            mc: self.config.exact.fallback_mc,
+                            ..self.config.verify
+                        };
+                        let mut rng = self.candidate_rng(query_hash, SEED_PHASE_EXACT_FALLBACK, gi);
+                        let outcome = verify_ssp_with_stats(
+                            pg,
+                            q,
+                            params.delta,
+                            &relaxed,
+                            &precise,
+                            1,
+                            &mut rng,
+                        );
+                        (
+                            outcome.ssp >= params.epsilon,
+                            outcome.samples_drawn,
+                            outcome.exact,
+                        )
+                    }
                 }
-            },
-        );
+            });
         let mut answers: Vec<usize> = Vec::new();
         let mut samples_drawn = 0usize;
         let mut exact_verifications = 0usize;
@@ -1389,6 +1437,44 @@ mod tests {
         }
         .to_string()
         .contains("embedding cap"));
+    }
+
+    #[test]
+    fn absurd_thread_counts_are_a_typed_error_not_an_os_thread_bomb() {
+        let (engine, queries) = small_engine();
+        let q = &queries[0].graph;
+        let params = QueryParams::default();
+        for threads in [MAX_THREADS + 1, 100_000, usize::MAX] {
+            let mut config = *engine.config();
+            config.threads = threads;
+            let broken = QueryEngine::build(engine.db().to_vec(), config);
+            for result in [
+                broken.query(q, &params).map(|r| r.answers),
+                broken.exact_scan(q, &params).map(|r| r.answers),
+                broken
+                    .query_batch(std::slice::from_ref(q), &params)
+                    .map(|b| b.results[0].answers.clone()),
+            ] {
+                match result {
+                    Err(QueryError::InvalidThreads { threads: t, max }) => {
+                        assert_eq!(t, threads);
+                        assert_eq!(max, MAX_THREADS);
+                    }
+                    other => panic!("threads = {threads}: got {other:?}"),
+                }
+            }
+        }
+        // The ceiling itself (and everything below) is accepted.
+        let mut config = *engine.config();
+        config.threads = MAX_THREADS;
+        let capped = QueryEngine::build(engine.db().to_vec(), config);
+        assert!(capped.query(q, &params).is_ok());
+        assert!(QueryError::InvalidThreads {
+            threads: 100_000,
+            max: MAX_THREADS
+        }
+        .to_string()
+        .contains("at most"));
     }
 
     #[test]

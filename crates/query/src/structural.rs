@@ -36,7 +36,7 @@
 
 use pgs_graph::mcs::{subgraph_similar, SimilarityTester};
 use pgs_graph::model::Graph;
-use pgs_graph::parallel::par_map_chunked;
+use pgs_graph::parallel::{par_map_chunked_costed, CostHint};
 use pgs_graph::summary::StructuralSummary;
 use pgs_index::sindex::StructuralIndex;
 
@@ -58,7 +58,7 @@ pub fn structural_candidates(skeletons: &[Graph], q: &Graph, delta: usize) -> Ve
     structural_candidates_threaded(skeletons, q, delta, 1)
 }
 
-/// [`structural_candidates`] evaluated with up to `threads` scoped workers
+/// [`structural_candidates`] evaluated with up to `threads` pool workers
 /// (`0` = automatic).  Every skeleton is tested independently, so the returned
 /// index list is identical for every thread count (ascending order).
 pub fn structural_candidates_threaded(
@@ -70,7 +70,9 @@ pub fn structural_candidates_threaded(
     // Computed once per query and shared by every worker — not once per
     // candidate skeleton.
     let q_summary = StructuralSummary::of(q);
-    let keep = par_map_chunked(skeletons, threads, |_, g| {
+    // A filter probe is cheap but the exact subgraph-distance check behind it
+    // is tens of microseconds: moderate items, parallel from ~20 skeletons.
+    let keep = par_map_chunked_costed(skeletons, threads, CostHint::MODERATE, |_, g| {
         passes_feature_count_filter_summarized(&q_summary, g, delta)
             && subgraph_similar(q, g, delta)
     });
@@ -104,9 +106,12 @@ pub fn structural_candidates_indexed(
         posting_entries_scanned: outcome.posting_entries_scanned,
         filter_survivors: outcome.candidates.len(),
     };
-    let keep = par_map_chunked(&outcome.candidates, threads, |_, &gi| {
-        tester.matches(&skeletons[gi], index.summary(gi))
-    });
+    let keep = par_map_chunked_costed(
+        &outcome.candidates,
+        threads,
+        CostHint::MODERATE,
+        |_, &gi| tester.matches(&skeletons[gi], index.summary(gi)),
+    );
     let candidates = outcome
         .candidates
         .iter()
