@@ -20,7 +20,8 @@
 use pgs_bench::{bench_engine_config, bench_feature_params, build_setup_with, format_row};
 use pgs_datagen::ppi::{generate_ppi_dataset, CorrelationModel, PpiDatasetConfig};
 use pgs_datagen::queries::{generate_query_workload, QueryWorkloadConfig};
-use pgs_datagen::scenarios::{paper_scale, verification_candidate, DatasetScale};
+use pgs_datagen::scenarios::{bulk_skeletons, paper_scale, verification_candidate, DatasetScale};
+use pgs_index::feature::FeatureSelectionParams;
 use pgs_index::pmi::{Pmi, PmiBuildParams};
 use pgs_index::sindex::StructuralIndex;
 use pgs_index::sip_bounds::BoundsConfig;
@@ -45,6 +46,7 @@ fn main() {
     let bench_index_requested = args.iter().any(|a| a == "bench-index");
     let bench_structural_requested = args.iter().any(|a| a == "bench-structural");
     let bench_verify_requested = args.iter().any(|a| a == "bench-verify");
+    let bench_shard_requested = args.iter().any(|a| a == "bench-shard");
     let arg_after = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -53,14 +55,17 @@ fn main() {
     };
     let index_save_path = arg_after("index-save");
     let index_load_path = arg_after("index-load");
+    let index_open_path = arg_after("index-open");
     let run_all = (figures.is_empty()
         && !bench_query_requested
         && !bench_pool_requested
         && !bench_index_requested
         && !bench_structural_requested
         && !bench_verify_requested
+        && !bench_shard_requested
         && index_save_path.is_none()
-        && index_load_path.is_none())
+        && index_load_path.is_none()
+        && index_open_path.is_none())
         || figures.contains(&"all");
     let wants = |f: &str| run_all || figures.contains(&f);
 
@@ -100,11 +105,17 @@ fn main() {
     if bench_verify_requested {
         bench_verify();
     }
+    if bench_shard_requested {
+        bench_shard();
+    }
     if let Some(path) = index_save_path {
         index_save(&path);
     }
     if let Some(path) = index_load_path {
         index_load(&path);
+    }
+    if let Some(path) = index_open_path {
+        index_open(&path);
     }
 }
 
@@ -137,7 +148,13 @@ fn index_roundtrip_setup() -> (
     .into_iter()
     .map(|wq| wq.graph)
     .collect();
-    (dataset.graphs, queries, bench_engine_config(0xFEED))
+    // Three shards so the cross-process diff exercises the sharded v3
+    // snapshot layout, not just the single-shard degenerate case.
+    let config = EngineConfig {
+        shards: 3,
+        ..bench_engine_config(0xFEED)
+    };
+    (dataset.graphs, queries, config)
 }
 
 /// Prints the answer set of every `(query, variant)` pair in a stable format.
@@ -178,6 +195,22 @@ fn index_load(path: &str) {
     let (graphs, queries, config) = index_roundtrip_setup();
     let engine = QueryEngine::with_index(graphs, path, config)
         .expect("loading the index snapshot against the same database");
+    print_answer_lines(&engine, &queries);
+}
+
+/// `index-open <path>`: like `index-load`, but through the lazy header-only
+/// [`QueryEngine::open_index`] path — shard segments materialize from disk on
+/// first touch while the queries run.  The output must be byte-identical to
+/// both the `index-save` and the `index-load` runs.
+fn index_open(path: &str) {
+    let (graphs, queries, config) = index_roundtrip_setup();
+    let engine = QueryEngine::open_index(graphs, path, config)
+        .expect("opening the index snapshot against the same database");
+    assert_eq!(
+        engine.pmi().materialized_shards(),
+        0,
+        "open must defer every segment until the first query touches it"
+    );
     print_answer_lines(&engine, &queries);
 }
 
@@ -787,6 +820,201 @@ fn bench_pool() {
     );
     std::fs::write("BENCH_pool.json", json).expect("writing BENCH_pool.json");
     println!("wrote BENCH_pool.json\n");
+}
+
+/// Sharded-snapshot benchmark (this PR's acceptance bar): header-only
+/// `Pmi::open` vs full `Pmi::load` at 10k and 100k bulk skeletons, plus
+/// end-to-end queries/sec at 1 vs 8 shards, recorded in `BENCH_shard.json`.
+/// Before anything is timed, the lazily-opened engine's answers are asserted
+/// byte-identical to the engine that built the index.
+fn bench_shard() {
+    use pgs_graph::model::GraphBuilder;
+    println!("## bench-shard — v3 header-only open vs full load, 1 vs 8 shards");
+    // Lean mining parameters: the corpus exercises snapshot *volume* (one PMI
+    // column and one structural summary per graph), not feature quality, so
+    // keep per-cell work minimal to make 100k graphs practical.
+    let lean_config = EngineConfig {
+        pmi: PmiBuildParams {
+            features: FeatureSelectionParams {
+                max_l: 2,
+                max_features: 8,
+                max_embeddings: 8,
+                ..bench_feature_params()
+            },
+            bounds: BoundsConfig {
+                max_embeddings: 8,
+                max_cuts: 16,
+                ..BoundsConfig::default()
+            },
+            threads: 0,
+            seed: 0x5A4D,
+        },
+        ..bench_engine_config(0x5A4D)
+    };
+    // Short label-alphabet path queries matching the `bulk_skeletons` alphabet
+    // (vertex labels 0..5, edge labels 0..2).
+    let queries: Vec<pgs_graph::model::Graph> = (0..4u32)
+        .map(|i| {
+            GraphBuilder::new()
+                .vertices(&[i % 5, (i + 1) % 5, (i + 2) % 5])
+                .edge(0, 1, i % 2)
+                .edge(1, 2, (i + 1) % 2)
+                .build()
+        })
+        .collect();
+    let params = QueryParams {
+        epsilon: 0.1,
+        delta: 1,
+        variant: PruningVariant::OptSspBound,
+    };
+
+    println!(
+        "{}",
+        format_row(
+            "|D|",
+            &[
+                "build (s)".into(),
+                "load (s)".into(),
+                "open (s)".into(),
+                "open speedup".into(),
+            ]
+        )
+    );
+    let mut entries: Vec<String> = Vec::new();
+    for &count in &[10_000usize, 100_000] {
+        let graphs = bulk_skeletons(count, 0xB17);
+        let t = Instant::now();
+        let engine = QueryEngine::build(
+            graphs.clone(),
+            EngineConfig {
+                shards: 8,
+                ..lean_config
+            },
+        );
+        let build_seconds = t.elapsed().as_secs_f64();
+        let path = std::env::temp_dir().join(format!(
+            "pgs-bench-shard-{count}-{}.pmi",
+            std::process::id()
+        ));
+        let t = Instant::now();
+        engine.pmi().save(&path).expect("saving the sharded index");
+        let save_seconds = t.elapsed().as_secs_f64();
+        let snapshot_bytes = std::fs::metadata(&path).expect("snapshot metadata").len() as usize;
+
+        // Correctness before timing: the lazily-opened engine must answer
+        // byte-identically to the engine that built the index.
+        let opened = QueryEngine::open_index(graphs.clone(), &path, lean_config)
+            .expect("opening the sharded snapshot");
+        assert_eq!(
+            opened.pmi().materialized_shards(),
+            0,
+            "open must not materialize any segment"
+        );
+        let identical = queries.iter().all(|q| {
+            opened.query(q, &params).unwrap().answers == engine.query(q, &params).unwrap().answers
+        });
+        assert!(identical, "lazily-opened answers diverged from the build");
+
+        // Full load (every segment decoded eagerly): best of 3.
+        let mut load_seconds = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            std::hint::black_box(Pmi::load(&path).expect("loading the snapshot"));
+            load_seconds = load_seconds.min(t.elapsed().as_secs_f64());
+        }
+        // Header-only open: best of 10 (it is microsecond-scale).
+        let mut open_seconds = f64::INFINITY;
+        for _ in 0..10 {
+            let t = Instant::now();
+            std::hint::black_box(Pmi::open(&path).expect("opening the snapshot head"));
+            open_seconds = open_seconds.min(t.elapsed().as_secs_f64());
+        }
+        std::fs::remove_file(&path).ok();
+        let speedup = load_seconds / open_seconds.max(1e-12);
+        println!(
+            "{}",
+            format_row(
+                &format!("|D| = {count}"),
+                &[
+                    format!("{build_seconds:.2}s"),
+                    format!("{load_seconds:.4}s"),
+                    format!("{open_seconds:.6}s"),
+                    format!("{speedup:.0}x"),
+                ]
+            )
+        );
+        entries.push(format!(
+            "    {{ \"graphs\": {count}, \"snapshot_bytes\": {snapshot_bytes}, \
+             \"build_seconds\": {build_seconds:.6}, \"save_seconds\": {save_seconds:.6}, \
+             \"load_seconds\": {load_seconds:.6}, \"open_seconds\": {open_seconds:.6}, \
+             \"open_speedup_vs_load\": {speedup:.1}, \"answers_identical\": {identical} }}"
+        ));
+    }
+
+    // End-to-end throughput, 1 vs 8 shards on the 10k corpus.  Answers are
+    // byte-identical at any shard count, so only the fan-out shape changes.
+    let graphs = bulk_skeletons(10_000, 0xB17);
+    let one = QueryEngine::build(
+        graphs.clone(),
+        EngineConfig {
+            shards: 1,
+            ..lean_config
+        },
+    );
+    let eight = QueryEngine::build(
+        graphs,
+        EngineConfig {
+            shards: 8,
+            ..lean_config
+        },
+    );
+    let _ = one.query_batch(&queries, &params).unwrap();
+    let _ = eight.query_batch(&queries, &params).unwrap();
+    let mut one_secs = f64::INFINITY;
+    let mut eight_secs = f64::INFINITY;
+    let mut identical = true;
+    for rep in 0..6 {
+        let (a, b) = if rep % 2 == 0 {
+            let a = one.query_batch(&queries, &params).unwrap();
+            let b = eight.query_batch(&queries, &params).unwrap();
+            (a, b)
+        } else {
+            let b = eight.query_batch(&queries, &params).unwrap();
+            let a = one.query_batch(&queries, &params).unwrap();
+            (a, b)
+        };
+        one_secs = one_secs.min(a.wall_seconds);
+        eight_secs = eight_secs.min(b.wall_seconds);
+        identical &= a
+            .results
+            .iter()
+            .zip(&b.results)
+            .all(|(x, y)| x.answers == y.answers);
+    }
+    assert!(identical, "1-shard and 8-shard answers must be identical");
+    let n = queries.len() as f64;
+    println!(
+        "{}",
+        format_row(
+            "queries/sec, 10k graphs",
+            &[
+                format!("1 shard {:.1}", n / one_secs.max(1e-12)),
+                format!("8 shards {:.1}", n / eight_secs.max(1e-12)),
+            ]
+        )
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"sharded_snapshot\",\n  \"series\": [\n{}\n  ],\n  \
+         \"throughput_10k\": {{ \"queries\": {q}, \"answers_identical\": {identical},\n    \
+         \"shards_1\": {{ \"wall_seconds\": {one_secs:.6}, \"queries_per_second\": {qps1:.3} }},\n    \
+         \"shards_8\": {{ \"wall_seconds\": {eight_secs:.6}, \"queries_per_second\": {qps8:.3} }} }}\n}}\n",
+        entries.join(",\n"),
+        q = queries.len(),
+        qps1 = n / one_secs.max(1e-12),
+        qps8 = n / eight_secs.max(1e-12),
+    );
+    std::fs::write("BENCH_shard.json", json).expect("writing BENCH_shard.json");
+    println!("wrote BENCH_shard.json\n");
 }
 
 fn parse_scale(args: &[String]) -> DatasetScale {

@@ -64,6 +64,7 @@ pub fn bench_engine_config(seed: u64) -> EngineConfig {
         cross_term: pgs_query::prune::CrossTermRule::SafeMin,
         seed,
         threads: pgs_query::pipeline::default_query_threads(),
+        shards: pgs_query::pipeline::default_shards(),
     }
 }
 

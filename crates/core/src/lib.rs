@@ -87,6 +87,9 @@ pub enum DbError {
     /// (`pgs_graph::parallel::MAX_THREADS`); taken literally it would ask
     /// for an absurd number of OS threads.
     InvalidThreadConfig(String),
+    /// The engine's shard count is zero or exceeds the shard ceiling
+    /// (`pgs_index::shard::MAX_SHARDS`).
+    InvalidShardConfig(String),
     /// Saving or loading an index snapshot failed.
     Snapshot(String),
     /// A loaded index snapshot does not match the database contents.
@@ -107,6 +110,7 @@ impl fmt::Display for DbError {
             DbError::InvalidScanConfig(e) => write!(f, "{e}"),
             DbError::InvalidVerifyConfig(e) => write!(f, "{e}"),
             DbError::InvalidThreadConfig(e) => write!(f, "{e}"),
+            DbError::InvalidShardConfig(e) => write!(f, "{e}"),
             DbError::Snapshot(e) => write!(f, "index snapshot error: {e}"),
             DbError::IndexMismatch(e) => write!(f, "index/database mismatch: {e}"),
         }
@@ -123,6 +127,7 @@ impl From<QueryError> for DbError {
             QueryError::InvalidExactScanConfig { .. } => DbError::InvalidScanConfig(e.to_string()),
             QueryError::InvalidVerifyOptions { .. } => DbError::InvalidVerifyConfig(e.to_string()),
             QueryError::InvalidThreads { .. } => DbError::InvalidThreadConfig(e.to_string()),
+            QueryError::InvalidShards { .. } => DbError::InvalidShardConfig(e.to_string()),
         }
     }
 }
@@ -356,15 +361,18 @@ impl DynamicDatabase {
     }
 
     /// Opens a database whose index was previously saved with
-    /// [`DynamicDatabase::save_index`]: loads the snapshot and pairs it with
-    /// `graphs` without rebuilding anything.
+    /// [`DynamicDatabase::save_index`]: reads the snapshot header and pairs
+    /// the index with `graphs` without rebuilding anything.  For format-v3
+    /// (sharded) snapshots only the fixed-width header and shard table are
+    /// read up front; each shard's columns are materialized from disk on
+    /// first touch, so opening a large index is O(shards), not O(bytes).
     pub fn open(
         graphs: Vec<ProbabilisticGraph>,
         index_path: impl AsRef<Path>,
         config: EngineConfig,
     ) -> Result<DynamicDatabase, DbError> {
         Ok(DynamicDatabase {
-            engine: QueryEngine::with_index(graphs, index_path, config)?,
+            engine: QueryEngine::open_index(graphs, index_path, config)?,
             remine_threshold: DEFAULT_REMINE_THRESHOLD,
         })
     }
@@ -409,7 +417,10 @@ impl DynamicDatabase {
         &self.engine
     }
 
-    /// Churn fraction since the features were last mined (see `Pmi::staleness`).
+    /// Churn fraction since the features were last mined (see
+    /// `Pmi::staleness`).  On a sharded index this is the *maximum* per-shard
+    /// churn fraction, so one hot shard is enough to recommend a re-mine even
+    /// when the rest of the database is quiet.
     pub fn staleness(&self) -> f64 {
         self.engine.pmi().staleness()
     }
@@ -683,8 +694,11 @@ mod tests {
             DbError::GraphOutOfRange(99)
         );
 
-        // Two mutations over two graphs: staleness 1.0 ≥ default threshold.
-        assert_eq!(db.staleness(), 1.0);
+        // Two mutations over two graphs: the worst shard's churn fraction is
+        // at least 1.0 at any shard count (exactly 1.0 when unsharded, more
+        // when both mutations land in a smaller shard), so well past the
+        // default re-mine threshold.
+        assert!(db.staleness() >= 1.0);
         assert!(db.should_remine());
         db.remine();
         assert_eq!(db.staleness(), 0.0);
@@ -705,7 +719,6 @@ mod tests {
             &path,
             EngineConfig::default(),
         );
-        std::fs::remove_file(&path).ok();
         let reopened = reopened.unwrap();
         let q = GraphBuilder::new()
             .vertices(&[0, 1, 2])
@@ -721,12 +734,77 @@ mod tests {
             reopened.query(&q, &params).unwrap().answers,
             db.query(&q, &params).unwrap().answers
         );
+        // The open is lazy: the file must outlive the first query above.
+        std::fs::remove_file(&path).ok();
         assert!(matches!(mismatched.unwrap_err(), DbError::IndexMismatch(_)));
         assert!(matches!(
             DynamicDatabase::open(graphs, "/nonexistent/idx.pmi", EngineConfig::default())
                 .unwrap_err(),
             DbError::Snapshot(_)
         ));
+    }
+
+    #[test]
+    fn invalid_shard_counts_surface_as_typed_facade_errors() {
+        let config = EngineConfig {
+            shards: 0,
+            ..EngineConfig::default()
+        };
+        let db = DynamicDatabase::build(vec![triangle("a", 0.5)], config);
+        let q = GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 0).build();
+        let params = QueryParams {
+            epsilon: 0.5,
+            delta: 0,
+            variant: PruningVariant::OptSspBound,
+        };
+        let err = db.query(&q, &params).unwrap_err();
+        assert!(matches!(err, DbError::InvalidShardConfig(_)));
+        assert!(err.to_string().contains("shard"));
+        let too_many = EngineConfig {
+            shards: pgs_index::shard::MAX_SHARDS + 1,
+            ..EngineConfig::default()
+        };
+        let db = DynamicDatabase::build(vec![triangle("a", 0.5)], too_many);
+        assert!(matches!(
+            db.exact_scan(&q, &params).unwrap_err(),
+            DbError::InvalidShardConfig(_)
+        ));
+    }
+
+    #[test]
+    fn sharded_open_is_lazy_and_answers_match() {
+        let config = EngineConfig {
+            shards: 3,
+            ..EngineConfig::default()
+        };
+        let graphs = vec![
+            triangle("a", 0.9),
+            triangle("b", 0.4),
+            triangle("c", 0.7),
+            triangle("d", 0.2),
+        ];
+        let built = DynamicDatabase::build(graphs.clone(), config);
+        let path =
+            std::env::temp_dir().join(format!("pgs-core-sharded-{}.pmi", std::process::id()));
+        built.save_index(&path).unwrap();
+        let opened = DynamicDatabase::open(graphs, &path, config).unwrap();
+        // The snapshot header pairing validates without touching any segment.
+        assert_eq!(opened.engine().pmi().materialized_shards(), 0);
+        let q = GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .build();
+        let params = QueryParams {
+            epsilon: 0.3,
+            delta: 0,
+            variant: PruningVariant::OptSspBound,
+        };
+        assert_eq!(
+            opened.query(&q, &params).unwrap().answers,
+            built.query(&q, &params).unwrap().answers
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

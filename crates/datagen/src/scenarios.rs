@@ -8,6 +8,10 @@
 //! long offline runs.
 
 use crate::ppi::{CorrelationModel, PpiDatasetConfig};
+use pgs_graph::generate::{random_connected_graph, RandomGraphConfig};
+use pgs_prob::model::ProbabilisticGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Named dataset scales.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +68,33 @@ pub fn paper_scale(scale: DatasetScale) -> PpiDatasetConfig {
             ..PpiDatasetConfig::default()
         },
     }
+}
+
+/// A bulk skeleton corpus for index-snapshot benchmarks: `count` tiny
+/// independent probabilistic graphs (6 vertices, 7–9 edges, small label
+/// alphabets) that are cheap to generate, index and persist even at 100 000
+/// graphs.  Unlike [`paper_scale`] this trades realism for volume — the
+/// point is to exercise snapshot *size* (one PMI column and one structural
+/// summary per graph), not query selectivity.
+pub fn bulk_skeletons(count: usize, seed: u64) -> Vec<ProbabilisticGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let cfg = RandomGraphConfig {
+                vertices: 6,
+                edges: 7 + (i % 3),
+                vertex_labels: 5,
+                edge_labels: 2,
+                preferential: false,
+            };
+            let mut skeleton = random_connected_graph(&cfg, &mut rng);
+            skeleton.set_name(format!("bulk-{i}"));
+            let probs: Vec<f64> = (0..skeleton.edge_count())
+                .map(|_| rng.gen_range(0.15..0.95))
+                .collect();
+            ProbabilisticGraph::independent(skeleton, &probs).expect("probabilities are in (0, 1)")
+        })
+        .collect()
 }
 
 /// A verification-phase candidate shared by the `bench-verify` harness and
@@ -139,6 +170,29 @@ mod tests {
     fn tiny_scale_generates_quickly() {
         let ds = generate_ppi_dataset(&paper_scale(DatasetScale::Tiny));
         assert_eq!(ds.graphs.len(), 24);
+    }
+
+    #[test]
+    fn bulk_skeletons_are_tiny_deterministic_and_named() {
+        let a = bulk_skeletons(50, 0xB17);
+        let b = bulk_skeletons(50, 0xB17);
+        assert_eq!(a.len(), 50);
+        for (i, pg) in a.iter().enumerate() {
+            assert_eq!(pg.name(), format!("bulk-{i}"));
+            assert_eq!(pg.skeleton().vertex_count(), 6);
+            assert!((7..=9).contains(&pg.edge_count()));
+        }
+        // Deterministic in the seed, distinct across seeds.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.skeleton().structural_hash(),
+                y.skeleton().structural_hash()
+            );
+        }
+        assert_ne!(
+            bulk_skeletons(1, 1)[0].skeleton().structural_hash(),
+            bulk_skeletons(1, 2)[0].skeleton().structural_hash()
+        );
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Stable shard assignment for the sharded PMI.
+//!
+//! A sharded index partitions the database into `S` shards, each owning its
+//! own PMI columns, S-Index postings, per-shard support lists and staleness
+//! counter.  The assignment is a pure function of the graph's *content salt*
+//! ([`crate::pmi::graph_salt`]) — never of its database position — so
+//! insertion order and churn can never move a graph between shards, appends
+//! and removals touch exactly one shard's column storage, and a sharded
+//! engine answers byte-identically to the unsharded one (the per-candidate
+//! RNG seeds are salt-derived too, so they do not see the shard layout at
+//! all).
+//!
+//! Shard membership is therefore *derivable*: given the salt list and the
+//! shard count, `members(s) = [g | shard_of(salt[g], S) == s]` in global
+//! order.  The v3 snapshot codec exploits this — it stores the salts once in
+//! the eager header and never persists membership tables.
+
+use pgs_graph::parallel::mix64;
+
+/// Upper limit on [`shard_of`]'s `shard_count` (and on
+/// `EngineConfig::shards`).  Far above any sensible configuration — shards
+/// beyond the worker count only fragment the index — but low enough that a
+/// corrupt or hostile shard count cannot make the engine allocate absurd
+/// per-shard state.
+pub const MAX_SHARDS: usize = 64;
+
+/// Salt folded into the hash so shard assignment is independent of every
+/// other consumer of the content salts (RNG seeding, snapshot pairing).
+const SHARD_SALT: u64 = 0x7368_6172_6421_9e37; // "shard!"
+
+/// The owning shard of a graph with content salt `salt` under `shard_count`
+/// shards: `mix64(salt ^ SHARD_SALT) % shard_count`.  Pure and stable —
+/// the same `(salt, shard_count)` pair maps to the same shard forever.
+///
+/// # Panics
+///
+/// Panics if `shard_count` is zero (the engine validates its configuration
+/// before any assignment happens).
+pub fn shard_of(salt: u64, shard_count: usize) -> usize {
+    assert!(shard_count > 0, "shard_of: shard_count must be positive");
+    (mix64(salt ^ SHARD_SALT) % shard_count as u64) as usize
+}
+
+/// Derives the per-shard member lists (global graph ids, ascending) for a
+/// salt list — the inverse the snapshot codec and the engine share.
+pub fn members_of(salts: &[u64], shard_count: usize) -> Vec<Vec<u32>> {
+    let mut members = vec![Vec::new(); shard_count];
+    for (g, &salt) in salts.iter().enumerate() {
+        members[shard_of(salt, shard_count)].push(g as u32);
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_stable_and_in_range() {
+        for salt in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            for shards in [1usize, 2, 3, 8, MAX_SHARDS] {
+                let s = shard_of(salt, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(salt, shards), "pure function");
+            }
+            assert_eq!(shard_of(salt, 1), 0);
+        }
+    }
+
+    #[test]
+    fn members_partition_the_database() {
+        let salts: Vec<u64> = (0..100).map(|i| mix64(i * 37 + 5)).collect();
+        for shards in [1usize, 3, 8] {
+            let members = members_of(&salts, shards);
+            assert_eq!(members.len(), shards);
+            let mut all: Vec<u32> = members.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100u32).collect::<Vec<_>>());
+            for m in &members {
+                assert!(m.windows(2).all(|w| w[0] < w[1]), "ascending global ids");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard_count must be positive")]
+    fn zero_shards_panic() {
+        shard_of(7, 0);
+    }
+}

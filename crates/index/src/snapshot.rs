@@ -2,11 +2,22 @@
 //!
 //! The paper builds the PMI offline precisely so query time never pays the
 //! feature-mining + SIP-bound cost; a process that rebuilds the index on every
-//! start pays it anyway.  The snapshot makes the index build-once/load-many:
+//! start pays it anyway.  The snapshot makes the index build-once/load-many.
+//!
+//! The current format (**v3**) is segmented: a fixed-width prefix and an
+//! eagerly-readable head (per-shard churn/offset/length table, graph salts,
+//! feature definitions) followed by one self-contained segment per shard
+//! (that shard's sparse matrix columns, local support lists and member
+//! summaries).  `Pmi::open` reads only the head — O(shards + graphs), not
+//! O(bytes) — and materializes a segment the first time its shard is touched;
+//! `Pmi::load` stays fully eager.  See the layout comment above the v3
+//! section below.
+//!
+//! The legacy single-segment layout (v1/v2) is still read and written:
 //!
 //! ```text
 //! magic   8  b"PGS-PMI\0"
-//! version 4  u32 (currently 2)
+//! version 4  u32 (1 or 2)
 //! fprint  8  u64 fingerprint of the build parameters (threads excluded)
 //! params  …  every PmiBuildParams field, fixed-width little-endian
 //! build_seconds f64, churn u64
@@ -30,11 +41,13 @@
 //! Version 1 snapshots (pre-S-Index) still load: they decode to an index
 //! without summaries, and `QueryEngine::from_parts` rebuilds the S-Index from
 //! the database skeletons it pairs the index with.  `Pmi::to_bytes_versioned`
-//! can also *write* version 1 for old readers (the downgrade path).
+//! can also *write* version 1 or 2 for old readers (the downgrade path).
 //!
-//! The salt list in the header ties a snapshot to the database contents it was
+//! The salt list in the head ties a snapshot to the database contents it was
 //! built from: `QueryEngine::from_parts` recomputes the salts of the database
-//! it is given and refuses an index whose columns would not line up.
+//! it is given and refuses an index whose columns would not line up.  In v3
+//! the salts also carry the shard layout — membership is re-derived via
+//! [`crate::shard::members_of`], never stored.
 
 use crate::feature::Feature;
 use crate::pmi::PmiBuildParams;
@@ -51,8 +64,14 @@ use std::path::Path;
 /// Magic bytes opening every PMI snapshot.
 pub const MAGIC: [u8; 8] = *b"PGS-PMI\0";
 
-/// Current snapshot format version (v2: adds the S-Index section).
-pub const FORMAT_VERSION: u32 = 2;
+/// Current snapshot format version (v3: sharded segments behind a
+/// fixed-width head + per-shard offset/length table, so `Pmi::open` can
+/// materialize shards lazily).
+pub const FORMAT_VERSION: u32 = 3;
+
+/// The single-segment format with an S-Index section; still readable, and
+/// writable via `Pmi::to_bytes_versioned` for downgrade scenarios.
+pub const FORMAT_V2: u32 = 2;
 
 /// The pre-S-Index format version; still readable, and writable via
 /// `Pmi::to_bytes_versioned` for downgrade scenarios.
@@ -186,7 +205,7 @@ pub(crate) fn payload_len(
 }
 
 /// Encoded size of one structural summary.
-fn summary_len(s: &StructuralSummary) -> usize {
+pub(crate) fn summary_len(s: &StructuralSummary) -> usize {
     4 + 4
         + 4
         + 8 * s.vertex_labels().len()
@@ -203,28 +222,38 @@ pub(crate) fn header_len() -> usize {
 }
 
 /// Fixed encoded size of `PmiBuildParams`.
-const PARAMS_LEN: usize = 6 * 8 /* feature params */
+pub(crate) const PARAMS_LEN: usize = 6 * 8 /* feature params */
     + 2 * 8 + 3 /* bounds caps + three flag bytes */
     + 2 * 8 + 8 /* monte-carlo */
     + 2 * 8 /* threads + seed */;
 
 fn feature_len(f: &Feature) -> usize {
-    4 + f.graph.name().len()
-        + 4
-        + 4 * f.graph.vertex_count()
-        + 4
-        + 12 * f.graph.edge_count()
-        + 4
-        + 4 * f.support.len()
-        + 8
-        + 8
+    feature_graph_len(f) + 4 + 4 * f.support.len() + 8 + 8
+}
+
+/// Encoded size of a v3 feature head record (the graph, a global support
+/// *count* instead of the per-graph support list, frequency and
+/// discriminativity).
+pub(crate) fn feature_head_len(f: &Feature) -> usize {
+    feature_graph_len(f) + 4 + 8 + 8
+}
+
+fn feature_graph_len(f: &Feature) -> usize {
+    4 + f.graph.name().len() + 4 + 4 * f.graph.vertex_count() + 4 + 12 * f.graph.edge_count()
+}
+
+/// Encoded size of one v1/v2 feature record when its support list would hold
+/// `support` entries — lets the v1 size estimate work on an index whose
+/// supports live in shard segments.
+pub(crate) fn feature_len_with(f: &Feature, support: usize) -> usize {
+    feature_graph_len(f) + 4 + 4 * support + 8 + 8
 }
 
 pub(crate) fn encode(parts: &PmiPartsRef<'_>, version: u32) -> Result<Vec<u8>, SnapshotError> {
-    if version != FORMAT_VERSION && version != FORMAT_V1 {
+    if version != FORMAT_V2 && version != FORMAT_V1 {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
-    let sindex = if version >= FORMAT_VERSION {
+    let sindex = if version >= FORMAT_V2 {
         match parts.sindex {
             Some(s) => Some(s),
             None => {
@@ -289,7 +318,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<PmiParts, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let version = r.u32()?;
-    if version != FORMAT_VERSION && version != FORMAT_V1 {
+    if version != FORMAT_V2 && version != FORMAT_V1 {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let stored_fingerprint = r.u64()?;
@@ -341,7 +370,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<PmiParts, SnapshotError> {
         uppers.push(r.f64()?);
     }
 
-    let sindex = if version >= FORMAT_VERSION {
+    let sindex = if version >= FORMAT_V2 {
         // The smallest encoded summary (empty graph) is 20 bytes.
         let summary_count = r.len_prefixed(20)?;
         if summary_count != graph_salts.len() {
@@ -375,6 +404,175 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<PmiParts, SnapshotError> {
         matrix,
         sindex,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Format v3: sharded segments behind an eagerly-readable head.
+//
+// ```text
+// magic 8 | version u32 = 3 | fingerprint u64 | head_len u64
+// params (fixed width) | build_seconds f64
+// ── head payload ──────────────────────────────────────────────────────────
+// shard_count u64
+// table: per shard { churn u64, offset u64, length u64 }   (absolute bytes)
+// salts:    u64 count + u64 content salt per graph
+// features: u64 count + per feature: graph, global support COUNT u32,
+//           frequency f64, discriminativity f64
+// ── segments (contiguous, tiling [head_len, file_len)) ────────────────────
+// per shard: matrix (entry count, CSR offsets over LOCAL columns, ids,
+//            bounds), per-feature LOCAL support lists, member summaries
+// ```
+//
+// Shard membership is not stored: it is re-derived from the salts via
+// `shard::members_of`, which is exactly how the index assigned it.  The head
+// is everything `Pmi::open` reads; a segment is only decoded when its shard
+// is first touched.
+
+/// One decoded shard segment of a v3 snapshot.
+pub(crate) struct SegmentParts {
+    pub matrix: SparseMatrix,
+    /// Per feature: the local member ids (ascending) passing the α filter.
+    pub supports: Vec<Vec<u32>>,
+    pub sindex: StructuralIndex,
+}
+
+/// A borrowed view of one shard segment, used by the v3 encoder.
+pub(crate) struct SegmentRef<'a> {
+    pub matrix: &'a SparseMatrix,
+    pub supports: &'a [Vec<u32>],
+    pub sindex: &'a StructuralIndex,
+}
+
+/// The fully decoded parts of a v3 snapshot (the eager `Pmi::load` path).
+pub(crate) struct ShardedParts {
+    pub params: PmiBuildParams,
+    pub build_seconds: f64,
+    pub graph_salts: Vec<u64>,
+    /// Support lists are empty: the per-shard segments hold them.
+    pub features: Vec<Feature>,
+    pub support_counts: Vec<usize>,
+    pub shard_churn: Vec<usize>,
+    pub segments: Vec<SegmentParts>,
+}
+
+/// A borrowed view of a sharded index, consumed by [`encode_v3`].
+pub(crate) struct ShardedPartsRef<'a> {
+    pub params: &'a PmiBuildParams,
+    pub build_seconds: f64,
+    pub graph_salts: &'a [u64],
+    pub features: &'a [Feature],
+    pub support_counts: &'a [usize],
+    pub shard_churn: &'a [usize],
+    pub segments: Vec<SegmentRef<'a>>,
+}
+
+/// The eagerly-read head of a v3 snapshot: everything except the segments,
+/// plus the table telling a lazy reader where each segment lives.
+pub(crate) struct V3Head {
+    pub params: PmiBuildParams,
+    pub build_seconds: f64,
+    pub graph_salts: Vec<u64>,
+    pub features: Vec<Feature>,
+    pub support_counts: Vec<usize>,
+    pub shard_churn: Vec<usize>,
+    /// Per shard: absolute byte offset and length of its segment.
+    pub table: Vec<(u64, u64)>,
+}
+
+/// Result of decoding a snapshot of any readable version.
+pub(crate) enum AnyParts {
+    /// Format v1/v2: one global segment.
+    Legacy(PmiParts),
+    /// Format v3: per-shard segments.
+    V3(ShardedParts),
+}
+
+/// Result of peeking a snapshot file's head without touching segment bytes.
+pub(crate) enum OpenedSnapshot {
+    /// A v1/v2 file — no segment table, the caller must load it eagerly.
+    Legacy,
+    /// A v3 file: the decoded head, ready for lazy segment materialization.
+    /// Boxed so the no-data `Legacy` variant stays pointer-sized.
+    V3(Box<V3Head>),
+}
+
+/// Byte length of the fixed v3 prefix (magic + version + fingerprint +
+/// head-length field + params + build seconds); everything after it counts
+/// as payload for `PmiStats::size_bytes`.
+pub(crate) fn header_len_v3() -> usize {
+    8 + 4 + 8 + 8 + PARAMS_LEN + 8
+}
+
+pub(crate) fn encode_v3(parts: &ShardedPartsRef<'_>) -> Vec<u8> {
+    let shard_count = parts.segments.len();
+    debug_assert_eq!(parts.shard_churn.len(), shard_count);
+    debug_assert_eq!(parts.support_counts.len(), parts.features.len());
+    let mut w = Writer::with_capacity(header_len_v3() + 256);
+    w.bytes(&MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u64(params_fingerprint_at(parts.params, FORMAT_VERSION));
+    let head_len_pos = w.out.len();
+    w.u64(0); // head_len, patched once the head is complete
+    encode_params(&mut w, parts.params);
+    w.f64(parts.build_seconds);
+
+    w.u64(shard_count as u64);
+    let table_pos = w.out.len();
+    for &churn in parts.shard_churn {
+        w.u64(churn as u64);
+        w.u64(0); // offset, patched per segment
+        w.u64(0); // length, patched per segment
+    }
+    w.u64(parts.graph_salts.len() as u64);
+    for &s in parts.graph_salts {
+        w.u64(s);
+    }
+    w.u64(parts.features.len() as u64);
+    for (f, &count) in parts.features.iter().zip(parts.support_counts) {
+        encode_feature_graph(&mut w, &f.graph);
+        w.u32(count as u32);
+        w.f64(f.frequency);
+        w.f64(f.discriminativity);
+    }
+    let head_len = w.out.len() as u64;
+    w.out[head_len_pos..head_len_pos + 8].copy_from_slice(&head_len.to_le_bytes());
+
+    for (s, seg) in parts.segments.iter().enumerate() {
+        let start = w.out.len();
+        encode_segment(&mut w, seg);
+        let len = (w.out.len() - start) as u64;
+        let entry = table_pos + s * 24;
+        w.out[entry + 8..entry + 16].copy_from_slice(&(start as u64).to_le_bytes());
+        w.out[entry + 16..entry + 24].copy_from_slice(&len.to_le_bytes());
+    }
+    w.out
+}
+
+fn encode_segment(w: &mut Writer, seg: &SegmentRef<'_>) {
+    let m = seg.matrix;
+    w.u64(m.feature_ids().len() as u64);
+    for &o in m.offsets() {
+        w.u64(o as u64);
+    }
+    for &fi in m.feature_ids() {
+        w.u32(fi);
+    }
+    for &l in m.lowers() {
+        w.f64(l);
+    }
+    for &u in m.uppers() {
+        w.f64(u);
+    }
+    for sup in seg.supports {
+        w.u32(sup.len() as u32);
+        for &l in sup {
+            w.u32(l);
+        }
+    }
+    w.u64(seg.sindex.summaries().len() as u64);
+    for summary in seg.sindex.summaries() {
+        encode_summary(w, summary);
+    }
 }
 
 fn encode_summary(w: &mut Writer, s: &StructuralSummary) {
@@ -429,6 +627,297 @@ fn decode_summary(r: &mut Reader, gi: usize) -> Result<StructuralSummary, Snapsh
         degree_sequence,
     )
     .map_err(corrupt)
+}
+
+/// Decodes a snapshot of any readable format version.
+pub(crate) fn decode_any(bytes: &[u8]) -> Result<AnyParts, SnapshotError> {
+    match peek_version(bytes)? {
+        FORMAT_VERSION => decode_v3(bytes).map(AnyParts::V3),
+        _ => decode(bytes).map(AnyParts::Legacy),
+    }
+}
+
+/// The format version of a snapshot byte string (after checking the magic).
+fn peek_version(bytes: &[u8]) -> Result<u32, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(8)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION && version != FORMAT_V2 && version != FORMAT_V1 {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    Ok(version)
+}
+
+/// Decodes the v3 head from a reader positioned at byte 0.  On success the
+/// reader sits exactly at `head_len` (the start of the first segment).
+fn decode_v3_head(r: &mut Reader) -> Result<V3Head, SnapshotError> {
+    if r.bytes(8)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let stored_fingerprint = r.u64()?;
+    let head_len = r.u64()? as usize;
+    let params = decode_params(r)?;
+    if params_fingerprint_at(&params, FORMAT_VERSION) != stored_fingerprint {
+        return Err(SnapshotError::Corrupt(
+            "build-parameter fingerprint does not match the stored parameters".into(),
+        ));
+    }
+    let build_seconds = r.f64()?;
+    let shard_count = r.len_prefixed(24)?;
+    if shard_count == 0 || shard_count > crate::shard::MAX_SHARDS {
+        return Err(SnapshotError::Corrupt(format!(
+            "shard count {shard_count} outside 1..={}",
+            crate::shard::MAX_SHARDS
+        )));
+    }
+    let mut shard_churn = Vec::with_capacity(shard_count);
+    let mut table = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        shard_churn.push(r.u64()? as usize);
+        let offset = r.u64()?;
+        let len = r.u64()?;
+        table.push((offset, len));
+    }
+    let salt_count = r.len_prefixed(8)?;
+    let mut graph_salts = Vec::with_capacity(salt_count);
+    for _ in 0..salt_count {
+        graph_salts.push(r.u64()?);
+    }
+    // The smallest v3 feature head record (empty name/vertices/edges) is
+    // 32 bytes.
+    let feature_count = r.len_prefixed(32)?;
+    let mut features = Vec::with_capacity(feature_count);
+    let mut support_counts = Vec::with_capacity(feature_count);
+    for id in 0..feature_count {
+        let graph = decode_feature_graph(r, id)?;
+        let count = r.u32()? as usize;
+        if count > salt_count {
+            return Err(SnapshotError::Corrupt(format!(
+                "feature {id}: support count {count} exceeds {salt_count} graphs"
+            )));
+        }
+        let frequency = r.f64()?;
+        let discriminativity = r.f64()?;
+        features.push(Feature {
+            id,
+            graph,
+            support: Vec::new(),
+            frequency,
+            discriminativity,
+        });
+        support_counts.push(count);
+    }
+    if r.pos != head_len {
+        return Err(SnapshotError::Corrupt(format!(
+            "head ends at byte {} but the header claims {head_len}",
+            r.pos
+        )));
+    }
+    Ok(V3Head {
+        params,
+        build_seconds,
+        graph_salts,
+        features,
+        support_counts,
+        shard_churn,
+        table,
+    })
+}
+
+/// Eagerly decodes a complete v3 snapshot (the `Pmi::load`/`from_bytes`
+/// path): head first, then every segment in table order.
+pub(crate) fn decode_v3(bytes: &[u8]) -> Result<ShardedParts, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let head = decode_v3_head(&mut r)?;
+    let members = crate::shard::members_of(&head.graph_salts, head.table.len());
+    let mut expected = r.pos as u64;
+    let mut segments = Vec::with_capacity(head.table.len());
+    for (s, &(offset, len)) in head.table.iter().enumerate() {
+        if offset != expected {
+            return Err(SnapshotError::Corrupt(format!(
+                "segment {s} starts at byte {offset}, expected {expected} \
+                 (segments must tile the file contiguously)"
+            )));
+        }
+        let end = offset.checked_add(len).filter(|&e| e <= bytes.len() as u64);
+        let Some(end) = end else {
+            return Err(SnapshotError::Corrupt(format!(
+                "segment {s} ({offset}+{len} bytes) overruns the {}-byte snapshot",
+                bytes.len()
+            )));
+        };
+        segments.push(decode_segment(
+            &bytes[offset as usize..end as usize],
+            s,
+            members[s].len(),
+            head.features.len(),
+        )?);
+        expected = end;
+    }
+    if expected != bytes.len() as u64 {
+        return Err(SnapshotError::Corrupt(
+            "trailing bytes after the final segment".into(),
+        ));
+    }
+    Ok(ShardedParts {
+        params: head.params,
+        build_seconds: head.build_seconds,
+        graph_salts: head.graph_salts,
+        features: head.features,
+        support_counts: head.support_counts,
+        shard_churn: head.shard_churn,
+        segments,
+    })
+}
+
+/// Decodes one shard segment from its byte slice.  `member_count` and
+/// `feature_count` come from the (already validated) head.
+pub(crate) fn decode_segment(
+    bytes: &[u8],
+    shard: usize,
+    member_count: usize,
+    feature_count: usize,
+) -> Result<SegmentParts, SnapshotError> {
+    let corrupt = |why: String| SnapshotError::Corrupt(format!("shard {shard}: {why}"));
+    let mut r = Reader::new(bytes);
+    let entry_count = r.len_prefixed(20)?;
+    let mut offsets = Vec::with_capacity(member_count + 1);
+    for _ in 0..member_count + 1 {
+        offsets.push(r.u64()? as usize);
+    }
+    let mut feature_ids = Vec::with_capacity(entry_count);
+    for _ in 0..entry_count {
+        let fi = r.u32()?;
+        if fi as usize >= feature_count {
+            return Err(corrupt(format!(
+                "matrix entry references feature {fi} but only {feature_count} features exist"
+            )));
+        }
+        feature_ids.push(fi);
+    }
+    let mut lowers = Vec::with_capacity(entry_count);
+    for _ in 0..entry_count {
+        lowers.push(r.f64()?);
+    }
+    let mut uppers = Vec::with_capacity(entry_count);
+    for _ in 0..entry_count {
+        uppers.push(r.f64()?);
+    }
+    let mut supports = Vec::with_capacity(feature_count);
+    for fi in 0..feature_count {
+        let n = r.len_prefixed32(4)?;
+        let mut sup = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = r.u32()?;
+            if l as usize >= member_count {
+                return Err(corrupt(format!(
+                    "feature {fi} support references member {l} of {member_count}"
+                )));
+            }
+            sup.push(l);
+        }
+        supports.push(sup);
+    }
+    let summary_count = r.len_prefixed(20)?;
+    if summary_count != member_count {
+        return Err(corrupt(format!(
+            "{summary_count} summaries but {member_count} members"
+        )));
+    }
+    let mut summaries = Vec::with_capacity(summary_count);
+    for gi in 0..summary_count {
+        summaries.push(decode_summary(&mut r, gi)?);
+    }
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes after the segment".into()));
+    }
+    let matrix = SparseMatrix::from_raw(offsets, feature_ids, lowers, uppers).map_err(corrupt)?;
+    Ok(SegmentParts {
+        matrix,
+        supports,
+        sindex: StructuralIndex::from_summaries(summaries),
+    })
+}
+
+/// Reads a snapshot file's head without touching any segment bytes: the
+/// O(head) part of `Pmi::open`.  Returns [`OpenedSnapshot::Legacy`] for v1/v2
+/// files (no segment table — the caller falls back to an eager load, which
+/// also produces the right error for garbage files too short to classify).
+pub(crate) fn open_head(path: &Path) -> Result<OpenedSnapshot, SnapshotError> {
+    use std::io::Read as _;
+    let io_err = |e: std::io::Error| SnapshotError::Io(format!("{}: {e}", path.display()));
+    let mut file = std::fs::File::open(path).map_err(io_err)?;
+    let file_len = file.metadata().map_err(io_err)?.len();
+    let mut prefix = vec![0u8; (file_len.min(28)) as usize];
+    file.read_exact(&mut prefix).map_err(io_err)?;
+    if prefix.len() < 12 || prefix[..8] != MAGIC {
+        return Ok(OpenedSnapshot::Legacy);
+    }
+    let version = u32::from_le_bytes(prefix[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Ok(OpenedSnapshot::Legacy);
+    }
+    if prefix.len() < 28 {
+        return Err(SnapshotError::Corrupt(
+            "v3 snapshot truncated inside the fixed prefix".into(),
+        ));
+    }
+    let head_len = u64::from_le_bytes(prefix[20..28].try_into().expect("8 bytes"));
+    if head_len < 28 || head_len > file_len {
+        return Err(SnapshotError::Corrupt(format!(
+            "head length {head_len} outside the {file_len}-byte file"
+        )));
+    }
+    let mut head_bytes = prefix;
+    head_bytes.resize(head_len as usize, 0);
+    file.read_exact(&mut head_bytes[28..]).map_err(io_err)?;
+    let mut r = Reader::new(&head_bytes);
+    let head = decode_v3_head(&mut r)?;
+    // Validate the table against the real file size now, so a truncated v3
+    // file fails at open time rather than panicking at first shard touch.
+    let mut expected = head_len;
+    for (s, &(offset, len)) in head.table.iter().enumerate() {
+        if offset != expected {
+            return Err(SnapshotError::Corrupt(format!(
+                "segment {s} starts at byte {offset}, expected {expected} \
+                 (segments must tile the file contiguously)"
+            )));
+        }
+        expected = offset
+            .checked_add(len)
+            .ok_or_else(|| SnapshotError::Corrupt(format!("segment {s} offset overflow")))?;
+    }
+    if expected != file_len {
+        return Err(SnapshotError::Corrupt(format!(
+            "segments end at byte {expected} but the file is {file_len} bytes"
+        )));
+    }
+    Ok(OpenedSnapshot::V3(Box::new(head)))
+}
+
+/// Reads and decodes one shard segment straight from the file — the lazy
+/// materialization path behind `Pmi::open`.
+pub(crate) fn load_segment_from_file(
+    path: &Path,
+    offset: u64,
+    len: u64,
+    shard: usize,
+    member_count: usize,
+    feature_count: usize,
+) -> Result<SegmentParts, SnapshotError> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    let io_err = |e: std::io::Error| SnapshotError::Io(format!("{}: {e}", path.display()));
+    let mut file = std::fs::File::open(path).map_err(io_err)?;
+    file.seek(SeekFrom::Start(offset)).map_err(io_err)?;
+    let mut buf = vec![0u8; len as usize];
+    file.read_exact(&mut buf).map_err(io_err)?;
+    decode_segment(&buf, shard, member_count, feature_count)
 }
 
 /// Writes `bytes` to `path` atomically enough for our purposes (truncate +
@@ -487,8 +976,7 @@ fn decode_params(r: &mut Reader) -> Result<PmiBuildParams, SnapshotError> {
     Ok(params)
 }
 
-fn encode_feature(w: &mut Writer, f: &Feature) {
-    let g = &f.graph;
+fn encode_feature_graph(w: &mut Writer, g: &Graph) {
     w.u32(g.name().len() as u32);
     w.bytes(g.name().as_bytes());
     w.u32(g.vertex_count() as u32);
@@ -501,6 +989,10 @@ fn encode_feature(w: &mut Writer, f: &Feature) {
         w.u32(e.v.0);
         w.u32(e.label.0);
     }
+}
+
+fn encode_feature(w: &mut Writer, f: &Feature) {
+    encode_feature_graph(w, &f.graph);
     w.u32(f.support.len() as u32);
     for &gi in &f.support {
         w.u32(gi as u32);
@@ -509,7 +1001,7 @@ fn encode_feature(w: &mut Writer, f: &Feature) {
     w.f64(f.discriminativity);
 }
 
-fn decode_feature(r: &mut Reader, id: usize, graph_count: usize) -> Result<Feature, SnapshotError> {
+fn decode_feature_graph(r: &mut Reader, id: usize) -> Result<Graph, SnapshotError> {
     let name_len = r.len_prefixed32(1)?;
     let name = String::from_utf8(r.bytes(name_len)?.to_vec())
         .map_err(|_| SnapshotError::Corrupt(format!("feature {id}: name is not UTF-8")))?;
@@ -525,6 +1017,11 @@ fn decode_feature(r: &mut Reader, id: usize, graph_count: usize) -> Result<Featu
             .add_edge(VertexId(u), VertexId(v), Label(l))
             .map_err(|e| SnapshotError::Corrupt(format!("feature {id}: invalid edge: {e}")))?;
     }
+    Ok(graph)
+}
+
+fn decode_feature(r: &mut Reader, id: usize, graph_count: usize) -> Result<Feature, SnapshotError> {
+    let graph = decode_feature_graph(r, id)?;
     let support_len = r.len_prefixed32(4)?;
     let mut support = Vec::with_capacity(support_len);
     for _ in 0..support_len {
@@ -675,7 +1172,7 @@ mod tests {
     }
 
     fn encode_parts(parts: &PmiParts) -> Vec<u8> {
-        encode_parts_at(parts, FORMAT_VERSION).unwrap()
+        encode_parts_at(parts, FORMAT_V2).unwrap()
     }
 
     fn sample_parts() -> PmiParts {
@@ -772,7 +1269,7 @@ mod tests {
             Err(SnapshotError::UnsupportedVersion(7))
         ));
         parts.sindex = None;
-        match encode_parts_at(&parts, FORMAT_VERSION) {
+        match encode_parts_at(&parts, FORMAT_V2) {
             Err(SnapshotError::Corrupt(why)) => assert!(why.contains("S-Index")),
             other => panic!("expected Corrupt, got {:?}", other.err()),
         }
@@ -848,6 +1345,148 @@ mod tests {
         assert_eq!(params_fingerprint(&a), params_fingerprint(&b));
         b.seed = 999;
         assert_ne!(params_fingerprint(&a), params_fingerprint(&b));
+    }
+
+    /// A hand-built 3-shard v3 snapshot over 4 graphs: membership is derived
+    /// from the salts exactly the way the codec re-derives it.
+    fn sample_v3() -> Vec<u8> {
+        let salts = vec![11u64, 22, 33, 44];
+        let shards = 3;
+        let members = crate::shard::members_of(&salts, shards);
+        let feature = Feature {
+            id: 0,
+            graph: GraphBuilder::new()
+                .name("f0")
+                .vertices(&[0, 1])
+                .edge(0, 1, 9)
+                .build(),
+            support: Vec::new(),
+            frequency: 0.5,
+            discriminativity: 1.0,
+        };
+        let mut matrices = Vec::new();
+        let mut supports = Vec::new();
+        let mut sindexes = Vec::new();
+        for m in &members {
+            let mut matrix = SparseMatrix::new();
+            for l in 0..m.len() {
+                if l == 0 {
+                    matrix.push_column(vec![(
+                        0,
+                        SipBounds {
+                            lower: 0.25,
+                            upper: 0.75,
+                        },
+                    )]);
+                } else {
+                    matrix.push_column(vec![]);
+                }
+            }
+            supports.push(vec![if m.is_empty() { vec![] } else { vec![0u32] }]);
+            let graphs: Vec<_> = m
+                .iter()
+                .map(|_| GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 9).build())
+                .collect();
+            sindexes.push(StructuralIndex::build(&graphs));
+            matrices.push(matrix);
+        }
+        let support_counts = vec![members.iter().filter(|m| !m.is_empty()).count()];
+        encode_v3(&ShardedPartsRef {
+            params: &PmiBuildParams::default(),
+            build_seconds: 0.5,
+            graph_salts: &salts,
+            features: std::slice::from_ref(&feature),
+            support_counts: &support_counts,
+            shard_churn: &[0, 2, 0],
+            segments: (0..shards)
+                .map(|s| SegmentRef {
+                    matrix: &matrices[s],
+                    supports: &supports[s],
+                    sindex: &sindexes[s],
+                })
+                .collect(),
+        })
+    }
+
+    #[test]
+    fn v3_round_trips_through_decode_any() {
+        let bytes = sample_v3();
+        let parts = match decode_any(&bytes).unwrap() {
+            AnyParts::V3(p) => p,
+            AnyParts::Legacy(_) => panic!("expected a v3 decode"),
+        };
+        assert_eq!(parts.graph_salts, vec![11, 22, 33, 44]);
+        assert_eq!(parts.shard_churn, vec![0, 2, 0]);
+        assert_eq!(parts.build_seconds, 0.5);
+        assert_eq!(parts.features.len(), 1);
+        assert!(parts.features[0].support.is_empty());
+        let members = crate::shard::members_of(&parts.graph_salts, 3);
+        let mut total_members = 0;
+        for (seg, m) in parts.segments.iter().zip(&members) {
+            assert_eq!(seg.matrix.column_count(), m.len());
+            assert_eq!(seg.sindex.graph_count(), m.len());
+            assert_eq!(seg.supports.len(), 1);
+            total_members += m.len();
+        }
+        assert_eq!(total_members, 4);
+        // Re-encoding the decoded parts is byte-identical.
+        let again = encode_v3(&ShardedPartsRef {
+            params: &parts.params,
+            build_seconds: parts.build_seconds,
+            graph_salts: &parts.graph_salts,
+            features: &parts.features,
+            support_counts: &parts.support_counts,
+            shard_churn: &parts.shard_churn,
+            segments: parts
+                .segments
+                .iter()
+                .map(|s| SegmentRef {
+                    matrix: &s.matrix,
+                    supports: &s.supports,
+                    sindex: &s.sindex,
+                })
+                .collect(),
+        });
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn v3_truncation_is_rejected_everywhere() {
+        let bytes = sample_v3();
+        for cut in 0..bytes.len() {
+            let err = decode_any(&bytes[..cut])
+                .err()
+                .expect("truncation must fail");
+            assert!(
+                matches!(err, SnapshotError::Corrupt(_) | SnapshotError::BadMagic),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_rejects_a_zero_shard_count() {
+        let mut bytes = sample_v3();
+        // shard_count sits right after the fixed prefix.
+        let off = header_len_v3();
+        bytes[off..off + 8].copy_from_slice(&0u64.to_le_bytes());
+        match decode_any(&bytes) {
+            Err(SnapshotError::Corrupt(why)) => assert!(why.contains("shard count")),
+            other => panic!("expected Corrupt, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn v3_rejects_a_non_contiguous_segment_table() {
+        let mut bytes = sample_v3();
+        // First segment offset sits 8 bytes into the first table entry.
+        let off = header_len_v3() + 8 + 8;
+        let stored = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        bytes[off..off + 8].copy_from_slice(&(stored + 1).to_le_bytes());
+        match decode_any(&bytes) {
+            Err(SnapshotError::Corrupt(why)) => assert!(why.contains("contiguous")),
+            other => panic!("expected Corrupt, got {:?}", other.err()),
+        }
     }
 
     #[test]

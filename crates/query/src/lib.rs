@@ -28,8 +28,8 @@ pub mod structural;
 pub mod verify;
 
 pub use pipeline::{
-    default_query_threads, BatchResult, EngineConfig, EngineLoadError, ExactScanConfig,
-    IndexMismatch, PhaseStats, QueryEngine, QueryError, QueryParams, QueryResult,
+    default_query_threads, default_shards, BatchResult, EngineConfig, EngineLoadError,
+    ExactScanConfig, IndexMismatch, PhaseStats, QueryEngine, QueryError, QueryParams, QueryResult,
 };
 pub use prune::{
     probabilistic_prune, prune_candidate, BoundInstance, CrossTermRule, PruneDecision, PruneOutcome,
@@ -38,7 +38,7 @@ pub use qp::{tightest_lsim, QpOptions};
 pub use setcover::{greedy_weighted_set_cover, SetCoverSolution};
 pub use structural::{
     passes_feature_count_filter, structural_candidates, structural_candidates_indexed,
-    structural_candidates_threaded, StructuralFilterStats,
+    structural_candidates_sharded, structural_candidates_threaded, StructuralFilterStats,
 };
 pub use verify::{
     collect_embeddings_of_relaxations, collect_relaxed_embeddings, verify_ssp_exact,

@@ -17,7 +17,7 @@
 //! every database graph directly.
 
 use crate::prune::{prune_candidate, CrossTermRule, PruneDecision, PruneOutcome};
-use crate::structural::structural_candidates_indexed;
+use crate::structural::{structural_candidates_indexed, structural_candidates_sharded};
 use crate::verify::{verify_ssp_exact, verify_ssp_with_stats, VerifyOptions};
 use pgs_graph::model::Graph;
 use pgs_graph::parallel::{
@@ -25,6 +25,8 @@ use pgs_graph::parallel::{
 };
 use pgs_graph::relax::relax_query_clamped;
 use pgs_index::pmi::{graph_salt, Pmi, PmiBuildParams};
+use pgs_index::shard::MAX_SHARDS;
+use pgs_index::sindex::StructuralIndex;
 use pgs_index::snapshot::SnapshotError;
 use pgs_prob::model::ProbabilisticGraph;
 use pgs_prob::montecarlo::MonteCarloConfig;
@@ -127,6 +129,20 @@ pub struct EngineConfig {
     /// values beyond `pgs_graph::parallel::MAX_THREADS` are rejected with
     /// [`QueryError::InvalidThreads`] (see [`EngineConfig::validate`]).
     pub threads: usize,
+    /// Number of PMI shards a fresh [`QueryEngine::build`] partitions the
+    /// database into (`1` = the classic unsharded index).
+    ///
+    /// Shard assignment hashes each graph's *content salt*, and every
+    /// per-candidate computation is already salt-seeded, so the answer sets,
+    /// SSP estimates and `PhaseStats` counters are byte-identical for every
+    /// `(shards, threads)` combination — sharding only changes the physical
+    /// grouping (per-shard segments fan out on the pool, mutations and
+    /// snapshot segments stay shard-local).  Values outside
+    /// `1..=`[`MAX_SHARDS`] are rejected with
+    /// [`QueryError::InvalidShards`].  Engines assembled around an existing
+    /// index (`from_parts` / `with_index` / `open_index`) keep the index's
+    /// own shard layout.
+    pub shards: usize,
 }
 
 impl EngineConfig {
@@ -146,6 +162,12 @@ impl EngineConfig {
                 max: MAX_THREADS,
             });
         }
+        if self.shards == 0 || self.shards > MAX_SHARDS {
+            return Err(QueryError::InvalidShards {
+                shards: self.shards,
+                max: MAX_SHARDS,
+            });
+        }
         Ok(())
     }
 }
@@ -159,6 +181,7 @@ impl Default for EngineConfig {
             cross_term: CrossTermRule::SafeMin,
             seed: 0xC0FFEE,
             threads: default_query_threads(),
+            shards: default_shards(),
         }
     }
 }
@@ -171,6 +194,17 @@ pub fn default_query_threads() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
+}
+
+/// Default for [`EngineConfig::shards`]: the `PGS_SHARDS` environment
+/// variable when set to a valid count in `1..=MAX_SHARDS` (CI uses it to run
+/// the whole suite sharded), otherwise `1` (the classic unsharded index).
+pub fn default_shards() -> usize {
+    std::env::var("PGS_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| (1..=MAX_SHARDS).contains(&s))
+        .unwrap_or(1)
 }
 
 /// Per-query parameters (the user-facing knobs of a T-PS query).
@@ -260,6 +294,16 @@ pub enum QueryError {
         /// The ceiling (`pgs_graph::parallel::MAX_THREADS`).
         max: usize,
     },
+    /// `EngineConfig::shards` is zero (no shard could own anything) or
+    /// exceeds the shard ceiling.  `Pmi::build_sharded` clamps as a last line
+    /// of defence, but a nonsensical shard count is a caller bug — silently
+    /// clamping it would hide that the engine ignored the configuration.
+    InvalidShards {
+        /// The configured shard count.
+        shards: usize,
+        /// The ceiling (`pgs_index::shard::MAX_SHARDS`).
+        max: usize,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -291,6 +335,10 @@ impl fmt::Display for QueryError {
             QueryError::InvalidThreads { threads, max } => write!(
                 f,
                 "invalid thread count {threads}: must be at most {max} (0 = automatic)"
+            ),
+            QueryError::InvalidShards { shards, max } => write!(
+                f,
+                "invalid shard count {shards}: must be between 1 and {max}"
             ),
         }
     }
@@ -498,9 +546,12 @@ pub struct QueryEngine {
 }
 
 impl QueryEngine {
-    /// Builds the engine (including the PMI) over a database.
+    /// Builds the engine (including the PMI, partitioned into
+    /// [`EngineConfig::shards`] shards) over a database.  An out-of-range
+    /// shard count is clamped here and rejected with a typed error at query
+    /// time (mirroring how `threads` is handled).
     pub fn build(db: Vec<ProbabilisticGraph>, config: EngineConfig) -> QueryEngine {
-        let pmi = Pmi::build(&db, &config.pmi);
+        let pmi = Pmi::build_sharded(&db, &config.pmi, config.shards.clamp(1, MAX_SHARDS));
         let skeletons = db.iter().map(|g| g.skeleton().clone()).collect();
         QueryEngine {
             db,
@@ -568,6 +619,22 @@ impl QueryEngine {
         config: EngineConfig,
     ) -> Result<QueryEngine, EngineLoadError> {
         let pmi = Pmi::load(index_path)?;
+        Ok(QueryEngine::from_parts(db, pmi, config)?)
+    }
+
+    /// Like [`Self::with_index`] but *lazy*: `Pmi::open` reads only the
+    /// snapshot head (O(shards + graphs), not O(bytes)), and each shard's
+    /// columns, support lists and S-Index materialize from the file on first
+    /// touch.  The salt/fingerprint pairing checks run eagerly against the
+    /// head, so a mismatched snapshot is still rejected up front; v1/v2
+    /// snapshots fall back to the eager load.  Answers are byte-identical to
+    /// the eager engine's.
+    pub fn open_index(
+        db: Vec<ProbabilisticGraph>,
+        index_path: impl AsRef<Path>,
+        config: EngineConfig,
+    ) -> Result<QueryEngine, EngineLoadError> {
+        let pmi = Pmi::open(index_path)?;
         Ok(QueryEngine::from_parts(db, pmi, config)?)
     }
 
@@ -703,14 +770,24 @@ impl QueryEngine {
         // Phase 1: structural pruning via the S-Index — the query summary is
         // computed once, posting-list deficit accumulation touches only
         // graphs sharing a signature with the query, and the exact check
-        // (parallel over filter survivors) reuses the cached summaries.
+        // reuses the cached summaries.  Unsharded the exact checks fan out
+        // over filter survivors; sharded each shard's index generates and
+        // checks its own members in one pool task and the global-id lists
+        // merge ascending — the outputs are byte-identical either way.
         let t0 = Instant::now();
-        let sindex = self
-            .pmi
-            .sindex()
-            .expect("engine invariant: the PMI always carries an S-Index");
-        let (structural, filter_stats) =
-            structural_candidates_indexed(sindex, &self.skeletons, q, params.delta, threads);
+        let shard_count = self.pmi.shard_count();
+        let (structural, filter_stats) = if shard_count == 1 {
+            let sindex = self
+                .pmi
+                .sindex()
+                .expect("engine invariant: the PMI always carries an S-Index");
+            structural_candidates_indexed(sindex, &self.skeletons, q, params.delta, threads)
+        } else {
+            let shards: Vec<(&StructuralIndex, &[u32])> = (0..shard_count)
+                .map(|s| (self.pmi.shard_sindex(s), self.pmi.shard_members(s)))
+                .collect();
+            structural_candidates_sharded(&shards, &self.skeletons, q, params.delta, threads)
+        };
         stats.structural_seconds = t0.elapsed().as_secs_f64();
         stats.structural_candidates = structural.len();
         stats.posting_entries_scanned = filter_stats.posting_entries_scanned;
@@ -729,19 +806,35 @@ impl QueryEngine {
             },
             PruningVariant::SspBound | PruningVariant::OptSspBound => {
                 let optimal = params.variant == PruningVariant::OptSspBound;
-                let decisions: Vec<PruneDecision> =
+                let prune_one = |gi: usize| {
+                    let mut rng = self.candidate_rng(query_hash, SEED_PHASE_PRUNE, gi);
+                    prune_candidate(
+                        &self.pmi,
+                        gi,
+                        &relaxed,
+                        params.epsilon,
+                        optimal,
+                        self.config.cross_term,
+                        &mut rng,
+                    )
+                };
+                // Sharded, each shard prunes its own candidates in one pool
+                // task (the PMI column reads then stay within one segment per
+                // worker); every candidate's RNG is derived from its content
+                // salt either way, so the decisions — reassembled into the
+                // merged candidate order — are byte-identical.
+                let decisions: Vec<PruneDecision> = if shard_count > 1 {
+                    let by_shard = self.group_by_shard(&structural, shard_count);
+                    let per_shard =
+                        par_map_chunked_costed(&by_shard, threads, CostHint::HEAVY, |_, list| {
+                            list.iter().map(|&gi| prune_one(gi)).collect::<Vec<_>>()
+                        });
+                    self.reassemble(&structural, &per_shard)
+                } else {
                     par_map_chunked_costed(&structural, threads, CostHint::MODERATE, |_, &gi| {
-                        let mut rng = self.candidate_rng(query_hash, SEED_PHASE_PRUNE, gi);
-                        prune_candidate(
-                            &self.pmi,
-                            gi,
-                            &relaxed,
-                            params.epsilon,
-                            optimal,
-                            self.config.cross_term,
-                            &mut rng,
-                        )
-                    });
+                        prune_one(gi)
+                    })
+                };
                 PruneOutcome::from_decisions(&structural, &decisions)
             }
         };
@@ -761,29 +854,46 @@ impl QueryEngine {
         let mut answers = outcome.accepted.clone();
         stats.verified = outcome.candidates.len();
         let workers = resolve_threads(threads);
-        let (across, within) = if outcome.candidates.len() >= workers {
-            (workers, 1)
-        } else {
-            (1, workers)
+        let verify_one = |gi: usize, within: usize| {
+            let mut rng = self.candidate_rng(query_hash, SEED_PHASE_VERIFY, gi);
+            let verdict = verify_ssp_with_stats(
+                &self.db[gi],
+                q,
+                params.delta,
+                &relaxed,
+                &self.config.verify,
+                within,
+                &mut rng,
+            );
+            (
+                verdict.ssp >= params.epsilon,
+                verdict.samples_drawn,
+                verdict.exact,
+            )
         };
+        // The sampler's trials come from a fixed chunk layout and derived
+        // seeds, so all three dispatch shapes below yield byte-identical
+        // verdicts — the choice is purely a wall-clock decision.
         let verdicts: Vec<(bool, usize, bool)> =
-            par_map_chunked_costed(&outcome.candidates, across, CostHint::HEAVY, |_, &gi| {
-                let mut rng = self.candidate_rng(query_hash, SEED_PHASE_VERIFY, gi);
-                let verdict = verify_ssp_with_stats(
-                    &self.db[gi],
-                    q,
-                    params.delta,
-                    &relaxed,
-                    &self.config.verify,
-                    within,
-                    &mut rng,
-                );
-                (
-                    verdict.ssp >= params.epsilon,
-                    verdict.samples_drawn,
-                    verdict.exact,
-                )
-            });
+            if shard_count > 1 && outcome.candidates.len() >= workers {
+                // Sharded with enough candidates: one pool task per shard,
+                // each verifying its own members sequentially.
+                let by_shard = self.group_by_shard(&outcome.candidates, shard_count);
+                let per_shard =
+                    par_map_chunked_costed(&by_shard, threads, CostHint::HEAVY, |_, list| {
+                        list.iter().map(|&gi| verify_one(gi, 1)).collect::<Vec<_>>()
+                    });
+                self.reassemble(&outcome.candidates, &per_shard)
+            } else {
+                let (across, within) = if outcome.candidates.len() >= workers {
+                    (workers, 1)
+                } else {
+                    (1, workers)
+                };
+                par_map_chunked_costed(&outcome.candidates, across, CostHint::HEAVY, |_, &gi| {
+                    verify_one(gi, within)
+                })
+            };
         for (&gi, &(keep, samples, exact)) in outcome.candidates.iter().zip(&verdicts) {
             if keep {
                 answers.push(gi);
@@ -810,6 +920,33 @@ impl QueryEngine {
         ]))
     }
 
+    /// Splits a global candidate list into per-shard sublists, preserving the
+    /// input's relative order within each shard (the shard fan-out unit of
+    /// phases 2 and 3).
+    fn group_by_shard(&self, list: &[usize], shard_count: usize) -> Vec<Vec<usize>> {
+        let mut by_shard = vec![Vec::new(); shard_count];
+        for &gi in list {
+            by_shard[self.pmi.shard_of_graph(gi)].push(gi);
+        }
+        by_shard
+    }
+
+    /// Inverse of [`Self::group_by_shard`]: stitches per-shard result lists
+    /// back into the original candidate order (each shard's list is consumed
+    /// front to back, so per-item results land exactly where a direct map
+    /// over `list` would have put them).
+    fn reassemble<T: Copy>(&self, list: &[usize], per_shard: &[Vec<T>]) -> Vec<T> {
+        let mut cursors = vec![0usize; per_shard.len()];
+        list.iter()
+            .map(|&gi| {
+                let s = self.pmi.shard_of_graph(gi);
+                let r = per_shard[s][cursors[s]];
+                cursors[s] += 1;
+                r
+            })
+            .collect()
+    }
+
     /// The `Exact` baseline: evaluates the SSP of every database graph with the
     /// exact evaluator (falling back to high-accuracy sampling when the exact
     /// enumeration is too large), without any index.
@@ -833,33 +970,60 @@ impl QueryEngine {
         let t0 = Instant::now();
         // Shared by every graph that falls back to sampling; computed once.
         let relaxed = relax_query_clamped(q, params.delta);
-        let verdicts: Vec<(bool, usize, bool)> =
-            par_map_chunked_costed(&self.db, self.config.threads, CostHint::HEAVY, |gi, pg| {
-                match verify_ssp_exact(pg, q, params.delta, self.config.exact.exact_edge_cap) {
-                    Ok(v) => (v >= params.epsilon, 0, true),
-                    Err(_) => {
-                        let precise = VerifyOptions {
-                            mc: self.config.exact.fallback_mc,
-                            ..self.config.verify
-                        };
-                        let mut rng = self.candidate_rng(query_hash, SEED_PHASE_EXACT_FALLBACK, gi);
-                        let outcome = verify_ssp_with_stats(
-                            pg,
-                            q,
-                            params.delta,
-                            &relaxed,
-                            &precise,
-                            1,
-                            &mut rng,
-                        );
-                        (
-                            outcome.ssp >= params.epsilon,
-                            outcome.samples_drawn,
-                            outcome.exact,
-                        )
-                    }
+        let scan_one = |gi: usize, pg: &ProbabilisticGraph| match verify_ssp_exact(
+            pg,
+            q,
+            params.delta,
+            self.config.exact.exact_edge_cap,
+        ) {
+            Ok(v) => (v >= params.epsilon, 0, true),
+            Err(_) => {
+                let precise = VerifyOptions {
+                    mc: self.config.exact.fallback_mc,
+                    ..self.config.verify
+                };
+                let mut rng = self.candidate_rng(query_hash, SEED_PHASE_EXACT_FALLBACK, gi);
+                let outcome =
+                    verify_ssp_with_stats(pg, q, params.delta, &relaxed, &precise, 1, &mut rng);
+                (
+                    outcome.ssp >= params.epsilon,
+                    outcome.samples_drawn,
+                    outcome.exact,
+                )
+            }
+        };
+        // Sharded, the scan fans out per shard (each pool task walks its own
+        // members) and the verdicts scatter back to global order; every
+        // graph's fallback RNG is content-seeded, so the answers match the
+        // flat scan bit for bit.
+        let shard_count = self.pmi.shard_count();
+        let verdicts: Vec<(bool, usize, bool)> = if shard_count > 1 {
+            let members: Vec<&[u32]> = (0..shard_count)
+                .map(|s| self.pmi.shard_members(s))
+                .collect();
+            let per_shard = par_map_chunked_costed(
+                &members,
+                self.config.threads,
+                CostHint::HEAVY,
+                |_, shard| {
+                    shard
+                        .iter()
+                        .map(|&g| scan_one(g as usize, &self.db[g as usize]))
+                        .collect::<Vec<_>>()
+                },
+            );
+            let mut out = vec![(false, 0usize, false); self.db.len()];
+            for (shard, results) in members.iter().zip(&per_shard) {
+                for (&g, &r) in shard.iter().zip(results) {
+                    out[g as usize] = r;
                 }
-            });
+            }
+            out
+        } else {
+            par_map_chunked_costed(&self.db, self.config.threads, CostHint::HEAVY, |gi, pg| {
+                scan_one(gi, pg)
+            })
+        };
         let mut answers: Vec<usize> = Vec::new();
         let mut samples_drawn = 0usize;
         let mut exact_verifications = 0usize;
@@ -1102,6 +1266,135 @@ mod tests {
                 assert_eq!(a.stats.verified, b.stats.verified);
             }
         }
+    }
+
+    #[test]
+    fn sharded_engines_answer_byte_identically() {
+        let (base, queries) = small_engine();
+        let params = QueryParams {
+            epsilon: 0.4,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        let mut reference = *base.config();
+        reference.shards = 1;
+        reference.threads = 1;
+        let one = QueryEngine::build(base.db().to_vec(), reference);
+        for shards in [3usize, 8] {
+            for threads in [1usize, 0] {
+                let mut config = *base.config();
+                config.shards = shards;
+                config.threads = threads;
+                let engine = QueryEngine::build(base.db().to_vec(), config);
+                assert_eq!(engine.pmi().shard_count(), shards);
+                for wq in &queries {
+                    let a = one.query(&wq.graph, &params).unwrap();
+                    let b = engine.query(&wq.graph, &params).unwrap();
+                    assert_eq!(a.answers, b.answers, "shards={shards} threads={threads}");
+                    // Every counter (not the timers) is shard-invariant.
+                    assert_eq!(a.stats.structural_candidates, b.stats.structural_candidates);
+                    assert_eq!(
+                        a.stats.posting_entries_scanned,
+                        b.stats.posting_entries_scanned
+                    );
+                    assert_eq!(a.stats.filter_survivors, b.stats.filter_survivors);
+                    assert_eq!(a.stats.pruned_by_upper, b.stats.pruned_by_upper);
+                    assert_eq!(a.stats.accepted_by_lower, b.stats.accepted_by_lower);
+                    assert_eq!(a.stats.verified, b.stats.verified);
+                    assert_eq!(a.stats.exact_verifications, b.stats.exact_verifications);
+                    assert_eq!(a.stats.samples_drawn, b.stats.samples_drawn);
+                    assert_eq!(
+                        a.stats.probabilistic_candidates,
+                        b.stats.probabilistic_candidates
+                    );
+                    // The index-free baseline fans out per shard too.
+                    let ea = one.exact_scan(&wq.graph, &params).unwrap();
+                    let eb = engine.exact_scan(&wq.graph, &params).unwrap();
+                    assert_eq!(ea.answers, eb.answers);
+                    assert_eq!(ea.stats.samples_drawn, eb.stats.samples_drawn);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_shard_counts_are_a_typed_error() {
+        let (engine, queries) = small_engine();
+        let q = &queries[0].graph;
+        let params = QueryParams::default();
+        for shards in [0usize, MAX_SHARDS + 1, usize::MAX] {
+            let mut config = *engine.config();
+            config.shards = shards;
+            let broken = QueryEngine::build(engine.db().to_vec(), config);
+            for result in [
+                broken.query(q, &params).map(|r| r.answers),
+                broken.exact_scan(q, &params).map(|r| r.answers),
+                broken
+                    .query_batch(std::slice::from_ref(q), &params)
+                    .map(|b| b.results[0].answers.clone()),
+            ] {
+                match result {
+                    Err(QueryError::InvalidShards { shards: s, max }) => {
+                        assert_eq!(s, shards);
+                        assert_eq!(max, MAX_SHARDS);
+                    }
+                    other => panic!("shards = {shards}: got {other:?}"),
+                }
+            }
+        }
+        // The full valid range is accepted.
+        for shards in [1usize, MAX_SHARDS] {
+            let mut config = *engine.config();
+            config.shards = shards;
+            let ok = QueryEngine::build(engine.db().to_vec(), config);
+            assert!(ok.query(q, &params).is_ok());
+        }
+        assert!(QueryError::InvalidShards {
+            shards: 0,
+            max: MAX_SHARDS
+        }
+        .to_string()
+        .contains("between 1 and"));
+    }
+
+    #[test]
+    fn open_index_answers_lazily_and_identically() {
+        let (base, queries) = small_engine();
+        let mut config = *base.config();
+        config.shards = 3;
+        let engine = QueryEngine::build(base.db().to_vec(), config);
+        let path = std::env::temp_dir().join(format!(
+            "pgs-pipeline-open-index-{}.pmi",
+            std::process::id()
+        ));
+        engine.pmi().save(&path).unwrap();
+        let lazy = QueryEngine::open_index(engine.db().to_vec(), &path, config).unwrap();
+        // The pairing checks ran against the head only — no segment is
+        // materialized until the first query touches it.
+        assert_eq!(lazy.pmi().materialized_shards(), 0);
+        let params = QueryParams {
+            epsilon: 0.4,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        for wq in &queries {
+            assert_eq!(
+                lazy.query(&wq.graph, &params).unwrap().answers,
+                engine.query(&wq.graph, &params).unwrap().answers
+            );
+        }
+        // A swapped database is rejected before any lazy work happens.
+        let mut swapped = engine.db().to_vec();
+        swapped.swap(0, 1);
+        let err = QueryEngine::open_index(swapped, &path, config).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineLoadError::Mismatch(IndexMismatch::GraphSalt { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+        // A missing file surfaces as a snapshot error.
+        let err = QueryEngine::open_index(engine.db().to_vec(), &path, config).unwrap_err();
+        assert!(matches!(err, EngineLoadError::Snapshot(_)));
     }
 
     #[test]

@@ -304,12 +304,18 @@ fn insert_remove_sequence_matches_a_fresh_rebuild() {
     let fresh = DynamicDatabase::build(expected, exact_verify_config());
     // The S-Index, unlike the mined features, is a pure function of the
     // database contents: the incrementally maintained one must equal the
-    // fresh build's exactly.
-    assert_eq!(
-        db.engine().pmi().sindex().expect("S-Index present"),
-        fresh.engine().pmi().sindex().expect("S-Index present"),
-        "incremental S-Index diverged from a fresh rebuild"
-    );
+    // fresh build's exactly, shard by shard (both engines share the shard
+    // count and the salt-derived membership, whatever `PGS_SHARDS` says).
+    let (incremental, rebuilt) = (db.engine().pmi(), fresh.engine().pmi());
+    assert_eq!(incremental.shard_count(), rebuilt.shard_count());
+    for s in 0..incremental.shard_count() {
+        assert_eq!(incremental.shard_members(s), rebuilt.shard_members(s));
+        assert_eq!(
+            incremental.shard_sindex(s),
+            rebuilt.shard_sindex(s),
+            "incremental S-Index diverged from a fresh rebuild in shard {s}"
+        );
+    }
     let queries = pgs::datagen::queries::generate_query_workload(
         &dataset,
         &pgs::datagen::queries::QueryWorkloadConfig {
@@ -374,8 +380,9 @@ fn incremental_snapshot_still_round_trips() {
 
     let path = temp_path("incremental");
     db.save_index(&path).unwrap();
+    // `open` is lazy since format v3: the snapshot file must outlive the
+    // queries below, which materialize shard segments on first touch.
     let reopened = DynamicDatabase::open(db.graphs().to_vec(), &path, exact_verify_config());
-    std::fs::remove_file(&path).ok();
     let reopened = reopened.unwrap();
     assert_eq!(reopened.staleness(), staleness);
 
@@ -398,6 +405,7 @@ fn incremental_snapshot_still_round_trips() {
             db.query(&wq.graph, &params).unwrap().answers
         );
     }
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
@@ -415,17 +423,27 @@ fn v1_snapshot_still_loads_and_answers_identically() {
     assert_eq!(
         v2_bytes[8..12],
         pgs_index::snapshot::FORMAT_VERSION.to_le_bytes(),
-        "a freshly built index saves as v2"
+        "a freshly built index saves in the current format"
     );
     assert!(v1_bytes.len() < v2_bytes.len());
 
     let old = Pmi::from_bytes(&v1_bytes).unwrap();
     assert!(old.sindex().is_none(), "v1 carries no S-Index");
     let migrated = QueryEngine::from_parts(figure_1_database(), old, figure_1_config()).unwrap();
+    // A v1-decoded index is single-shard regardless of `PGS_SHARDS`, so the
+    // re-derived S-Index is the whole-database one: compare it against an
+    // S-Index built directly from the skeletons (a pure content function).
+    let skeletons: Vec<Graph> = figure_1_database()
+        .iter()
+        .map(|g| g.skeleton().clone())
+        .collect();
     assert_eq!(
-        migrated.pmi().sindex(),
-        engine.pmi().sindex(),
-        "the re-derived S-Index equals the originally built one"
+        migrated
+            .pmi()
+            .sindex()
+            .expect("v1 migration re-derives the S-Index"),
+        &StructuralIndex::build(&skeletons),
+        "the re-derived S-Index equals one built from the skeletons"
     );
     let q = query_q();
     for variant in all_variants() {
@@ -447,9 +465,32 @@ fn v1_snapshot_still_loads_and_answers_identically() {
             }
         }
     }
-    // Once migrated, the index persists as v2 again (with the S-Index).
+    // Once migrated, the index persists in the current format again, with
+    // the S-Index section.  The migrated index came from a v1 decode so it is
+    // single-shard; the original engine's shard count follows `PGS_SHARDS`.
+    // The unsharded v2 downgrade erases that layout difference, so the two
+    // encodings must be byte-identical at any shard count.
     let resaved = migrated.pmi().to_bytes();
-    assert_eq!(resaved, v2_bytes);
+    assert_eq!(
+        resaved[8..12],
+        pgs_index::snapshot::FORMAT_VERSION.to_le_bytes(),
+        "a migrated index re-saves in the current format"
+    );
+    assert!(
+        Pmi::from_bytes(&resaved).unwrap().sindex().is_some(),
+        "the re-derived S-Index is persisted"
+    );
+    assert_eq!(
+        migrated
+            .pmi()
+            .to_bytes_versioned(pgs_index::snapshot::FORMAT_V2)
+            .unwrap(),
+        engine
+            .pmi()
+            .to_bytes_versioned(pgs_index::snapshot::FORMAT_V2)
+            .unwrap(),
+        "the v2 downgrades of the migrated and original indexes agree"
+    );
 }
 
 #[test]

@@ -1,0 +1,195 @@
+//! Property-based shard invariance: for random probabilistic databases and
+//! queries, a sharded engine must be *observationally identical* to the
+//! 1-shard engine — same answers, same per-phase statistics, and the same
+//! behaviour under incremental `append_graph` / `remove_graph` churn — at
+//! every `(shards, threads)` combination.
+
+use pgs::prelude::*;
+use pgs_prob::neighbor::partition_with_triangles;
+use pgs_query::pipeline::{PhaseStats, QueryEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random connected labelled graph (spanning tree + extra edges).
+fn arb_graph(max_vertices: usize, labels: u32) -> impl Strategy<Value = Graph> {
+    (3..=max_vertices)
+        .prop_flat_map(move |n| {
+            (
+                proptest::collection::vec(0..labels, n),
+                proptest::collection::vec((0..n, 0..n), 0..n),
+                proptest::collection::vec(0..u64::MAX, n - 1),
+            )
+        })
+        .prop_map(|(vlabels, extra, parents)| {
+            let mut g = Graph::new();
+            for &l in &vlabels {
+                g.add_vertex(Label(l));
+            }
+            for i in 1..vlabels.len() {
+                let p = (parents[i - 1] % i as u64) as u32;
+                let _ = g.add_edge(VertexId(i as u32), VertexId(p), Label(0));
+            }
+            for (u, v) in extra {
+                if u != v {
+                    let _ = g.add_edge(VertexId(u as u32), VertexId(v as u32), Label(0));
+                }
+            }
+            g
+        })
+}
+
+/// Strategy: a probabilistic graph with max-rule JPTs over a random skeleton.
+fn arb_probabilistic_graph() -> impl Strategy<Value = ProbabilisticGraph> {
+    (
+        arb_graph(7, 3),
+        proptest::collection::vec(0.05f64..0.95, 24),
+    )
+        .prop_map(|(skeleton, probs)| {
+            let groups = partition_with_triangles(&skeleton, 3);
+            let tables: Vec<JointProbTable> = groups
+                .iter()
+                .map(|grp| {
+                    let ep: Vec<(EdgeId, f64)> = grp
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &e)| (e, probs[(e.index() + i) % probs.len()]))
+                        .collect();
+                    JointProbTable::from_max_rule(&ep).unwrap()
+                })
+                .collect();
+            ProbabilisticGraph::new(skeleton, tables, true).unwrap()
+        })
+}
+
+fn engine_config(shards: usize, threads: usize) -> EngineConfig {
+    EngineConfig {
+        shards,
+        threads,
+        seed: 0x5EED,
+        ..EngineConfig::default()
+    }
+}
+
+const SHARD_COUNTS: [usize; 3] = [1, 3, 8];
+const THREAD_COUNTS: [usize; 2] = [1, 0];
+
+/// Strips the wall-clock fields so two `PhaseStats` can be compared on work
+/// counters alone (timings legitimately differ run to run).
+fn counters_only(mut stats: PhaseStats) -> PhaseStats {
+    stats.structural_seconds = 0.0;
+    stats.probabilistic_seconds = 0.0;
+    stats.verification_seconds = 0.0;
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 50,
+        ..ProptestConfig::default()
+    })]
+
+    /// Answers *and* every per-phase counter are identical across every
+    /// `(shards, threads)` combination, for both the indexed pipeline and the
+    /// exact scan baseline.
+    #[test]
+    fn sharded_engines_are_observationally_identical(
+        graphs in proptest::collection::vec(arb_probabilistic_graph(), 4..9),
+        qsize in 2usize..4,
+        delta in 0usize..2,
+        qseed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(qseed);
+        let donor = graphs[qseed as usize % graphs.len()].skeleton();
+        let q = pgs_graph::generate::random_connected_subgraph(
+            donor,
+            qsize.min(donor.edge_count()),
+            &mut rng,
+        );
+        prop_assume!(q.is_some());
+        let q = q.unwrap();
+        let params = QueryParams {
+            epsilon: 0.3,
+            delta,
+            variant: PruningVariant::OptSspBound,
+        };
+
+        let reference = QueryEngine::build(graphs.clone(), engine_config(1, 1));
+        let want = reference.query(&q, &params).unwrap();
+        let want_scan = reference.exact_scan(&q, &params).unwrap();
+        for shards in SHARD_COUNTS {
+            for threads in THREAD_COUNTS {
+                let engine = QueryEngine::build(graphs.clone(), engine_config(shards, threads));
+                let got = engine.query(&q, &params).unwrap();
+                prop_assert_eq!(
+                    &got.answers, &want.answers,
+                    "answers diverged at shards = {}, threads = {}", shards, threads
+                );
+                prop_assert_eq!(
+                    counters_only(got.stats), counters_only(want.stats),
+                    "phase stats diverged at shards = {}, threads = {}", shards, threads
+                );
+                let scan = engine.exact_scan(&q, &params).unwrap();
+                prop_assert_eq!(
+                    &scan.answers, &want_scan.answers,
+                    "exact scan diverged at shards = {}, threads = {}", shards, threads
+                );
+            }
+        }
+    }
+
+    /// Incremental churn (append one graph, remove one graph) leaves a
+    /// sharded engine identical to the 1-shard engine that saw the same
+    /// mutation sequence.
+    #[test]
+    fn incremental_churn_is_shard_invariant(
+        graphs in proptest::collection::vec(arb_probabilistic_graph(), 4..8),
+        extra in arb_probabilistic_graph(),
+        remove_at in 0usize..4,
+        qsize in 2usize..4,
+    ) {
+        let remove_at = remove_at % graphs.len();
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let donor = extra.skeleton();
+        let q = pgs_graph::generate::random_connected_subgraph(
+            donor,
+            qsize.min(donor.edge_count()),
+            &mut rng,
+        );
+        prop_assume!(q.is_some());
+        let q = q.unwrap();
+        let params = QueryParams {
+            epsilon: 0.3,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+
+        let mut reference = QueryEngine::build(graphs.clone(), engine_config(1, 1));
+        reference.insert_graph(extra.clone());
+        reference.remove_graph(remove_at).unwrap();
+        let want = reference.query(&q, &params).unwrap();
+        for shards in SHARD_COUNTS {
+            for threads in THREAD_COUNTS {
+                let mut engine =
+                    QueryEngine::build(graphs.clone(), engine_config(shards, threads));
+                engine.insert_graph(extra.clone());
+                engine.remove_graph(remove_at).unwrap();
+                let got = engine.query(&q, &params).unwrap();
+                prop_assert_eq!(
+                    &got.answers, &want.answers,
+                    "post-churn answers diverged at shards = {}, threads = {}", shards, threads
+                );
+                prop_assert_eq!(
+                    counters_only(got.stats), counters_only(want.stats),
+                    "post-churn stats diverged at shards = {}, threads = {}", shards, threads
+                );
+                // The sharded snapshot of the mutated index round-trips and the
+                // reloaded engine still agrees.
+                let bytes = engine.pmi().to_bytes();
+                let reloaded = pgs_index::pmi::Pmi::from_bytes(&bytes).unwrap();
+                prop_assert_eq!(reloaded.graph_count(), engine.pmi().graph_count());
+            }
+        }
+    }
+}
