@@ -53,13 +53,12 @@ fn bench_substrates(c: &mut Criterion) {
     let n = 24usize;
     let mut rng = StdRng::seed_from_u64(7);
     let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..2.0)).collect();
-    let mut adjacent = vec![vec![false; n]; n];
-    #[allow(clippy::needless_range_loop)]
+    let mut adjacent = pgs_graph::BitMatrix::new(n);
     for i in 0..n {
         for j in (i + 1)..n {
-            let a = rng.gen_bool(0.4);
-            adjacent[i][j] = a;
-            adjacent[j][i] = a;
+            if rng.gen_bool(0.4) {
+                adjacent.set_pair(i, j);
+            }
         }
     }
     group.bench_function("max_weight_clique_24", |b| {

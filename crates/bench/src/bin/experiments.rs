@@ -47,6 +47,7 @@ fn main() {
     let bench_structural_requested = args.iter().any(|a| a == "bench-structural");
     let bench_verify_requested = args.iter().any(|a| a == "bench-verify");
     let bench_shard_requested = args.iter().any(|a| a == "bench-shard");
+    let bench_arena_requested = args.iter().any(|a| a == "bench-arena");
     let arg_after = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -63,6 +64,7 @@ fn main() {
         && !bench_structural_requested
         && !bench_verify_requested
         && !bench_shard_requested
+        && !bench_arena_requested
         && index_save_path.is_none()
         && index_load_path.is_none()
         && index_open_path.is_none())
@@ -107,6 +109,9 @@ fn main() {
     }
     if bench_shard_requested {
         bench_shard();
+    }
+    if bench_arena_requested {
+        bench_arena();
     }
     if let Some(path) = index_save_path {
         index_save(&path);
@@ -853,7 +858,7 @@ fn bench_shard() {
     };
     // Short label-alphabet path queries matching the `bulk_skeletons` alphabet
     // (vertex labels 0..5, edge labels 0..2).
-    let queries: Vec<pgs_graph::model::Graph> = (0..4u32)
+    let queries: Vec<pgs_graph::model::Graph> = (0..16u32)
         .map(|i| {
             GraphBuilder::new()
                 .vertices(&[i % 5, (i + 1) % 5, (i + 2) % 5])
@@ -968,29 +973,66 @@ fn bench_shard() {
             ..lean_config
         },
     );
-    let _ = one.query_batch(&queries, &params).unwrap();
-    let _ = eight.query_batch(&queries, &params).unwrap();
-    let mut one_secs = f64::INFINITY;
-    let mut eight_secs = f64::INFINITY;
-    let mut identical = true;
-    for rep in 0..6 {
-        let (a, b) = if rep % 2 == 0 {
-            let a = one.query_batch(&queries, &params).unwrap();
-            let b = eight.query_batch(&queries, &params).unwrap();
-            (a, b)
-        } else {
-            let b = eight.query_batch(&queries, &params).unwrap();
-            let a = one.query_batch(&queries, &params).unwrap();
-            (a, b)
-        };
-        one_secs = one_secs.min(a.wall_seconds);
-        eight_secs = eight_secs.min(b.wall_seconds);
-        identical &= a
-            .results
-            .iter()
-            .zip(&b.results)
-            .all(|(x, y)| x.answers == y.answers);
+    // Each engine is measured warm over consecutive batches (a production
+    // engine answers its workload resident, not interleaved with a second
+    // 10k-graph engine evicting its cache); answers are still cross-checked
+    // between the two.
+    let reference = one.query_batch(&queries, &params).unwrap();
+    // Warm alternating rounds: a production engine answers its workload
+    // resident, so each engine is measured over consecutive batches with its
+    // working set warm (two warm-up batches re-establish it after the other
+    // engine ran).  The container's background load drifts by several percent
+    // over a measurement loop, so a single warm loop per engine turns that
+    // drift into a fake shard-count effect — instead the engines alternate
+    // *rounds* of warm batches and keep their best across all rounds.  One
+    // pass feeds both the throughput line and the per-phase breakdown, so
+    // the two sections cannot disagree about the same workload.
+    struct Best {
+        wall: f64,
+        phases: [f64; 3],
+        identical: bool,
     }
+    let mut best = [
+        Best {
+            wall: f64::INFINITY,
+            phases: [f64::INFINITY; 3],
+            identical: true,
+        },
+        Best {
+            wall: f64::INFINITY,
+            phases: [f64::INFINITY; 3],
+            identical: true,
+        },
+    ];
+    for _round in 0..3 {
+        for (engine, best) in [&eight, &one].into_iter().zip(&mut best) {
+            for _ in 0..2 {
+                let _ = engine.query_batch(&queries, &params).unwrap();
+            }
+            for _ in 0..6 {
+                let r = engine.query_batch(&queries, &params).unwrap();
+                best.wall = best.wall.min(r.wall_seconds);
+                best.phases[0] = best.phases[0].min(r.stats.structural_seconds);
+                best.phases[1] = best.phases[1].min(r.stats.probabilistic_seconds);
+                best.phases[2] = best.phases[2].min(r.stats.verification_seconds);
+                best.identical &= r
+                    .results
+                    .iter()
+                    .zip(&reference.results)
+                    .all(|(x, y)| x.answers == y.answers);
+            }
+        }
+    }
+    let [Best {
+        wall: eight_secs,
+        phases: eight_phases,
+        identical: eight_identical,
+    }, Best {
+        wall: one_secs,
+        phases: one_phases,
+        identical: one_identical,
+    }] = best;
+    let identical = one_identical && eight_identical;
     assert!(identical, "1-shard and 8-shard answers must be identical");
     let n = queries.len() as f64;
     println!(
@@ -1003,6 +1045,24 @@ fn bench_shard() {
             ]
         )
     );
+    // Per-phase seconds breakdown (best over the measured batches).
+    for (label, [p1, p2, p3], wall) in [
+        ("phase seconds, 1 shard", one_phases, one_secs),
+        ("phase seconds, 8 shards", eight_phases, eight_secs),
+    ] {
+        println!(
+            "{}",
+            format_row(
+                label,
+                &[
+                    format!("p1 {p1:.4}"),
+                    format!("p2 {p2:.4}"),
+                    format!("p3 {p3:.4}"),
+                    format!("wall {wall:.4}"),
+                ]
+            )
+        );
+    }
     let json = format!(
         "{{\n  \"benchmark\": \"sharded_snapshot\",\n  \"series\": [\n{}\n  ],\n  \
          \"throughput_10k\": {{ \"queries\": {q}, \"answers_identical\": {identical},\n    \
@@ -1015,6 +1075,218 @@ fn bench_shard() {
     );
     std::fs::write("BENCH_shard.json", json).expect("writing BENCH_shard.json");
     println!("wrote BENCH_shard.json\n");
+}
+
+fn bench_arena() {
+    use pgs_graph::model::GraphBuilder;
+    use pgs_graph::summary::{EdgeSignature, StructuralSummary};
+    use pgs_index::sindex::FilterScratch;
+    use std::collections::BTreeMap;
+
+    println!("## bench-arena — flat arena layouts vs pre-refactor nested layouts");
+
+    // ---- S-Index posting scan: FlatVecVec postings + dense scratch vs the
+    // ---- pre-refactor BTreeMap postings + BTreeMap mass accumulator.
+    let graphs: Vec<pgs_graph::model::Graph> = bulk_skeletons(20_000, 0xA12E)
+        .iter()
+        .map(|pg| pg.skeleton().clone())
+        .collect();
+    let index = StructuralIndex::build(&graphs);
+
+    // Reference layout: one heap list per signature behind a tree, exactly the
+    // shape the index had before the arena refactor.
+    let mut ref_postings: BTreeMap<EdgeSignature, Vec<(u32, u32)>> = BTreeMap::new();
+    for (g, skeleton) in graphs.iter().enumerate() {
+        for &(sig, count) in StructuralSummary::of(skeleton).edge_signatures() {
+            ref_postings.entry(sig).or_default().push((g as u32, count));
+        }
+    }
+
+    // Path queries over the `bulk_skeletons` alphabet (vertex labels 0..5,
+    // edge labels 0..2), 3 edges each so the deficit filter is non-vacuous.
+    let queries: Vec<StructuralSummary> = (0..16u32)
+        .map(|i| {
+            let g = GraphBuilder::new()
+                .vertices(&[i % 5, (i + 1) % 5, (i + 2) % 5, (i + 3) % 5])
+                .edge(0, 1, i % 2)
+                .edge(1, 2, (i + 1) % 2)
+                .edge(2, 3, i % 2)
+                .build();
+            StructuralSummary::of(&g)
+        })
+        .collect();
+    let delta = 1usize;
+
+    let reference_filter = |query: &StructuralSummary| -> Vec<usize> {
+        let m = query.edge_count();
+        if m <= delta {
+            return (0..graphs.len()).collect();
+        }
+        let need = (m - delta) as u32;
+        let mut mass: BTreeMap<u32, u32> = BTreeMap::new();
+        for &(sig, qc) in query.edge_signatures() {
+            if let Some(list) = ref_postings.get(&sig) {
+                for &(g, count) in list {
+                    *mass.entry(g).or_insert(0) += qc.min(count);
+                }
+            }
+        }
+        mass.iter()
+            .filter(|&(_, &m)| m >= need)
+            .map(|(&g, _)| g as usize)
+            .collect()
+    };
+
+    // Answers must be byte-identical before any timing.
+    let mut scratch = FilterScratch::default();
+    for q in &queries {
+        index.filter_into(q.view(), delta, &mut scratch);
+        assert_eq!(
+            scratch.candidates(),
+            reference_filter(q).as_slice(),
+            "flat posting scan diverged from the nested reference"
+        );
+    }
+
+    let reps = 30usize;
+    let mut flat_secs = f64::INFINITY;
+    let mut nested_secs = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..reps {
+            for q in &queries {
+                index.filter_into(q.view(), delta, &mut scratch);
+                std::hint::black_box(scratch.candidates().len());
+            }
+        }
+        flat_secs = flat_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for _ in 0..reps {
+            for q in &queries {
+                std::hint::black_box(reference_filter(q).len());
+            }
+        }
+        nested_secs = nested_secs.min(t.elapsed().as_secs_f64());
+    }
+    let posting_speedup = nested_secs / flat_secs.max(1e-12);
+    println!(
+        "{}",
+        format_row(
+            "posting scan, 20k graphs",
+            &[
+                format!("flat {:.2}ms", flat_secs * 1e3 / reps as f64),
+                format!("nested {:.2}ms", nested_secs * 1e3 / reps as f64),
+                format!("{posting_speedup:.2}x"),
+            ]
+        )
+    );
+
+    // ---- JPT marginal projection (the UnionSampler construction kernel):
+    // ---- arena `marginal_rows_into` reuse vs per-call `marginal_rows` Vecs.
+    use pgs_prob::jpt::JointProbTable;
+    use pgs_prob::neighbor::partition_with_triangles;
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(0xA12E);
+    let skeleton = pgs_graph::generate::random_connected_graph(
+        &pgs_graph::generate::RandomGraphConfig {
+            vertices: 60,
+            edges: 110,
+            vertex_labels: 6,
+            edge_labels: 2,
+            preferential: true,
+        },
+        &mut rng,
+    );
+    let tables: Vec<JointProbTable> = partition_with_triangles(&skeleton, 3)
+        .iter()
+        .map(|grp| {
+            let ep: Vec<(pgs_graph::model::EdgeId, f64)> =
+                grp.iter().map(|&e| (e, rng.gen_range(0.2..0.8))).collect();
+            JointProbTable::from_max_rule(&ep).expect("jpt")
+        })
+        .collect();
+    let keeps: Vec<(usize, Vec<usize>)> = tables
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.edges().len() >= 2)
+        .map(|(i, _)| (i, vec![0usize, 1]))
+        .collect();
+    assert!(!keeps.is_empty(), "fixture must have multi-edge tables");
+
+    // Byte-identity of the projected rows before timing.
+    let mut arena: Vec<f64> = Vec::new();
+    for &(ti, ref keep) in &keeps {
+        arena.clear();
+        let start = tables[ti].marginal_rows_into(keep, &mut arena);
+        let reference = tables[ti].marginal_rows(keep);
+        assert_eq!(arena[start..].len(), reference.len());
+        assert!(
+            arena[start..]
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "arena marginal rows diverged from the per-call reference"
+        );
+    }
+
+    let proj_reps = 20_000usize;
+    let mut proj_flat_secs = f64::INFINITY;
+    let mut proj_nested_secs = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..proj_reps {
+            arena.clear();
+            for &(ti, ref keep) in &keeps {
+                let start = tables[ti].marginal_rows_into(keep, &mut arena);
+                std::hint::black_box(start);
+            }
+            std::hint::black_box(arena.len());
+        }
+        proj_flat_secs = proj_flat_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for _ in 0..proj_reps {
+            for &(ti, ref keep) in &keeps {
+                std::hint::black_box(tables[ti].marginal_rows(keep).len());
+            }
+        }
+        proj_nested_secs = proj_nested_secs.min(t.elapsed().as_secs_f64());
+    }
+    let proj_speedup = proj_nested_secs / proj_flat_secs.max(1e-12);
+    println!(
+        "{}",
+        format_row(
+            "JPT marginal projection",
+            &[
+                format!("arena {:.1}us", proj_flat_secs * 1e6 / proj_reps as f64),
+                format!("alloc {:.1}us", proj_nested_secs * 1e6 / proj_reps as f64),
+                format!("{proj_speedup:.2}x"),
+            ]
+        )
+    );
+
+    assert!(
+        posting_speedup >= 1.3,
+        "arena posting scan must be >= 1.3x over the nested reference, got {posting_speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"arena_layouts\",\n  \
+         \"posting_scan\": {{ \"graphs\": {graphs_n}, \"queries\": {queries_n}, \"answers_identical\": true,\n    \
+         \"flat_seconds_per_rep\": {flat:.9}, \"nested_seconds_per_rep\": {nested:.9},\n    \
+         \"speedup\": {posting_speedup:.3} }},\n  \
+         \"jpt_marginal_projection\": {{ \"tables\": {tables_n}, \"answers_identical\": true,\n    \
+         \"arena_seconds_per_rep\": {pflat:.9}, \"alloc_seconds_per_rep\": {pnested:.9},\n    \
+         \"speedup\": {proj_speedup:.3} }}\n}}\n",
+        graphs_n = graphs.len(),
+        queries_n = queries.len(),
+        flat = flat_secs / reps as f64,
+        nested = nested_secs / reps as f64,
+        tables_n = keeps.len(),
+        pflat = proj_flat_secs / proj_reps as f64,
+        pnested = proj_nested_secs / proj_reps as f64,
+    );
+    std::fs::write("BENCH_arena.json", json).expect("writing BENCH_arena.json");
+    println!("wrote BENCH_arena.json\n");
 }
 
 fn parse_scale(args: &[String]) -> DatasetScale {

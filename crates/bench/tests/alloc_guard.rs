@@ -1,0 +1,152 @@
+//! Allocation-count regression guard for the arena-packed hot loops.
+//!
+//! The arena refactor (DESIGN.md §14) moved the per-trial and per-query hot
+//! paths onto contiguous, caller-owned buffers; these tests pin that property
+//! by counting `GlobalAlloc` calls around the loops.  A future change that
+//! reintroduces per-iteration heap traffic fails here rather than silently
+//! regressing the benchmarks.
+//!
+//! Both probes live in ONE `#[test]` so the counter is never shared with a
+//! concurrently-running sibling test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pgs_graph::generate::{random_connected_graph, random_connected_subgraph, RandomGraphConfig};
+use pgs_graph::model::EdgeId;
+use pgs_graph::summary::StructuralSummary;
+use pgs_graph::vf2::{enumerate_embeddings, MatchOptions};
+use pgs_index::sindex::{FilterScratch, StructuralIndex};
+use pgs_prob::jpt::JointProbTable;
+use pgs_prob::model::ProbabilisticGraph;
+use pgs_prob::neighbor::partition_with_triangles;
+use pgs_prob::union_sampler::UnionSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Pass-through system allocator that counts every `alloc`/`realloc` call.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Counts heap allocations performed by `f`.
+fn allocations_in(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn probabilistic_fixture() -> (ProbabilisticGraph, pgs_graph::model::Graph) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = random_connected_graph(
+        &RandomGraphConfig {
+            vertices: 40,
+            edges: 70,
+            vertex_labels: 6,
+            edge_labels: 2,
+            preferential: true,
+        },
+        &mut rng,
+    );
+    let q = random_connected_subgraph(&g, 4, &mut rng).expect("query extraction");
+    let groups = partition_with_triangles(&g, 3);
+    let tables: Vec<JointProbTable> = groups
+        .iter()
+        .map(|grp| {
+            let ep: Vec<(EdgeId, f64)> = grp.iter().map(|&e| (e, 0.4)).collect();
+            JointProbTable::from_max_rule(&ep).expect("jpt")
+        })
+        .collect();
+    let pg = ProbabilisticGraph::new(g, tables, true).expect("probabilistic graph");
+    (pg, q)
+}
+
+#[test]
+fn hot_loops_do_not_allocate() {
+    // --- Karp–Luby trial loop -------------------------------------------
+    let (pg, q) = probabilistic_fixture();
+    let embeddings: Vec<Vec<EdgeId>> =
+        enumerate_embeddings(&q, pg.skeleton(), MatchOptions::capped(16))
+            .embeddings
+            .into_iter()
+            .map(|e| e.edges)
+            .collect();
+    assert!(
+        !embeddings.is_empty(),
+        "fixture must yield at least one embedding"
+    );
+    let mut relevant: Vec<EdgeId> = embeddings.iter().flatten().copied().collect();
+    relevant.sort_unstable();
+    relevant.dedup();
+    let sampler = UnionSampler::with_relevant(&pg, &embeddings, &relevant).expect("union sampler");
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut scratch = vec![0u64; sampler.words()];
+    let mut hits = 0usize;
+    // Warm-up: one trial, so lazy thread-local RNG state etc. is paid up
+    // front (the loop itself must stay clean from the very first iteration,
+    // but the guard measures steady state).
+    hits += usize::from(sampler.sample_trial(&mut rng, &mut scratch));
+    let allocs = allocations_in(|| {
+        for _ in 0..512 {
+            hits += usize::from(sampler.sample_trial(&mut rng, &mut scratch));
+        }
+    });
+    assert!(hits <= 513);
+    assert_eq!(
+        allocs, 0,
+        "UnionSampler::sample_trial loop allocated {allocs} times"
+    );
+
+    // --- Phase-1 posting scan -------------------------------------------
+    let mut rng = StdRng::seed_from_u64(23);
+    let skeletons: Vec<pgs_graph::model::Graph> = (0..32)
+        .map(|_| {
+            random_connected_graph(
+                &RandomGraphConfig {
+                    vertices: 20,
+                    edges: 32,
+                    vertex_labels: 5,
+                    edge_labels: 2,
+                    preferential: false,
+                },
+                &mut rng,
+            )
+        })
+        .collect();
+    let index = StructuralIndex::build(&skeletons);
+    let query = random_connected_subgraph(&skeletons[0], 6, &mut rng).expect("query extraction");
+    let query_summary = StructuralSummary::of(&query);
+
+    let mut scratch = FilterScratch::default();
+    // Warm pass sizes the dense mass accumulator.
+    let cold = index.filter_into(query_summary.view(), 2, &mut scratch);
+    let mut scanned = 0usize;
+    let allocs = allocations_in(|| {
+        for _ in 0..64 {
+            scanned += index.filter_into(query_summary.view(), 2, &mut scratch);
+        }
+    });
+    assert_eq!(scanned, cold * 64, "warm scans must match the cold scan");
+    assert_eq!(allocs, 0, "warm filter_into allocated {allocs} times");
+}

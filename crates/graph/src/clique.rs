@@ -41,22 +41,70 @@ pub struct CliqueResult {
     pub optimal: bool,
 }
 
+/// A symmetric boolean adjacency matrix with word-packed rows: row `i` is
+/// `words_per_row` `u64` words, bit `j` of the row is the `(i, j)` entry.
+/// One flat allocation for the whole matrix instead of `n` heap rows, and a
+/// pairwise predicate that is one shift/AND.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-false `n × n` matrix.
+    pub fn new(n: usize) -> BitMatrix {
+        let words_per_row = n.div_ceil(64);
+        BitMatrix {
+            n,
+            words_per_row,
+            bits: vec![0u64; n * words_per_row],
+        }
+    }
+
+    /// Number of nodes (rows).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix has zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets entry `(i, j)` (one direction only).
+    pub fn set(&mut self, i: usize, j: usize) {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.words_per_row + j / 64] |= 1u64 << (j % 64);
+    }
+
+    /// Sets both `(i, j)` and `(j, i)` — the symmetric-matrix builder.
+    pub fn set_pair(&mut self, i: usize, j: usize) {
+        self.set(i, j);
+        self.set(j, i);
+    }
+
+    /// The `(i, j)` entry.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.words_per_row + j / 64] & (1u64 << (j % 64)) != 0
+    }
+}
+
 /// Finds a maximum weight clique of the compatibility graph.
 ///
 /// * `weights[i]` — non-negative weight of node `i` (nodes with non-positive
 ///   weight are never selected: they cannot improve a clique).
-/// * `adjacent[i][j]` — true if nodes `i` and `j` are compatible (may appear in
-///   the same clique). The diagonal is ignored.
+/// * `adjacent.get(i, j)` — true if nodes `i` and `j` are compatible (may
+///   appear in the same clique). The diagonal is ignored.
 pub fn max_weight_clique(
     weights: &[f64],
-    adjacent: &[Vec<bool>],
+    adjacent: &BitMatrix,
     options: CliqueOptions,
 ) -> CliqueResult {
     let n = weights.len();
     assert_eq!(adjacent.len(), n, "adjacency matrix must be n x n");
-    for row in adjacent {
-        assert_eq!(row.len(), n, "adjacency matrix must be n x n");
-    }
     let mut search = CliqueSearch {
         weights,
         adjacent,
@@ -87,7 +135,7 @@ pub fn max_weight_clique(
 
 struct CliqueSearch<'a> {
     weights: &'a [f64],
-    adjacent: &'a [Vec<bool>],
+    adjacent: &'a BitMatrix,
     best: Vec<usize>,
     best_weight: f64,
     steps: u64,
@@ -126,7 +174,7 @@ impl CliqueSearch<'_> {
             let next: Vec<usize> = candidates[pos + 1..]
                 .iter()
                 .copied()
-                .filter(|&x| self.adjacent[c][x])
+                .filter(|&x| self.adjacent.get(c, x))
                 .collect();
             current.push(c);
             self.expand(current, current_weight + self.weights[c], &next);
@@ -139,14 +187,14 @@ impl CliqueSearch<'_> {
 /// nodes are the sets, two nodes are adjacent iff their sets are disjoint.
 /// This is the `fG` construction of Section 4.1 applied to either embeddings or
 /// cuts.
-pub fn disjointness_matrix(sets: &[Vec<crate::model::EdgeId>]) -> Vec<Vec<bool>> {
+pub fn disjointness_matrix(sets: &[Vec<crate::model::EdgeId>]) -> BitMatrix {
     let n = sets.len();
-    let mut adj = vec![vec![false; n]; n];
+    let mut adj = BitMatrix::new(n);
     for i in 0..n {
         for j in (i + 1)..n {
-            let d = crate::embeddings::edge_sets_disjoint(&sets[i], &sets[j]);
-            adj[i][j] = d;
-            adj[j][i] = d;
+            if crate::embeddings::edge_sets_disjoint(&sets[i], &sets[j]) {
+                adj.set_pair(i, j);
+            }
         }
     }
     adj
@@ -157,9 +205,17 @@ mod tests {
     use super::*;
     use crate::model::EdgeId;
 
+    fn matrix_of_pairs(n: usize, pairs: &[(usize, usize)]) -> BitMatrix {
+        let mut adj = BitMatrix::new(n);
+        for &(a, b) in pairs {
+            adj.set_pair(a, b);
+        }
+        adj
+    }
+
     #[test]
     fn single_node_graph() {
-        let r = max_weight_clique(&[2.5], &[vec![false]], CliqueOptions::default());
+        let r = max_weight_clique(&[2.5], &BitMatrix::new(1), CliqueOptions::default());
         assert_eq!(r.members, vec![0]);
         assert!((r.weight - 2.5).abs() < 1e-12);
         assert!(r.optimal);
@@ -167,7 +223,7 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let r = max_weight_clique(&[], &[], CliqueOptions::default());
+        let r = max_weight_clique(&[], &BitMatrix::new(0), CliqueOptions::default());
         assert!(r.members.is_empty());
         assert_eq!(r.weight, 0.0);
     }
@@ -177,11 +233,7 @@ mod tests {
         // Nodes 0,1,2 form a triangle with weight 1 each; node 3 is isolated
         // with weight 2.5. The triangle (weight 3) wins.
         let weights = vec![1.0, 1.0, 1.0, 2.5];
-        let mut adj = vec![vec![false; 4]; 4];
-        for &(a, b) in &[(0, 1), (1, 2), (0, 2)] {
-            adj[a][b] = true;
-            adj[b][a] = true;
-        }
+        let adj = matrix_of_pairs(4, &[(0, 1), (1, 2), (0, 2)]);
         let r = max_weight_clique(&weights, &adj, CliqueOptions::default());
         assert_eq!(r.members, vec![0, 1, 2]);
         assert!((r.weight - 3.0).abs() < 1e-12);
@@ -195,11 +247,7 @@ mod tests {
     #[test]
     fn zero_weight_nodes_are_ignored() {
         let weights = vec![0.0, 1.0, 0.0];
-        let adj = vec![
-            vec![false, true, true],
-            vec![true, false, true],
-            vec![true, true, false],
-        ];
+        let adj = matrix_of_pairs(3, &[(0, 1), (0, 2), (1, 2)]);
         let r = max_weight_clique(&weights, &adj, CliqueOptions::default());
         assert_eq!(r.members, vec![1]);
     }
@@ -215,8 +263,8 @@ mod tests {
             vec![EdgeId(3), EdgeId(4)],
         ];
         let adj = disjointness_matrix(&sets);
-        assert!(adj[0][2] && adj[2][0]);
-        assert!(!adj[0][1] && !adj[1][2]);
+        assert!(adj.get(0, 2) && adj.get(2, 0));
+        assert!(!adj.get(0, 1) && !adj.get(1, 2));
         let w = vec![0.5, 0.6, 0.5];
         let r = max_weight_clique(&w, &adj, CliqueOptions::default());
         assert_eq!(r.members, vec![0, 2]);
@@ -228,12 +276,11 @@ mod tests {
         // A moderately sized random-ish instance with a tiny step budget.
         let n = 20;
         let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 % 3.0)).collect();
-        let mut adj = vec![vec![false; n]; n];
-        #[allow(clippy::needless_range_loop)]
+        let mut adj = BitMatrix::new(n);
         for i in 0..n {
-            for j in 0..n {
-                if i != j && (i + j) % 3 != 0 {
-                    adj[i][j] = true;
+            for j in (i + 1)..n {
+                if (i + j) % 3 != 0 {
+                    adj.set_pair(i, j);
                 }
             }
         }
@@ -241,7 +288,7 @@ mod tests {
         // Whatever was found must be a clique.
         for (x, &a) in r.members.iter().enumerate() {
             for &b in &r.members[x + 1..] {
-                assert!(adj[a][b], "returned nodes {a},{b} are not adjacent");
+                assert!(adj.get(a, b), "returned nodes {a},{b} are not adjacent");
             }
         }
     }
@@ -250,13 +297,55 @@ mod tests {
     fn weights_drive_selection_not_cardinality() {
         // Two disjoint pairs {0,1} (weight 1+1) vs single node 2 (weight 5).
         let weights = vec![1.0, 1.0, 5.0];
-        let adj = vec![
-            vec![false, true, false],
-            vec![true, false, false],
-            vec![false, false, false],
-        ];
+        let adj = matrix_of_pairs(3, &[(0, 1)]);
         let r = max_weight_clique(&weights, &adj, CliqueOptions::default());
         assert_eq!(r.members, vec![2]);
         assert!((r.weight - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bitmatrix_matches_nested_vec_reference() {
+        // The word-packed matrix must agree entry-for-entry with the old
+        // Vec<Vec<bool>> construction, including sizes that straddle the
+        // 64-bit word boundary.
+        for n in [0usize, 1, 7, 63, 64, 65, 130] {
+            // Deterministic pseudo-random edge sets: set i touches edges
+            // derived from a small LCG so disjointness varies.
+            let sets: Vec<Vec<EdgeId>> = (0..n)
+                .map(|i| {
+                    let mut s = (i as u64)
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1);
+                    let mut edges: Vec<EdgeId> = (0..3)
+                        .map(|_| {
+                            s = s
+                                .wrapping_mul(6_364_136_223_846_793_005)
+                                .wrapping_add(1_442_695_040_888_963_407);
+                            EdgeId((s >> 33) as u32 % 40)
+                        })
+                        .collect();
+                    edges.sort_unstable();
+                    edges.dedup();
+                    edges
+                })
+                .collect();
+
+            let mut reference = vec![vec![false; n]; n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = crate::embeddings::edge_sets_disjoint(&sets[i], &sets[j]);
+                    reference[i][j] = d;
+                    reference[j][i] = d;
+                }
+            }
+
+            let packed = disjointness_matrix(&sets);
+            assert_eq!(packed.len(), n);
+            for (i, row) in reference.iter().enumerate() {
+                for (j, &want) in row.iter().enumerate() {
+                    assert_eq!(packed.get(i, j), want, "n={n} entry ({i},{j}) differs");
+                }
+            }
+        }
     }
 }

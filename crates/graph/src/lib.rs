@@ -34,6 +34,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod clique;
 pub mod cuts;
 pub mod dfs_code;
@@ -51,7 +52,8 @@ pub mod summary;
 pub mod traversal;
 pub mod vf2;
 
-pub use clique::{max_weight_clique, CliqueOptions};
+pub use arena::{CsrAdjacency, FlatVecVec};
+pub use clique::{max_weight_clique, BitMatrix, CliqueOptions};
 pub use cuts::{minimal_cuts, CutEnumOptions};
 pub use dfs_code::{canonical_code, CanonicalCode};
 pub use embeddings::{EdgeSet, Embedding};
@@ -65,7 +67,7 @@ pub use parallel::{
     MAX_THREADS,
 };
 pub use relax::{relax_query, relax_query_clamped, RelaxOptions};
-pub use summary::{EdgeSignature, StructuralSummary};
+pub use summary::{EdgeSignature, StructuralSummary, SummaryView};
 pub use vf2::{
     contains_subgraph, contains_subgraph_summarized, enumerate_embeddings, MatchOptions, Matcher,
 };

@@ -18,7 +18,7 @@
 
 use crate::model::{Graph, VertexId};
 use crate::relax::{delete_edge_subsets, RelaxOptions};
-use crate::summary::StructuralSummary;
+use crate::summary::{StructuralSummary, SummaryView};
 use crate::vf2::{contains_subgraph, contains_subgraph_summarized};
 
 /// Size (in edges) of the maximum common subgraph of `g1` and `g2`
@@ -72,8 +72,8 @@ pub fn subgraph_similar_summarized(
     q: &Graph,
     g: &Graph,
     delta: usize,
-    q_summary: &StructuralSummary,
-    g_summary: &StructuralSummary,
+    q_summary: SummaryView<'_>,
+    g_summary: SummaryView<'_>,
 ) -> bool {
     if q.edge_count() <= delta {
         return true;
@@ -182,17 +182,17 @@ impl<'a> SimilarityTester<'a> {
 
     /// Exactly [`subgraph_similar`]`(q, g, delta)`, using the precomputed
     /// query-side state and `g`'s cached summary.
-    pub fn matches(&self, g: &Graph, g_summary: &StructuralSummary) -> bool {
+    pub fn matches(&self, g: &Graph, g_summary: SummaryView<'_>) -> bool {
         if self.q.edge_count() <= self.delta {
             return true;
         }
-        if contains_subgraph_summarized(self.q, &self.q_summary, g, g_summary) {
+        if contains_subgraph_summarized(self.q, self.q_summary.view(), g, g_summary) {
             return true;
         }
         match &self.relaxations {
-            Some(subs) => subs
-                .iter()
-                .any(|(sub, summary)| contains_subgraph_summarized(sub, summary, g, g_summary)),
+            Some(subs) => subs.iter().any(|(sub, summary)| {
+                contains_subgraph_summarized(sub, summary.view(), g, g_summary)
+            }),
             None => subgraph_distance(self.q, g) <= self.delta,
         }
     }
@@ -434,7 +434,7 @@ mod tests {
             let gs = StructuralSummary::of(g);
             for delta in 0..=3 {
                 assert_eq!(
-                    subgraph_similar_summarized(&q, g, delta, &qs, &gs),
+                    subgraph_similar_summarized(&q, g, delta, qs.view(), gs.view()),
                     subgraph_similar(&q, g, delta),
                     "delta = {delta}"
                 );
@@ -475,7 +475,7 @@ mod tests {
                 for g in &graphs {
                     let gs = StructuralSummary::of(g);
                     assert_eq!(
-                        tester.matches(g, &gs),
+                        tester.matches(g, gs.view()),
                         subgraph_similar(q, g, delta),
                         "query {:?} delta {delta}",
                         q.name()

@@ -22,7 +22,7 @@
 
 use crate::dfs_code::{are_isomorphic, canonical_code, CanonicalCode};
 use crate::model::{Graph, VertexId};
-use crate::summary::StructuralSummary;
+use crate::summary::{StructuralSummary, SummaryView};
 use crate::vf2::{contains_subgraph_summarized, enumerate_embeddings, MatchOptions};
 use std::collections::BTreeMap;
 
@@ -76,16 +76,17 @@ impl Default for MiningOptions {
 /// ascending size.
 pub fn mine_frequent_patterns(db: &[Graph], options: &MiningOptions) -> Vec<MinedPattern> {
     let summaries: Vec<StructuralSummary> = db.iter().map(StructuralSummary::of).collect();
-    mine_frequent_patterns_summarized(db, &summaries, options)
+    let views: Vec<SummaryView<'_>> = summaries.iter().map(StructuralSummary::view).collect();
+    mine_frequent_patterns_summarized(db, &views, options)
 }
 
-/// [`mine_frequent_patterns`] with cached per-graph [`StructuralSummary`]
-/// values, so the per-candidate support recount's VF2 prefilter never
-/// reallocates the data-graph histograms (callers that already hold an
-/// S-Index pass its summaries straight through).
+/// [`mine_frequent_patterns`] with cached per-graph summary views, so the
+/// per-candidate support recount's VF2 prefilter never reallocates the
+/// data-graph histograms (callers that already hold an S-Index pass its
+/// summary views straight through).
 pub fn mine_frequent_patterns_summarized(
     db: &[Graph],
-    summaries: &[StructuralSummary],
+    summaries: &[SummaryView<'_>],
     options: &MiningOptions,
 ) -> Vec<MinedPattern> {
     debug_assert_eq!(db.len(), summaries.len());
@@ -133,9 +134,9 @@ pub fn mine_frequent_patterns_summarized(
                     .filter(|&gi| {
                         contains_subgraph_summarized(
                             &candidate,
-                            &candidate_summary,
+                            candidate_summary.view(),
                             &db[gi],
-                            &summaries[gi],
+                            summaries[gi],
                         )
                     })
                     .collect();

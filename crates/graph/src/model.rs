@@ -10,9 +10,11 @@
 //! data model and every downstream algorithm (VF2, MCS, relaxation) assumes
 //! simple graphs.
 
+use crate::arena::CsrAdjacency;
 use crate::error::GraphError;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A vertex identifier. Vertices are numbered densely from `0`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -107,17 +109,34 @@ impl Edge {
 ///
 /// This is the deterministic graph `gc` of Definition 1. Both query graphs,
 /// database skeletons, relaxed queries and index features use this type.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     /// Optional human-readable name (dataset id, query id, ...).
     name: String,
     vertex_labels: Vec<Label>,
     edges: Vec<Edge>,
-    /// adjacency\[u\] = sorted list of (neighbour, edge id)
-    adjacency: Vec<Vec<(VertexId, EdgeId)>>,
+    /// CSR adjacency, rebuilt lazily from `edges` after mutation.  Row `v`
+    /// lists `(neighbour, edge id)` pairs in edge-insertion order — exactly
+    /// what the old per-vertex `Vec` rows held — so traversal order (and with
+    /// it every sampled answer) is unchanged by the flat layout.
+    csr: OnceLock<CsrAdjacency>,
     /// Fast lookup of edge id by (min endpoint, max endpoint).
     edge_index: BTreeMap<(u32, u32), EdgeId>,
 }
+
+/// The CSR cache is derived state: two graphs are equal iff their logical
+/// content (name, labels, edge list) is, regardless of whether either has
+/// materialised its adjacency yet.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.vertex_labels == other.vertex_labels
+            && self.edges == other.edges
+            && self.edge_index == other.edge_index
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Creates an empty graph.
@@ -165,7 +184,7 @@ impl Graph {
     pub fn add_vertex(&mut self, label: Label) -> VertexId {
         let id = VertexId(self.vertex_labels.len() as u32);
         self.vertex_labels.push(label);
-        self.adjacency.push(Vec::new());
+        self.csr = OnceLock::new();
         id
     }
 
@@ -196,10 +215,17 @@ impl Graph {
         let id = EdgeId(self.edges.len() as u32);
         let (a, b) = if u.0 < v.0 { (u, v) } else { (v, u) };
         self.edges.push(Edge { u: a, v: b, label });
-        self.adjacency[u.index()].push((v, id));
-        self.adjacency[v.index()].push((u, id));
+        self.csr = OnceLock::new();
         self.edge_index.insert(key, id);
         Ok(id)
+    }
+
+    /// The materialised CSR adjacency, building it on first use after a
+    /// mutation.
+    #[inline]
+    fn csr(&self) -> &CsrAdjacency {
+        self.csr
+            .get_or_init(|| CsrAdjacency::build(self.vertex_labels.len(), &self.edges))
     }
 
     /// Label of vertex `v`.
@@ -238,6 +264,11 @@ impl Graph {
             .map(|(i, e)| (EdgeId(i as u32), e))
     }
 
+    /// Slice of edge records indexed by edge id.
+    pub fn edge_slice(&self) -> &[Edge] {
+        &self.edges
+    }
+
     /// Slice of vertex labels indexed by vertex id.
     pub fn vertex_labels(&self) -> &[Label] {
         &self.vertex_labels
@@ -246,13 +277,13 @@ impl Graph {
     /// Neighbours of `v` as `(neighbour, edge id)` pairs, in insertion order.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
-        &self.adjacency[v.index()]
+        self.csr().row(v.index())
     }
 
     /// Degree of vertex `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adjacency[v.index()].len()
+        self.csr().degree(v.index())
     }
 
     /// Looks up the edge between `u` and `v`, if any.
@@ -268,7 +299,7 @@ impl Graph {
 
     /// Edge ids incident to vertex `v`.
     pub fn incident_edges(&self, v: VertexId) -> impl Iterator<Item = EdgeId> + '_ {
-        self.adjacency[v.index()].iter().map(|&(_, e)| e)
+        self.csr().row(v.index()).iter().map(|&(_, e)| e)
     }
 
     /// A deterministic 64-bit FNV-style hash of the graph structure (vertex

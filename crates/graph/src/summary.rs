@@ -41,6 +41,137 @@ pub struct StructuralSummary {
     degree_sequence: Vec<u32>,
 }
 
+/// A borrowed structural summary: the same digest as [`StructuralSummary`],
+/// but with every column a slice, so a whole database of summaries can live
+/// in shared arenas (the columnar S-Index) and be read without materialising
+/// per-graph vectors.  All comparison logic lives here; the owned type
+/// delegates through [`StructuralSummary::view`].
+#[derive(Debug, Clone, Copy)]
+pub struct SummaryView<'a> {
+    vertex_count: u32,
+    edge_count: u32,
+    vertex_labels: &'a [(Label, u32)],
+    edge_signatures: &'a [(EdgeSignature, u32)],
+    degree_sequence: &'a [u32],
+}
+
+impl<'a> SummaryView<'a> {
+    /// Assembles a view from raw columns.  The caller asserts the
+    /// [`StructuralSummary`] invariants (sorted keys, positive counts,
+    /// matching totals, descending degrees) — views built from columns that
+    /// were validated on the way in (graph summaries, decoded snapshots) are
+    /// the intended use.
+    pub fn from_raw_parts(
+        vertex_count: u32,
+        edge_count: u32,
+        vertex_labels: &'a [(Label, u32)],
+        edge_signatures: &'a [(EdgeSignature, u32)],
+        degree_sequence: &'a [u32],
+    ) -> SummaryView<'a> {
+        debug_assert_eq!(degree_sequence.len(), vertex_count as usize);
+        debug_assert!(vertex_labels.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(edge_signatures.windows(2).all(|w| w[0].0 < w[1].0));
+        SummaryView {
+            vertex_count,
+            edge_count,
+            vertex_labels,
+            edge_signatures,
+            degree_sequence,
+        }
+    }
+
+    /// Number of vertices of the summarised graph.
+    #[inline]
+    pub fn vertex_count(self) -> usize {
+        self.vertex_count as usize
+    }
+
+    /// Number of edges of the summarised graph.
+    #[inline]
+    pub fn edge_count(self) -> usize {
+        self.edge_count as usize
+    }
+
+    /// The vertex-label multiset as sorted `(label, multiplicity)` pairs.
+    pub fn vertex_labels(self) -> &'a [(Label, u32)] {
+        self.vertex_labels
+    }
+
+    /// The edge-signature histogram as sorted `(signature, multiplicity)`
+    /// pairs.
+    pub fn edge_signatures(self) -> &'a [(EdgeSignature, u32)] {
+        self.edge_signatures
+    }
+
+    /// The degree sequence, descending.
+    pub fn degree_sequence(self) -> &'a [u32] {
+        self.degree_sequence
+    }
+
+    /// Multiplicity of `sig` (0 when absent).
+    pub fn signature_count(self, sig: EdgeSignature) -> usize {
+        match self.edge_signatures.binary_search_by_key(&sig, |&(s, _)| s) {
+            Ok(i) => self.edge_signatures[i].1 as usize,
+            Err(_) => 0,
+        }
+    }
+
+    /// Multiplicity of vertex label `l` (0 when absent).
+    pub fn label_count(self, l: Label) -> usize {
+        match self.vertex_labels.binary_search_by_key(&l, |&(x, _)| x) {
+            Ok(i) => self.vertex_labels[i].1 as usize,
+            Err(_) => 0,
+        }
+    }
+
+    /// A necessary condition for `pattern ⊆iso self` — see
+    /// [`StructuralSummary::subsumes`].
+    pub fn subsumes(self, pattern: SummaryView<'_>) -> bool {
+        if pattern.vertex_count > self.vertex_count || pattern.edge_count > self.edge_count {
+            return false;
+        }
+        if !multiset_dominates(self.vertex_labels, pattern.vertex_labels) {
+            return false;
+        }
+        if !multiset_dominates(self.edge_signatures, pattern.edge_signatures) {
+            return false;
+        }
+        // Sorted-dominance: the k-th largest target degree must be at least
+        // the k-th largest pattern degree (any embedding maps the pattern
+        // vertex of the k-th largest degree onto a distinct target vertex of
+        // at least that degree).
+        pattern
+            .degree_sequence
+            .iter()
+            .zip(self.degree_sequence)
+            .all(|(p, t)| p <= t)
+    }
+
+    /// The Grafil edge-feature deficit — see
+    /// [`StructuralSummary::signature_deficit`].
+    pub fn signature_deficit(self, g: SummaryView<'_>, cap: usize) -> usize {
+        let mut deficit = 0usize;
+        for &(sig, qc) in self.edge_signatures {
+            deficit += (qc as usize).saturating_sub(g.signature_count(sig));
+            if deficit > cap {
+                return deficit;
+            }
+        }
+        deficit
+    }
+
+    /// Materialises the view into an owned [`StructuralSummary`].
+    pub fn to_owned_summary(self) -> StructuralSummary {
+        StructuralSummary {
+            vertex_count: self.vertex_count,
+            edge_count: self.edge_count,
+            vertex_labels: self.vertex_labels.to_vec(),
+            edge_signatures: self.edge_signatures.to_vec(),
+            degree_sequence: self.degree_sequence.to_vec(),
+        }
+    }
+}
+
 impl StructuralSummary {
     /// Computes the summary of `g`.
     pub fn of(g: &Graph) -> StructuralSummary {
@@ -123,6 +254,18 @@ impl StructuralSummary {
         })
     }
 
+    /// This summary as a borrowed [`SummaryView`].
+    #[inline]
+    pub fn view(&self) -> SummaryView<'_> {
+        SummaryView {
+            vertex_count: self.vertex_count,
+            edge_count: self.edge_count,
+            vertex_labels: &self.vertex_labels,
+            edge_signatures: &self.edge_signatures,
+            degree_sequence: &self.degree_sequence,
+        }
+    }
+
     /// Number of vertices of the summarised graph.
     #[inline]
     pub fn vertex_count(&self) -> usize {
@@ -153,18 +296,12 @@ impl StructuralSummary {
 
     /// Multiplicity of `sig` (0 when absent).
     pub fn signature_count(&self, sig: EdgeSignature) -> usize {
-        match self.edge_signatures.binary_search_by_key(&sig, |&(s, _)| s) {
-            Ok(i) => self.edge_signatures[i].1 as usize,
-            Err(_) => 0,
-        }
+        self.view().signature_count(sig)
     }
 
     /// Multiplicity of vertex label `l` (0 when absent).
     pub fn label_count(&self, l: Label) -> usize {
-        match self.vertex_labels.binary_search_by_key(&l, |&(x, _)| x) {
-            Ok(i) => self.vertex_labels[i].1 as usize,
-            Err(_) => 0,
-        }
+        self.view().label_count(l)
     }
 
     /// A necessary condition for `pattern ⊆iso self` (non-induced, label
@@ -173,24 +310,7 @@ impl StructuralSummary {
     /// stronger than the histogram-only prefilter VF2 used to recompute per
     /// call, and allocation-free.
     pub fn subsumes(&self, pattern: &StructuralSummary) -> bool {
-        if pattern.vertex_count > self.vertex_count || pattern.edge_count > self.edge_count {
-            return false;
-        }
-        if !multiset_dominates(&self.vertex_labels, &pattern.vertex_labels) {
-            return false;
-        }
-        if !multiset_dominates(&self.edge_signatures, &pattern.edge_signatures) {
-            return false;
-        }
-        // Sorted-dominance: the k-th largest target degree must be at least
-        // the k-th largest pattern degree (any embedding maps the pattern
-        // vertex of the k-th largest degree onto a distinct target vertex of
-        // at least that degree).
-        pattern
-            .degree_sequence
-            .iter()
-            .zip(&self.degree_sequence)
-            .all(|(p, t)| p <= t)
+        self.view().subsumes(pattern.view())
     }
 
     /// The Grafil edge-feature deficit of this summary (as the query) against
@@ -199,14 +319,7 @@ impl StructuralSummary {
     /// `dis(q, g) > δ` because each deleted edge removes exactly one
     /// signature occurrence.
     pub fn signature_deficit(&self, g: &StructuralSummary, cap: usize) -> usize {
-        let mut deficit = 0usize;
-        for &(sig, qc) in &self.edge_signatures {
-            deficit += (qc as usize).saturating_sub(g.signature_count(sig));
-            if deficit > cap {
-                return deficit;
-            }
-        }
-        deficit
+        self.view().signature_deficit(g.view(), cap)
     }
 }
 

@@ -18,7 +18,7 @@
 
 use crate::embeddings::Embedding;
 use crate::model::{EdgeId, Graph, VertexId};
-use crate::summary::StructuralSummary;
+use crate::summary::SummaryView;
 use std::collections::BTreeSet;
 
 /// Options controlling a matching run.
@@ -125,18 +125,18 @@ impl<'a> Matcher<'a> {
         }
     }
 
-    /// Like [`Matcher::new`], but takes precomputed [`StructuralSummary`]
-    /// values for both graphs so the label-availability prefilter is an
-    /// allocation-free [`StructuralSummary::subsumes`] check instead of two
-    /// fresh histogram builds per matching run.  The summaries must describe
-    /// `pattern` and `target` exactly; a stale summary makes the prefilter —
-    /// and therefore the match outcome — wrong.
+    /// Like [`Matcher::new`], but takes precomputed summary views for both
+    /// graphs so the label-availability prefilter is an allocation-free
+    /// [`SummaryView::subsumes`] check instead of two fresh histogram builds
+    /// per matching run.  The summaries must describe `pattern` and `target`
+    /// exactly; a stale summary makes the prefilter — and therefore the match
+    /// outcome — wrong.
     pub fn new_with_summaries(
         pattern: &'a Graph,
         target: &'a Graph,
         options: MatchOptions,
-        pattern_summary: &StructuralSummary,
-        target_summary: &StructuralSummary,
+        pattern_summary: SummaryView<'_>,
+        target_summary: SummaryView<'_>,
     ) -> Self {
         let mut matcher = Matcher::new(pattern, target, options);
         matcher.label_prefilter = Some(target_summary.subsumes(pattern_summary));
@@ -408,14 +408,14 @@ pub fn contains_subgraph(pattern: &Graph, target: &Graph) -> bool {
     Matcher::new(pattern, target, MatchOptions::existence()).exists()
 }
 
-/// [`contains_subgraph`] with cached [`StructuralSummary`] values, so the
-/// label prefilter does not reallocate histograms per call (index builds and
-/// the structural query phase call this in tight loops).
+/// [`contains_subgraph`] with cached summary views, so the label prefilter
+/// does not reallocate histograms per call (index builds and the structural
+/// query phase call this in tight loops).
 pub fn contains_subgraph_summarized(
     pattern: &Graph,
-    pattern_summary: &StructuralSummary,
+    pattern_summary: SummaryView<'_>,
     target: &Graph,
-    target_summary: &StructuralSummary,
+    target_summary: SummaryView<'_>,
 ) -> bool {
     Matcher::new_with_summaries(
         pattern,
@@ -436,13 +436,13 @@ pub fn enumerate_embeddings(
     Matcher::new(pattern, target, options).embeddings()
 }
 
-/// [`enumerate_embeddings`] with cached [`StructuralSummary`] values (see
+/// [`enumerate_embeddings`] with cached summary views (see
 /// [`Matcher::new_with_summaries`]).
 pub fn enumerate_embeddings_summarized(
     pattern: &Graph,
-    pattern_summary: &StructuralSummary,
+    pattern_summary: SummaryView<'_>,
     target: &Graph,
-    target_summary: &StructuralSummary,
+    target_summary: SummaryView<'_>,
     options: MatchOptions,
 ) -> MatchOutcome {
     Matcher::new_with_summaries(pattern, target, options, pattern_summary, target_summary)
@@ -640,12 +640,13 @@ mod tests {
         for p in &patterns {
             let ps = StructuralSummary::of(p);
             assert_eq!(
-                contains_subgraph_summarized(p, &ps, &g, &gs),
+                contains_subgraph_summarized(p, ps.view(), &g, gs.view()),
                 contains_subgraph(p, &g),
             );
             let plain = enumerate_embeddings(p, &g, MatchOptions::default());
             let summarized =
-                Matcher::new_with_summaries(p, &g, MatchOptions::default(), &ps, &gs).embeddings();
+                Matcher::new_with_summaries(p, &g, MatchOptions::default(), ps.view(), gs.view())
+                    .embeddings();
             assert_eq!(plain.embeddings, summarized.embeddings);
         }
     }

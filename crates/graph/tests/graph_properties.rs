@@ -133,19 +133,18 @@ proptest! {
         use rand::{Rng, SeedableRng};
         let n = weights.len();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut adj = vec![vec![false; n]; n];
-        #[allow(clippy::needless_range_loop)]
+        let mut adj = pgs_graph::BitMatrix::new(n);
         for i in 0..n {
             for j in (i + 1)..n {
-                let a = rng.gen_bool(0.5);
-                adj[i][j] = a;
-                adj[j][i] = a;
+                if rng.gen_bool(0.5) {
+                    adj.set_pair(i, j);
+                }
             }
         }
         let result = max_weight_clique(&weights, &adj, CliqueOptions::default());
         for (x, &a) in result.members.iter().enumerate() {
             for &b in &result.members[x + 1..] {
-                prop_assert!(adj[a][b]);
+                prop_assert!(adj.get(a, b));
             }
         }
         let total: f64 = result.members.iter().map(|&i| weights[i]).sum();

@@ -25,7 +25,7 @@
 use pgs_graph::embeddings::disjoint_embedding_count;
 use pgs_graph::mining::{mine_frequent_patterns_summarized, MiningOptions};
 use pgs_graph::model::Graph;
-use pgs_graph::summary::StructuralSummary;
+use pgs_graph::summary::{StructuralSummary, SummaryView};
 use pgs_graph::vf2::{contains_subgraph, enumerate_embeddings_summarized, MatchOptions};
 
 /// One indexed feature.
@@ -92,16 +92,17 @@ impl Default for FeatureSelectionParams {
 /// the frequency-with-α filter and the discriminativity filter.
 pub fn select_features(db: &[Graph], params: &FeatureSelectionParams) -> Vec<Feature> {
     let summaries: Vec<StructuralSummary> = db.iter().map(StructuralSummary::of).collect();
-    select_features_summarized(db, &summaries, params)
+    let views: Vec<SummaryView<'_>> = summaries.iter().map(StructuralSummary::view).collect();
+    select_features_summarized(db, &views, params)
 }
 
-/// [`select_features`] with cached per-graph [`StructuralSummary`] values
-/// (one per database skeleton, in order).  `Pmi::build` passes the S-Index
-/// summaries straight through, so neither the miner's support recount nor the
-/// α-filter's embedding enumeration reallocates a data-graph histogram.
+/// [`select_features`] with cached per-graph summary views (one per database
+/// skeleton, in order).  `Pmi::build` passes the S-Index summaries straight
+/// through, so neither the miner's support recount nor the α-filter's
+/// embedding enumeration reallocates a data-graph histogram.
 pub fn select_features_summarized(
     db: &[Graph],
-    summaries: &[StructuralSummary],
+    summaries: &[SummaryView<'_>],
     params: &FeatureSelectionParams,
 ) -> Vec<Feature> {
     assert_eq!(db.len(), summaries.len(), "one summary per database graph");
@@ -133,9 +134,9 @@ pub fn select_features_summarized(
         for &gi in &pattern.support {
             let outcome = enumerate_embeddings_summarized(
                 &pattern.graph,
-                &pattern_summary,
+                pattern_summary.view(),
                 &db[gi],
-                &summaries[gi],
+                summaries[gi],
                 MatchOptions::capped(params.max_embeddings),
             );
             if outcome.embeddings.is_empty() {

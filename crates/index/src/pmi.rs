@@ -50,10 +50,11 @@ use crate::sindex::StructuralIndex;
 use crate::sip_bounds::{sip_bounds, BoundsConfig, SipBounds};
 use crate::snapshot::{self, SnapshotError};
 use crate::storage::SparseMatrix;
+use pgs_graph::arena::FlatVecVec;
 use pgs_graph::embeddings::disjoint_embedding_count;
 use pgs_graph::model::Graph;
 use pgs_graph::parallel::{derive_seed, par_map_chunked_costed, CostHint};
-use pgs_graph::summary::StructuralSummary;
+use pgs_graph::summary::{StructuralSummary, SummaryView};
 use pgs_graph::vf2::{contains_subgraph_summarized, enumerate_embeddings_summarized, MatchOptions};
 use pgs_prob::model::ProbabilisticGraph;
 use rand::rngs::StdRng;
@@ -117,8 +118,9 @@ pub fn graph_salt(pg: &ProbabilisticGraph) -> u64 {
 struct ShardSegment {
     /// Occupied cells of this shard's members: `matrix.get(local, feature)`.
     matrix: SparseMatrix,
-    /// Per feature: the local member ids (ascending) passing the α filter.
-    supports: Vec<Vec<u32>>,
+    /// Per feature (row) the local member ids (ascending) passing the α
+    /// filter, packed into one flat offsets+values table.
+    supports: FlatVecVec<u32>,
     /// Per-member structural summaries + signature posting lists.  `None`
     /// only inside a 1-shard index decoded from a format-v1 snapshot that has
     /// not been [re-derived](Pmi::ensure_sindex) yet.
@@ -151,9 +153,10 @@ pub struct Pmi {
     /// byte-identical to the column a fresh build would produce.
     params: PmiBuildParams,
     build_seconds: f64,
-    /// Per shard: the global graph ids it owns, ascending.  Derived from the
-    /// salts (never persisted) and kept eager.
-    shard_members: Vec<Vec<u32>>,
+    /// Per shard (row) the global graph ids it owns, ascending, packed into
+    /// one flat offsets+values table.  Derived from the salts (never
+    /// persisted) and kept eager.
+    shard_members: FlatVecVec<u32>,
     /// Global graph id → (shard, local id).
     locator: Vec<(u32, u32)>,
     /// Per shard: columns appended/removed since the features were last
@@ -211,7 +214,7 @@ fn seg_lock(seg: ShardSegment) -> OnceLock<ShardSegment> {
 }
 
 /// Global graph id → (shard, local id), derived from the member lists.
-fn locator_of(members: &[Vec<u32>], n: usize) -> Vec<(u32, u32)> {
+fn locator_of(members: &FlatVecVec<u32>, n: usize) -> Vec<(u32, u32)> {
     let mut locator = vec![(0u32, 0u32); n];
     for (s, m) in members.iter().enumerate() {
         for (l, &g) in m.iter().enumerate() {
@@ -241,19 +244,13 @@ impl Pmi {
         let start = Instant::now();
         let skeletons: Vec<Graph> = db.iter().map(|g| g.skeleton().clone()).collect();
         let sindex = StructuralIndex::build(&skeletons);
-        let mut features =
-            select_features_summarized(&skeletons, sindex.summaries(), &params.features);
+        let sindex_views: Vec<SummaryView<'_>> = sindex.summary_views().collect();
+        let mut features = select_features_summarized(&skeletons, &sindex_views, &params.features);
         let feature_summaries: Vec<StructuralSummary> = features
             .iter()
             .map(|f| StructuralSummary::of(&f.graph))
             .collect();
-        let rows = fill_matrix(
-            db,
-            &features,
-            &feature_summaries,
-            sindex.summaries(),
-            params,
-        );
+        let rows = fill_matrix(db, &features, &feature_summaries, &sindex_views, params);
         let graph_salts: Vec<u64> = db.iter().map(graph_salt).collect();
         let support_counts: Vec<usize> = features.iter().map(|f| f.support.len()).collect();
         let shard_members = members_of(&graph_salts, shards);
@@ -261,15 +258,13 @@ impl Pmi {
         let segments = if shards == 1 {
             // Fast path: the global layout IS shard 0 (local ids == global
             // ids) — move everything in without a scatter pass.
-            let supports = features
-                .iter_mut()
-                .map(|f| {
-                    std::mem::take(&mut f.support)
-                        .into_iter()
-                        .map(|g| g as u32)
-                        .collect()
-                })
-                .collect();
+            let mut supports = FlatVecVec::with_capacity(
+                features.len(),
+                features.iter().map(|f| f.support.len()).sum(),
+            );
+            for f in features.iter_mut() {
+                supports.push_row(std::mem::take(&mut f.support).into_iter().map(|g| g as u32));
+            }
             vec![seg_lock(ShardSegment {
                 matrix: SparseMatrix::from_dense(&rows),
                 supports,
@@ -279,7 +274,7 @@ impl Pmi {
             scatter_segments(
                 &rows,
                 &mut features,
-                sindex.summaries(),
+                &sindex_views,
                 &shard_members,
                 &locator,
             )
@@ -328,7 +323,7 @@ impl Pmi {
 
     /// The global graph ids owned by shard `s`, ascending.
     pub fn shard_members(&self, s: usize) -> &[u32] {
-        &self.shard_members[s]
+        self.shard_members.row(s)
     }
 
     /// The shard owning graph `g`.
@@ -390,7 +385,9 @@ impl Pmi {
             return;
         }
         for s in 0..self.shard_count() {
-            let member_graphs: Vec<Graph> = self.shard_members[s]
+            let member_graphs: Vec<Graph> = self
+                .shard_members
+                .row(s)
                 .iter()
                 .map(|&g| skeletons[g as usize].clone())
                 .collect();
@@ -424,7 +421,9 @@ impl Pmi {
         let mut out = Vec::with_capacity(self.support_counts.get(feature).copied().unwrap_or(0));
         for (s, members) in self.shard_members.iter().enumerate() {
             out.extend(
-                self.segment(s).supports[feature]
+                self.segment(s)
+                    .supports
+                    .row(feature)
                     .iter()
                     .map(|&l| members[l as usize] as usize),
             );
@@ -476,8 +475,7 @@ impl Pmi {
                     .sindex
                     .as_ref()
                     .expect("has_sindex implies every segment carries one")
-                    .summaries()
-                    .iter()
+                    .summary_views()
                     .map(snapshot::summary_len)
                     .sum::<usize>();
             }
@@ -517,7 +515,7 @@ impl Pmi {
                 offset,
                 len,
                 s,
-                self.shard_members[s].len(),
+                self.shard_members.row_len(s),
                 self.features.len(),
             ) {
                 Ok(seg) => ShardSegment {
@@ -557,13 +555,13 @@ impl Pmi {
             pg,
             &self.features,
             &self.feature_summaries,
-            &skeleton_summary,
+            skeleton_summary.view(),
             &self.params,
         );
         let salt = graph_salt(pg);
         let s = shard_of(salt, self.shard_count());
         let global = self.graph_salts.len() as u32;
-        let local = self.shard_members[s].len() as u32;
+        let local = self.shard_members.row_len(s) as u32;
         let fp = self.params.features;
         let supported: Vec<bool> = self
             .features
@@ -571,7 +569,13 @@ impl Pmi {
             .zip(&self.feature_summaries)
             .map(|(f, fs)| {
                 column[f.id].is_some()
-                    && alpha_supports(&f.graph, fs, pg.skeleton(), &skeleton_summary, &fp)
+                    && alpha_supports(
+                        &f.graph,
+                        fs.view(),
+                        pg.skeleton(),
+                        skeleton_summary.view(),
+                        &fp,
+                    )
             })
             .collect();
         let seg = self.segment_mut(s);
@@ -583,7 +587,7 @@ impl Pmi {
         );
         for (fi, &sup) in supported.iter().enumerate() {
             if sup {
-                seg.supports[fi].push(local);
+                seg.supports.push_into_row(fi, local);
             }
         }
         if let Some(sindex) = &mut seg.sindex {
@@ -595,7 +599,7 @@ impl Pmi {
             }
         }
         self.graph_salts.push(salt);
-        self.shard_members[s].push(global);
+        self.shard_members.push_into_row(s, global);
         self.locator.push((s as u32, local));
         self.shard_churn[s] += 1;
         self.refresh_frequencies();
@@ -624,18 +628,17 @@ impl Pmi {
         seg.matrix.remove_column(local);
         let local32 = local as u32;
         let mut lost = Vec::new();
-        for (fi, sup) in seg.supports.iter_mut().enumerate() {
-            let before = sup.len();
-            sup.retain(|&l| l != local32);
-            if sup.len() < before {
+        seg.supports.retain_mut(|fi, l| {
+            if *l == local32 {
                 lost.push(fi);
-            }
-            for l in sup.iter_mut() {
+                false
+            } else {
                 if *l > local32 {
                     *l -= 1;
                 }
+                true
             }
-        }
+        });
         if let Some(sindex) = &mut seg.sindex {
             sindex.remove(local);
         }
@@ -643,13 +646,11 @@ impl Pmi {
             self.support_counts[fi] -= 1;
         }
         self.graph_salts.remove(index);
-        self.shard_members[s].remove(local);
+        self.shard_members.remove_from_row(s, local);
         let cut = index as u32;
-        for m in &mut self.shard_members {
-            for g in m.iter_mut() {
-                if *g > cut {
-                    *g -= 1;
-                }
+        for g in self.shard_members.values_mut() {
+            if *g > cut {
+                *g -= 1;
             }
         }
         self.locator = locator_of(&self.shard_members, self.graph_salts.len());
@@ -684,7 +685,7 @@ impl Pmi {
     pub fn shard_staleness(&self) -> Vec<f64> {
         self.shard_churn
             .iter()
-            .zip(&self.shard_members)
+            .zip(self.shard_members.iter())
             .map(|(&c, m)| c as f64 / m.len().max(1) as f64)
             .collect()
     }
@@ -780,7 +781,7 @@ impl Pmi {
                         .as_ref()
                         .expect("has_sindex implies every segment carries one")
                         .summary(l as usize)
-                        .clone()
+                        .to_owned_summary()
                 })
                 .collect();
             Some(StructuralIndex::from_summaries(summaries))
@@ -796,8 +797,8 @@ impl Pmi {
     /// eager; use [`Pmi::open`] for the lazy path.
     pub fn from_bytes(bytes: &[u8]) -> Result<Pmi, SnapshotError> {
         match snapshot::decode_any(bytes)? {
-            snapshot::AnyParts::Legacy(parts) => Pmi::from_legacy_parts(parts),
-            snapshot::AnyParts::V3(parts) => Ok(Pmi::from_sharded_parts(parts)),
+            snapshot::AnyParts::Legacy(parts) => Pmi::from_legacy_parts(*parts),
+            snapshot::AnyParts::V3(parts) => Ok(Pmi::from_sharded_parts(*parts)),
         }
     }
 
@@ -817,16 +818,10 @@ impl Pmi {
             .map(|f| StructuralSummary::of(&f.graph))
             .collect();
         let support_counts = parts.features.iter().map(|f| f.support.len()).collect();
-        let supports = parts
-            .features
-            .iter_mut()
-            .map(|f| {
-                std::mem::take(&mut f.support)
-                    .into_iter()
-                    .map(|g| g as u32)
-                    .collect()
-            })
-            .collect();
+        let mut supports = FlatVecVec::new();
+        for f in parts.features.iter_mut() {
+            supports.push_row(std::mem::take(&mut f.support).into_iter().map(|g| g as u32));
+        }
         let n = parts.graph_salts.len();
         let has_sindex = parts.sindex.is_some();
         Ok(Pmi {
@@ -835,7 +830,7 @@ impl Pmi {
             support_counts,
             params: parts.params,
             build_seconds: parts.build_seconds,
-            shard_members: vec![(0..n as u32).collect()],
+            shard_members: FlatVecVec::from_rows(std::iter::once(0..n as u32)),
             locator: (0..n).map(|g| (0u32, g as u32)).collect(),
             shard_churn: vec![parts.churn],
             segments: vec![seg_lock(ShardSegment {
@@ -981,18 +976,19 @@ impl Pmi {
 fn scatter_segments(
     rows: &[Vec<Option<SipBounds>>],
     features: &mut [Feature],
-    summaries: &[StructuralSummary],
-    members: &[Vec<u32>],
+    summaries: &[SummaryView<'_>],
+    members: &FlatVecVec<u32>,
     locator: &[(u32, u32)],
 ) -> Vec<OnceLock<ShardSegment>> {
     let feature_count = features.len();
-    let mut supports = vec![vec![Vec::new(); feature_count]; members.len()];
+    let mut scratch = vec![vec![Vec::new(); feature_count]; members.len()];
     for f in features.iter_mut() {
         for g in std::mem::take(&mut f.support) {
             let (s, l) = locator[g];
-            supports[s as usize][f.id].push(l);
+            scratch[s as usize][f.id].push(l);
         }
     }
+    let supports: Vec<FlatVecVec<u32>> = scratch.into_iter().map(FlatVecVec::from_rows).collect();
     members
         .iter()
         .zip(supports)
@@ -1007,7 +1003,9 @@ fn scatter_segments(
                 );
             }
             let sindex = StructuralIndex::from_summaries(
-                m.iter().map(|&g| summaries[g as usize].clone()).collect(),
+                m.iter()
+                    .map(|&g| summaries[g as usize].to_owned_summary())
+                    .collect(),
             );
             seg_lock(ShardSegment {
                 matrix,
@@ -1029,7 +1027,7 @@ fn fill_matrix(
     db: &[ProbabilisticGraph],
     features: &[Feature],
     feature_summaries: &[StructuralSummary],
-    skeleton_summaries: &[StructuralSummary],
+    skeleton_summaries: &[SummaryView<'_>],
     params: &PmiBuildParams,
 ) -> Vec<Vec<Option<SipBounds>>> {
     // A column runs VF2 containment and bound computations over every
@@ -1040,7 +1038,7 @@ fn fill_matrix(
             pg,
             features,
             feature_summaries,
-            &skeleton_summaries[gi],
+            skeleton_summaries[gi],
             params,
         )
     })
@@ -1054,7 +1052,7 @@ fn compute_column(
     pg: &ProbabilisticGraph,
     features: &[Feature],
     feature_summaries: &[StructuralSummary],
-    skeleton_summary: &StructuralSummary,
+    skeleton_summary: SummaryView<'_>,
     params: &PmiBuildParams,
 ) -> Vec<Option<SipBounds>> {
     let mut rng =
@@ -1063,7 +1061,7 @@ fn compute_column(
         .iter()
         .zip(feature_summaries)
         .map(|(f, fs)| {
-            if contains_subgraph_summarized(&f.graph, fs, pg.skeleton(), skeleton_summary) {
+            if contains_subgraph_summarized(&f.graph, fs.view(), pg.skeleton(), skeleton_summary) {
                 Some(sip_bounds(pg, &f.graph, &params.bounds, &mut rng))
             } else {
                 None
@@ -1078,9 +1076,9 @@ fn compute_column(
 /// with what a fresh selection run would record.
 fn alpha_supports(
     feature: &Graph,
-    feature_summary: &StructuralSummary,
+    feature_summary: SummaryView<'_>,
     skeleton: &Graph,
-    skeleton_summary: &StructuralSummary,
+    skeleton_summary: SummaryView<'_>,
     fp: &FeatureSelectionParams,
 ) -> bool {
     let outcome = enumerate_embeddings_summarized(

@@ -15,6 +15,7 @@
 //! order.  The v3 snapshot codec exploits this — it stores the salts once in
 //! the eager header and never persists membership tables.
 
+use pgs_graph::arena::FlatVecVec;
 use pgs_graph::parallel::mix64;
 
 /// Upper limit on [`shard_of`]'s `shard_count` (and on
@@ -42,13 +43,29 @@ pub fn shard_of(salt: u64, shard_count: usize) -> usize {
 }
 
 /// Derives the per-shard member lists (global graph ids, ascending) for a
-/// salt list — the inverse the snapshot codec and the engine share.
-pub fn members_of(salts: &[u64], shard_count: usize) -> Vec<Vec<u32>> {
-    let mut members = vec![Vec::new(); shard_count];
-    for (g, &salt) in salts.iter().enumerate() {
-        members[shard_of(salt, shard_count)].push(g as u32);
+/// salt list — the inverse the snapshot codec and the engine share.  Packed
+/// as one flat offsets+values table (row `s` = shard `s`'s members) via a
+/// counting sort: two passes, two allocations, no per-shard Vecs.
+pub fn members_of(salts: &[u64], shard_count: usize) -> FlatVecVec<u32> {
+    let mut counts = vec![0u32; shard_count];
+    for &salt in salts {
+        counts[shard_of(salt, shard_count)] += 1;
     }
-    members
+    let mut offsets = Vec::with_capacity(shard_count + 1);
+    offsets.push(0u32);
+    let mut running = 0u32;
+    for &c in &counts {
+        running += c;
+        offsets.push(running);
+    }
+    let mut cursor: Vec<u32> = offsets[..shard_count].to_vec();
+    let mut values = vec![0u32; salts.len()];
+    for (g, &salt) in salts.iter().enumerate() {
+        let s = shard_of(salt, shard_count);
+        values[cursor[s] as usize] = g as u32;
+        cursor[s] += 1;
+    }
+    FlatVecVec::from_raw(offsets, values).expect("prefix-sum offsets are always valid")
 }
 
 #[cfg(test)]
@@ -73,10 +90,10 @@ mod tests {
         for shards in [1usize, 3, 8] {
             let members = members_of(&salts, shards);
             assert_eq!(members.len(), shards);
-            let mut all: Vec<u32> = members.iter().flatten().copied().collect();
+            let mut all: Vec<u32> = members.values().to_vec();
             all.sort_unstable();
             assert_eq!(all, (0..100u32).collect::<Vec<_>>());
-            for m in &members {
+            for m in members.iter() {
                 assert!(m.windows(2).all(|w| w[0] < w[1]), "ascending global ids");
             }
         }

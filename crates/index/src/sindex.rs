@@ -8,7 +8,7 @@
 //! filter–verify systems precompute per-graph feature summaries plus an
 //! inverted index exactly to avoid this; the S-Index is that structure:
 //!
-//! * one immutable [`StructuralSummary`] per database graph (edge-signature
+//! * one immutable structural summary per database graph (edge-signature
 //!   histogram, vertex-label multiset, vertex/edge counts, degree sequence),
 //!   computed once at index build time, and
 //! * an inverted **posting list** `edge signature → [(graph, count)]` over
@@ -24,14 +24,26 @@
 //! *identical* to brute-forcing `passes_feature_count_filter` over every
 //! graph (a property test pins this).
 //!
+//! # Columnar layout
+//!
+//! The whole index lives in flat arenas ([`FlatVecVec`]): one arena per
+//! database for each summary column (vertex-label histograms, edge-signature
+//! histograms, degree sequences) and one for the posting lists (a sorted
+//! signature-key table plus an offsets+entries pair).  Per-graph summaries
+//! are handed out as borrowed [`SummaryView`]s — no per-graph `Vec`s exist
+//! anywhere — and the posting scan walks one contiguous entry slice per query
+//! signature.  Mutation (append/remove, the churn path) rebuilds the affected
+//! arenas in a single O(total) pass; queries dominate churn by orders of
+//! magnitude, so the flat read path wins.
+//!
 //! The S-Index is persisted as a versioned section of the PMI snapshot
 //! (format v2, see [`crate::snapshot`]); only the summaries are written —
 //! posting lists are a deterministic function of the summaries and are
 //! rebuilt on load.
 
-use pgs_graph::model::Graph;
-use pgs_graph::summary::{EdgeSignature, StructuralSummary};
-use std::collections::BTreeMap;
+use pgs_graph::arena::FlatVecVec;
+use pgs_graph::model::{Graph, Label};
+use pgs_graph::summary::{EdgeSignature, StructuralSummary, SummaryView};
 
 /// One posting entry: a graph containing the signature, with its multiplicity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,12 +66,42 @@ pub struct FilterOutcome {
     pub posting_entries_scanned: usize,
 }
 
+/// Reusable scratch for [`StructuralIndex::filter_into`]: a dense per-graph
+/// mass accumulator plus the list of graphs touched this query.  After the
+/// first few queries warm it up, a filter pass performs no allocations at
+/// all (`mass == 0` marks "untouched", which is sound because every posting
+/// accumulation adds at least 1).
+#[derive(Debug, Default)]
+pub struct FilterScratch {
+    mass: Vec<u32>,
+    touched: Vec<u32>,
+    candidates: Vec<usize>,
+}
+
+impl FilterScratch {
+    /// The candidates produced by the last [`StructuralIndex::filter_into`]
+    /// call, ascending.
+    pub fn candidates(&self) -> &[usize] {
+        &self.candidates
+    }
+}
+
 /// The structural candidate index (see the module docs).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StructuralIndex {
-    summaries: Vec<StructuralSummary>,
-    /// `signature → postings`, graph indices ascending within each list.
-    postings: BTreeMap<EdgeSignature, Vec<PostingEntry>>,
+    /// `(vertex_count, edge_count)` per graph.
+    metas: Vec<(u32, u32)>,
+    /// Per-graph vertex-label histograms, one arena for the database.
+    vertex_labels: FlatVecVec<(Label, u32)>,
+    /// Per-graph edge-signature histograms, one arena for the database.
+    edge_signatures: FlatVecVec<(EdgeSignature, u32)>,
+    /// Per-graph degree sequences (descending), one arena for the database.
+    degrees: FlatVecVec<u32>,
+    /// Distinct signatures, ascending; row `i` of `postings` belongs to
+    /// `sig_keys[i]`.
+    sig_keys: Vec<EdgeSignature>,
+    /// Posting entries per signature, graph indices ascending within a row.
+    postings: FlatVecVec<PostingEntry>,
 }
 
 impl StructuralIndex {
@@ -71,43 +113,93 @@ impl StructuralIndex {
     /// Rebuilds the index from per-graph summaries (the snapshot decode path);
     /// posting lists are derived deterministically from the summaries.
     pub fn from_summaries(summaries: Vec<StructuralSummary>) -> StructuralIndex {
-        let mut index = StructuralIndex {
-            summaries: Vec::new(),
-            postings: BTreeMap::new(),
-        };
-        for summary in summaries {
-            index.append_summary(summary);
+        let mut index = StructuralIndex::default();
+        for summary in &summaries {
+            index.push_columns(summary.view());
         }
+        index.rebuild_postings();
         index
+    }
+
+    /// Appends one summary's columns to the arenas (postings not updated).
+    fn push_columns(&mut self, s: SummaryView<'_>) {
+        self.metas
+            .push((s.vertex_count() as u32, s.edge_count() as u32));
+        self.vertex_labels
+            .push_row(s.vertex_labels().iter().copied());
+        self.edge_signatures
+            .push_row(s.edge_signatures().iter().copied());
+        self.degrees.push_row(s.degree_sequence().iter().copied());
+    }
+
+    /// Rebuilds the inverted posting lists from the summary arenas in one
+    /// O(total log total) pass.  A stable sort by signature keeps graph
+    /// indices ascending within each row, matching what per-graph appends in
+    /// index order would have produced.
+    fn rebuild_postings(&mut self) {
+        let mut triples: Vec<(EdgeSignature, PostingEntry)> =
+            Vec::with_capacity(self.edge_signatures.total_len());
+        for g in 0..self.metas.len() {
+            for &(sig, count) in self.edge_signatures.row(g) {
+                triples.push((
+                    sig,
+                    PostingEntry {
+                        graph: g as u32,
+                        count,
+                    },
+                ));
+            }
+        }
+        triples.sort_by_key(|&(sig, _)| sig);
+        self.sig_keys.clear();
+        let mut postings = FlatVecVec::with_capacity(self.sig_keys.len(), triples.len());
+        let mut i = 0;
+        while i < triples.len() {
+            let sig = triples[i].0;
+            let mut j = i;
+            while j < triples.len() && triples[j].0 == sig {
+                j += 1;
+            }
+            self.sig_keys.push(sig);
+            postings.push_row(triples[i..j].iter().map(|&(_, e)| e));
+            i = j;
+        }
+        self.postings = postings;
     }
 
     /// Number of indexed graphs.
     pub fn graph_count(&self) -> usize {
-        self.summaries.len()
+        self.metas.len()
     }
 
-    /// The per-graph summaries, in graph order.
-    pub fn summaries(&self) -> &[StructuralSummary] {
-        &self.summaries
-    }
-
-    /// The summary of graph `g`.
+    /// The summary of graph `g`, borrowed from the arenas.
     ///
     /// # Panics
     ///
     /// Panics if `g` is out of range.
-    pub fn summary(&self, g: usize) -> &StructuralSummary {
-        &self.summaries[g]
+    pub fn summary(&self, g: usize) -> SummaryView<'_> {
+        SummaryView::from_raw_parts(
+            self.metas[g].0,
+            self.metas[g].1,
+            self.vertex_labels.row(g),
+            self.edge_signatures.row(g),
+            self.degrees.row(g),
+        )
+    }
+
+    /// The per-graph summaries, in graph order.
+    pub fn summary_views(&self) -> impl ExactSizeIterator<Item = SummaryView<'_>> + '_ {
+        (0..self.metas.len()).map(move |g| self.summary(g))
     }
 
     /// Number of distinct edge signatures across the index.
     pub fn signature_count(&self) -> usize {
-        self.postings.len()
+        self.sig_keys.len()
     }
 
     /// Total posting entries (Σ per-signature list lengths).
     pub fn posting_entry_count(&self) -> usize {
-        self.postings.values().map(Vec::len).sum()
+        self.postings.total_len()
     }
 
     /// Appends one graph at the next index.
@@ -115,49 +207,33 @@ impl StructuralIndex {
         self.append_summary(StructuralSummary::of(skeleton));
     }
 
-    /// Appends one precomputed summary at the next index.
+    /// Appends one precomputed summary at the next index (rebuilds the
+    /// posting arena — the churn path is O(total)).
     pub fn append_summary(&mut self, summary: StructuralSummary) {
-        let graph = self.summaries.len() as u32;
-        for &(sig, count) in summary.edge_signatures() {
-            self.postings
-                .entry(sig)
-                .or_default()
-                .push(PostingEntry { graph, count });
-        }
-        self.summaries.push(summary);
+        self.push_columns(summary.view());
+        self.rebuild_postings();
     }
 
     /// Removes graph `index`, shifting every later graph down by one
-    /// (mirroring `Vec::remove` on the database and PMI side).
+    /// (mirroring `Vec::remove` on the database and PMI side).  Rebuilds the
+    /// arenas in one O(total) pass.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
     pub fn remove(&mut self, index: usize) {
         assert!(
-            index < self.summaries.len(),
+            index < self.metas.len(),
             "remove: graph {index} out of range ({} graphs)",
-            self.summaries.len()
+            self.metas.len()
         );
-        let removed = self.summaries.remove(index);
-        let gi = index as u32;
-        for &(sig, _) in removed.edge_signatures() {
-            let list = self
-                .postings
-                .get_mut(&sig)
-                .expect("posting list of a summarised signature exists");
-            list.retain(|e| e.graph != gi);
-            if list.is_empty() {
-                self.postings.remove(&sig);
-            }
-        }
-        for list in self.postings.values_mut() {
-            for e in list.iter_mut() {
-                if e.graph > gi {
-                    e.graph -= 1;
-                }
-            }
-        }
+        let kept: Vec<StructuralSummary> = self
+            .summary_views()
+            .enumerate()
+            .filter(|&(g, _)| g != index)
+            .map(|(_, v)| v.to_owned_summary())
+            .collect();
+        *self = StructuralIndex::from_summaries(kept);
     }
 
     /// Posting-list candidate generation: all graphs whose Grafil
@@ -166,33 +242,97 @@ impl StructuralIndex {
     /// When `|E(q)| ≤ δ` the filter is vacuous (every graph passes — the
     /// cheap residual set); otherwise only graphs appearing in at least one
     /// of the query's posting lists are touched.
-    pub fn filter_candidates(&self, query: &StructuralSummary, delta: usize) -> FilterOutcome {
+    pub fn filter_candidates(&self, query: SummaryView<'_>, delta: usize) -> FilterOutcome {
+        let mut scratch = FilterScratch::default();
+        let posting_entries_scanned = self.filter_into(query, delta, &mut scratch);
+        FilterOutcome {
+            candidates: scratch.candidates,
+            posting_entries_scanned,
+        }
+    }
+
+    /// [`StructuralIndex::filter_candidates`] into caller-owned scratch;
+    /// returns the posting entries scanned and leaves the candidate set in
+    /// [`FilterScratch::candidates`].  With warm scratch the whole pass is
+    /// allocation-free.
+    pub fn filter_into(
+        &self,
+        query: SummaryView<'_>,
+        delta: usize,
+        scratch: &mut FilterScratch,
+    ) -> usize {
         let m = query.edge_count();
+        scratch.candidates.clear();
         if m <= delta {
-            return FilterOutcome {
-                candidates: (0..self.summaries.len()).collect(),
-                posting_entries_scanned: 0,
-            };
+            scratch.candidates.extend(0..self.metas.len());
+            return 0;
         }
         let need = (m - delta) as u32;
-        let mut matched: BTreeMap<u32, u32> = BTreeMap::new();
+        if scratch.mass.len() < self.metas.len() {
+            scratch.mass.resize(self.metas.len(), 0);
+        }
+        debug_assert!(scratch.touched.is_empty());
         let mut scanned = 0usize;
         for &(sig, qc) in query.edge_signatures() {
-            if let Some(list) = self.postings.get(&sig) {
-                scanned += list.len();
-                for e in list {
-                    *matched.entry(e.graph).or_insert(0) += qc.min(e.count);
+            if let Ok(i) = self.sig_keys.binary_search(&sig) {
+                let row = self.postings.row(i);
+                scanned += row.len();
+                for e in row {
+                    let slot = &mut scratch.mass[e.graph as usize];
+                    if *slot == 0 {
+                        scratch.touched.push(e.graph);
+                    }
+                    *slot += qc.min(e.count);
                 }
             }
         }
-        FilterOutcome {
-            candidates: matched
-                .into_iter()
-                .filter(|&(_, mass)| mass >= need)
-                .map(|(g, _)| g as usize)
-                .collect(),
-            posting_entries_scanned: scanned,
+        scratch.touched.sort_unstable();
+        for i in 0..scratch.touched.len() {
+            let g = scratch.touched[i] as usize;
+            if scratch.mass[g] >= need {
+                scratch.candidates.push(g);
+            }
+            scratch.mass[g] = 0;
         }
+        scratch.touched.clear();
+        scanned
+    }
+
+    /// Accumulates this index's posting masses into a *global* (database-wide)
+    /// accumulator, mapping shard-local graph ids through `members` — the
+    /// fused phase-1 scan of the sequential sharded path
+    /// (`pgs_query::structural`).  A graph's postings live entirely in its
+    /// owning shard, so across a whole shard fan-in each graph is
+    /// first-touched at most once; its `(global id, shard, local id)` triple
+    /// is recorded in `touched` at that moment.  Thresholding and the
+    /// `mass` reset are the caller's job (it sees all shards); the
+    /// accumulated values equal what per-shard [`StructuralIndex::filter_into`]
+    /// calls would produce.  Returns the posting entries scanned.
+    pub fn accumulate_mass_into(
+        &self,
+        query: SummaryView<'_>,
+        shard: u32,
+        members: &[u32],
+        mass: &mut [u32],
+        touched: &mut Vec<(u32, u32, u32)>,
+    ) -> usize {
+        debug_assert_eq!(members.len(), self.metas.len());
+        let mut scanned = 0usize;
+        for &(sig, qc) in query.edge_signatures() {
+            if let Ok(i) = self.sig_keys.binary_search(&sig) {
+                let row = self.postings.row(i);
+                scanned += row.len();
+                for e in row {
+                    let g = members[e.graph as usize];
+                    let slot = &mut mass[g as usize];
+                    if *slot == 0 {
+                        touched.push((g, shard, e.graph));
+                    }
+                    *slot += qc.min(e.count);
+                }
+            }
+        }
+        scanned
     }
 }
 
@@ -268,17 +408,46 @@ mod tests {
         let q = query();
         let qs = StructuralSummary::of(&q);
         for delta in 0..=4 {
-            let outcome = index.filter_candidates(&qs, delta);
+            let outcome = index.filter_candidates(qs.view(), delta);
             assert_eq!(outcome.candidates, brute(&db, &q, delta), "delta = {delta}");
         }
         // δ ≥ |E(q)|: the vacuous residual set, no postings touched.
-        let all = index.filter_candidates(&qs, 3);
+        let all = index.filter_candidates(qs.view(), 3);
         assert_eq!(all.candidates, vec![0, 1, 2, 3]);
         assert_eq!(all.posting_entries_scanned, 0);
         // Selective δ: the unrelated graph 3 is never touched.
-        let tight = index.filter_candidates(&qs, 0);
+        let tight = index.filter_candidates(qs.view(), 0);
         assert_eq!(tight.candidates, vec![2]);
         assert!(tight.posting_entries_scanned > 0);
+    }
+
+    /// Reused scratch gives the same answers as fresh-scratch calls, across
+    /// interleaved queries and deltas.
+    #[test]
+    fn filter_scratch_reuse_is_sound() {
+        let db = skeletons();
+        let index = StructuralIndex::build(&db);
+        let mut scratch = FilterScratch::default();
+        let summaries: Vec<StructuralSummary> = db.iter().map(StructuralSummary::of).collect();
+        for delta in [0usize, 2, 1, 4, 0, 3] {
+            for qs in &summaries {
+                let scanned = index.filter_into(qs.view(), delta, &mut scratch);
+                let fresh = index.filter_candidates(qs.view(), delta);
+                assert_eq!(scratch.candidates(), fresh.candidates.as_slice());
+                assert_eq!(scanned, fresh.posting_entries_scanned);
+            }
+        }
+    }
+
+    #[test]
+    fn summaries_round_trip_through_views() {
+        let db = skeletons();
+        let index = StructuralIndex::build(&db);
+        for (g, skeleton) in db.iter().enumerate() {
+            let want = StructuralSummary::of(skeleton);
+            assert_eq!(index.summary(g).to_owned_summary(), want, "graph {g}");
+        }
+        assert_eq!(index.summary_views().len(), db.len());
     }
 
     #[test]
@@ -311,7 +480,9 @@ mod tests {
     fn from_summaries_round_trips() {
         let db = skeletons();
         let full = StructuralIndex::build(&db);
-        let rebuilt = StructuralIndex::from_summaries(full.summaries().to_vec());
+        let rebuilt = StructuralIndex::from_summaries(
+            full.summary_views().map(|v| v.to_owned_summary()).collect(),
+        );
         assert_eq!(rebuilt, full);
         assert_eq!(rebuilt.signature_count(), full.signature_count());
     }
@@ -322,6 +493,6 @@ mod tests {
         assert_eq!(index.graph_count(), 0);
         assert_eq!(index.posting_entry_count(), 0);
         let qs = StructuralSummary::of(&query());
-        assert!(index.filter_candidates(&qs, 1).candidates.is_empty());
+        assert!(index.filter_candidates(qs.view(), 1).candidates.is_empty());
     }
 }

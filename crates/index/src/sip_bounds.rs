@@ -26,7 +26,7 @@
 //! the published formulas.  DESIGN.md §3 records this as a documented
 //! substitution; the ablation bench compares the two.
 
-use pgs_graph::clique::{max_weight_clique, CliqueOptions};
+use pgs_graph::clique::{max_weight_clique, BitMatrix, CliqueOptions};
 use pgs_graph::cuts::{minimal_cuts, CutEnumOptions};
 use pgs_graph::embeddings::{edge_sets_disjoint, EdgeSet};
 use pgs_graph::model::Graph;
@@ -245,13 +245,13 @@ fn best_disjoint_weight(
         // Greedy first-fit in index order (the untightened SIPBound variant).
         let mut chosen: Vec<usize> = Vec::new();
         let mut total = 0.0;
-        for i in 0..sets.len() {
-            if weights[i] <= 0.0 {
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
                 continue;
             }
-            if chosen.iter().all(|&j| adjacent[i][j]) {
+            if chosen.iter().all(|&j| adjacent.get(i, j)) {
                 chosen.push(i);
-                total += weights[i];
+                total += w;
             }
         }
         total
@@ -263,21 +263,22 @@ fn compatibility_matrix(
     pg: &ProbabilisticGraph,
     sets: &[EdgeSet],
     rule: DisjointnessRule,
-) -> Vec<Vec<bool>> {
+) -> BitMatrix {
     let n = sets.len();
     let tables: Vec<Vec<usize>> = match rule {
         DisjointnessRule::TableDisjoint => sets.iter().map(|s| pg.tables_touched(s)).collect(),
         DisjointnessRule::EdgeDisjoint => Vec::new(),
     };
-    let mut adj = vec![vec![false; n]; n];
+    let mut adj = BitMatrix::new(n);
     for i in 0..n {
         for j in (i + 1)..n {
             let ok = match rule {
                 DisjointnessRule::EdgeDisjoint => edge_sets_disjoint(&sets[i], &sets[j]),
                 DisjointnessRule::TableDisjoint => disjoint_sorted(&tables[i], &tables[j]),
             };
-            adj[i][j] = ok;
-            adj[j][i] = ok;
+            if ok {
+                adj.set_pair(i, j);
+            }
         }
     }
     adj
@@ -459,8 +460,8 @@ mod tests {
         let sets = vec![vec![EdgeId(0)], vec![EdgeId(1)], vec![EdgeId(3)]];
         let edge_adj = compatibility_matrix(&pg, &sets, DisjointnessRule::EdgeDisjoint);
         let table_adj = compatibility_matrix(&pg, &sets, DisjointnessRule::TableDisjoint);
-        assert!(edge_adj[0][1]);
-        assert!(!table_adj[0][1]);
-        assert!(edge_adj[0][2] && table_adj[0][2]);
+        assert!(edge_adj.get(0, 1));
+        assert!(!table_adj.get(0, 1));
+        assert!(edge_adj.get(0, 2) && table_adj.get(0, 2));
     }
 }

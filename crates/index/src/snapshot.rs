@@ -54,9 +54,10 @@ use crate::pmi::PmiBuildParams;
 use crate::sindex::StructuralIndex;
 use crate::sip_bounds::DisjointnessRule;
 use crate::storage::SparseMatrix;
+use pgs_graph::arena::FlatVecVec;
 use pgs_graph::model::{Graph, Label, VertexId};
 use pgs_graph::parallel::derive_seed;
-use pgs_graph::summary::{EdgeSignature, StructuralSummary};
+use pgs_graph::summary::{EdgeSignature, StructuralSummary, SummaryView};
 use pgs_prob::montecarlo::MonteCarloConfig;
 use std::fmt;
 use std::path::Path;
@@ -198,14 +199,12 @@ pub(crate) fn payload_len(
     let salts_len = 8 + 8 * salts.len();
     let features_len: usize = 8 + features.iter().map(feature_len).sum::<usize>();
     let matrix_len = 8 + matrix.payload_bytes();
-    let sindex_len = sindex.map_or(0, |s| {
-        8 + s.summaries().iter().map(summary_len).sum::<usize>()
-    });
+    let sindex_len = sindex.map_or(0, |s| 8 + s.summary_views().map(summary_len).sum::<usize>());
     salts_len + features_len + matrix_len + sindex_len
 }
 
 /// Encoded size of one structural summary.
-pub(crate) fn summary_len(s: &StructuralSummary) -> usize {
+pub(crate) fn summary_len(s: SummaryView<'_>) -> usize {
     4 + 4
         + 4
         + 8 * s.vertex_labels().len()
@@ -304,8 +303,8 @@ pub(crate) fn encode(parts: &PmiPartsRef<'_>, version: u32) -> Result<Vec<u8>, S
     }
 
     if let Some(s) = sindex {
-        w.u64(s.summaries().len() as u64);
-        for summary in s.summaries() {
+        w.u64(s.graph_count() as u64);
+        for summary in s.summary_views() {
             encode_summary(&mut w, summary);
         }
     }
@@ -431,15 +430,16 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<PmiParts, SnapshotError> {
 /// One decoded shard segment of a v3 snapshot.
 pub(crate) struct SegmentParts {
     pub matrix: SparseMatrix,
-    /// Per feature: the local member ids (ascending) passing the α filter.
-    pub supports: Vec<Vec<u32>>,
+    /// Per feature (row) the local member ids (ascending) passing the α
+    /// filter, packed flat.
+    pub supports: FlatVecVec<u32>,
     pub sindex: StructuralIndex,
 }
 
 /// A borrowed view of one shard segment, used by the v3 encoder.
 pub(crate) struct SegmentRef<'a> {
     pub matrix: &'a SparseMatrix,
-    pub supports: &'a [Vec<u32>],
+    pub supports: &'a FlatVecVec<u32>,
     pub sindex: &'a StructuralIndex,
 }
 
@@ -479,12 +479,14 @@ pub(crate) struct V3Head {
     pub table: Vec<(u64, u64)>,
 }
 
-/// Result of decoding a snapshot of any readable version.
+/// Result of decoding a snapshot of any readable version.  Both variants are
+/// boxed: the parts structs are hundreds of bytes and the value is
+/// destructured exactly once per load.
 pub(crate) enum AnyParts {
     /// Format v1/v2: one global segment.
-    Legacy(PmiParts),
+    Legacy(Box<PmiParts>),
     /// Format v3: per-shard segments.
-    V3(ShardedParts),
+    V3(Box<ShardedParts>),
 }
 
 /// Result of peeking a snapshot file's head without touching segment bytes.
@@ -563,19 +565,19 @@ fn encode_segment(w: &mut Writer, seg: &SegmentRef<'_>) {
     for &u in m.uppers() {
         w.f64(u);
     }
-    for sup in seg.supports {
+    for sup in seg.supports.iter() {
         w.u32(sup.len() as u32);
         for &l in sup {
             w.u32(l);
         }
     }
-    w.u64(seg.sindex.summaries().len() as u64);
-    for summary in seg.sindex.summaries() {
+    w.u64(seg.sindex.graph_count() as u64);
+    for summary in seg.sindex.summary_views() {
         encode_summary(w, summary);
     }
 }
 
-fn encode_summary(w: &mut Writer, s: &StructuralSummary) {
+fn encode_summary(w: &mut Writer, s: SummaryView<'_>) {
     w.u32(s.vertex_count() as u32);
     w.u32(s.edge_count() as u32);
     w.u32(s.vertex_labels().len() as u32);
@@ -632,8 +634,8 @@ fn decode_summary(r: &mut Reader, gi: usize) -> Result<StructuralSummary, Snapsh
 /// Decodes a snapshot of any readable format version.
 pub(crate) fn decode_any(bytes: &[u8]) -> Result<AnyParts, SnapshotError> {
     match peek_version(bytes)? {
-        FORMAT_VERSION => decode_v3(bytes).map(AnyParts::V3),
-        _ => decode(bytes).map(AnyParts::Legacy),
+        FORMAT_VERSION => decode_v3(bytes).map(|parts| AnyParts::V3(Box::new(parts))),
+        _ => decode(bytes).map(|parts| AnyParts::Legacy(Box::new(parts))),
     }
 }
 
@@ -755,7 +757,7 @@ pub(crate) fn decode_v3(bytes: &[u8]) -> Result<ShardedParts, SnapshotError> {
         segments.push(decode_segment(
             &bytes[offset as usize..end as usize],
             s,
-            members[s].len(),
+            members.row_len(s),
             head.features.len(),
         )?);
         expected = end;
@@ -809,7 +811,7 @@ pub(crate) fn decode_segment(
     for _ in 0..entry_count {
         uppers.push(r.f64()?);
     }
-    let mut supports = Vec::with_capacity(feature_count);
+    let mut supports = FlatVecVec::with_capacity(feature_count, 0);
     for fi in 0..feature_count {
         let n = r.len_prefixed32(4)?;
         let mut sup = Vec::with_capacity(n);
@@ -822,7 +824,7 @@ pub(crate) fn decode_segment(
             }
             sup.push(l);
         }
-        supports.push(sup);
+        supports.push_row(sup);
     }
     let summary_count = r.len_prefixed(20)?;
     if summary_count != member_count {
@@ -1367,7 +1369,7 @@ mod tests {
         let mut matrices = Vec::new();
         let mut supports = Vec::new();
         let mut sindexes = Vec::new();
-        for m in &members {
+        for m in members.iter() {
             let mut matrix = SparseMatrix::new();
             for l in 0..m.len() {
                 if l == 0 {
@@ -1382,7 +1384,11 @@ mod tests {
                     matrix.push_column(vec![]);
                 }
             }
-            supports.push(vec![if m.is_empty() { vec![] } else { vec![0u32] }]);
+            supports.push(FlatVecVec::from_rows(vec![if m.is_empty() {
+                vec![]
+            } else {
+                vec![0u32]
+            }]));
             let graphs: Vec<_> = m
                 .iter()
                 .map(|_| GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 9).build())
@@ -1422,7 +1428,7 @@ mod tests {
         assert!(parts.features[0].support.is_empty());
         let members = crate::shard::members_of(&parts.graph_salts, 3);
         let mut total_members = 0;
-        for (seg, m) in parts.segments.iter().zip(&members) {
+        for (seg, m) in parts.segments.iter().zip(members.iter()) {
             assert_eq!(seg.matrix.column_count(), m.len());
             assert_eq!(seg.sindex.graph_count(), m.len());
             assert_eq!(seg.supports.len(), 1);

@@ -308,7 +308,19 @@ impl JointProbTable {
     /// `m`.  Under the partitioned model this is exactly the distribution the
     /// union event sees when only the `keep` edges of the table are relevant.
     pub fn marginal_rows(&self, keep: &[usize]) -> Vec<f64> {
-        let mut out = vec![0.0f64; 1usize << keep.len()];
+        let mut out = Vec::with_capacity(1usize << keep.len());
+        self.marginal_rows_into(keep, &mut out);
+        out
+    }
+
+    /// [`Self::marginal_rows`], appended onto the end of `out` instead of
+    /// returning a fresh allocation — the projection layer packs every touched
+    /// table's marginal into one contiguous per-candidate arena this way.
+    /// Returns the offset of the appended block within `out`.
+    pub fn marginal_rows_into(&self, keep: &[usize], out: &mut Vec<f64>) -> usize {
+        let start = out.len();
+        out.resize(start + (1usize << keep.len()), 0.0);
+        let block = &mut out[start..];
         for (row, &p) in self.probs.iter().enumerate() {
             let mut sub = 0usize;
             for (i, &bit) in keep.iter().enumerate() {
@@ -316,9 +328,9 @@ impl JointProbTable {
                     sub |= 1 << i;
                 }
             }
-            out[sub] += p;
+            block[sub] += p;
         }
-        out
+        start
     }
 
     /// Samples one assignment conditioned on a partial assignment (rows

@@ -30,6 +30,7 @@
 
 use crate::alias::AliasTable;
 use crate::model::ProbabilisticGraph;
+use pgs_graph::arena::FlatVecVec;
 use pgs_graph::model::EdgeId;
 use pgs_graph::parallel::{derive_seed, par_map_chunked_costed, CostHint};
 use rand::rngs::StdRng;
@@ -52,6 +53,10 @@ pub struct ProjectedWorlds {
     /// Number of `u64` words a world occupies (at least 1).
     words: usize,
     tables: Vec<ProjectedTable>,
+    /// Every projected table's marginal rows packed back to back — one
+    /// contiguous per-candidate arena built at projection time.  Table `t`'s
+    /// block is `probs[t.probs_start..][..1 << t.width]`.
+    probs: Vec<f64>,
 }
 
 /// One relevant table, marginalised onto its relevant edges.
@@ -61,9 +66,9 @@ struct ProjectedTable {
     offset: u32,
     /// Number of projected bits (`1..=MAX_ARITY`).
     width: u32,
-    /// Marginal probability of each of the `2^width` projected rows.
-    probs: Vec<f64>,
-    /// O(1) row sampler over `probs`.
+    /// Start of this table's `2^width` marginal rows in the shared arena.
+    probs_start: u32,
+    /// O(1) row sampler over the table's marginal rows.
     alias: AliasTable,
 }
 
@@ -90,28 +95,32 @@ impl ProjectedWorlds {
         let touched = pg.tables_touched(sorted);
         let mut edge_bits: Vec<(EdgeId, u32)> = Vec::with_capacity(sorted.len());
         let mut tables: Vec<ProjectedTable> = Vec::with_capacity(touched.len());
+        let mut probs: Vec<f64> = Vec::new();
         let mut offset = 0u32;
+        let mut keep: Vec<usize> = Vec::new();
         for &ti in &touched {
             let table = &pg.tables()[ti];
             // Table bit positions of the relevant edges, in table bit order
             // (ascending edge id, the table's canonical order).
-            let keep: Vec<usize> = table
-                .edges()
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| sorted.binary_search(e).is_ok())
-                .map(|(bit, _)| bit)
-                .collect();
+            keep.clear();
+            keep.extend(
+                table
+                    .edges()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| sorted.binary_search(e).is_ok())
+                    .map(|(bit, _)| bit),
+            );
             for (i, &bit) in keep.iter().enumerate() {
                 edge_bits.push((table.edges()[bit], offset + i as u32));
             }
-            let probs = table.marginal_rows(&keep);
-            let alias =
-                AliasTable::new(&probs).expect("a valid JPT marginal is a non-empty distribution");
+            let probs_start = table.marginal_rows_into(&keep, &mut probs);
+            let alias = AliasTable::new(&probs[probs_start..])
+                .expect("a valid JPT marginal is a non-empty distribution");
             tables.push(ProjectedTable {
                 offset,
                 width: keep.len() as u32,
-                probs,
+                probs_start: probs_start as u32,
                 alias,
             });
             offset += keep.len() as u32;
@@ -123,7 +132,15 @@ impl ProjectedWorlds {
             bits,
             words: bits.div_ceil(64).max(1),
             tables,
+            probs,
         }
+    }
+
+    /// The marginal rows of projected table `tp`, sliced out of the shared
+    /// arena.
+    fn table_probs(&self, tp: usize) -> &[f64] {
+        let t = &self.tables[tp];
+        &self.probs[t.probs_start as usize..][..1usize << t.width]
     }
 
     /// Number of `u64` words of one projected world (scratch buffer size).
@@ -205,9 +222,12 @@ pub fn mask_disjoint(world: &[u64], mask: &[u64]) -> bool {
 struct CondTable {
     /// Position of the table in `ProjectedWorlds::tables`.
     table_pos: u32,
-    /// Consistent projected row values.
-    rows: Vec<u32>,
-    /// O(1) sampler over `rows`.
+    /// Start of this pair's consistent row values in the shared
+    /// `UnionSampler::cond_rows` arena.
+    rows_start: u32,
+    /// Number of consistent rows.
+    rows_len: u32,
+    /// O(1) sampler over the rows.
     alias: AliasTable,
 }
 
@@ -224,9 +244,13 @@ pub struct UnionSampler {
     /// Presence masks, `embeddings.len() × stride` words flattened.
     masks: Vec<u64>,
     stride: usize,
-    /// Per embedding: conditional samplers of the tables it touches, sorted
-    /// by table position.
-    cond: Vec<Vec<CondTable>>,
+    /// Per embedding (row): conditional samplers of the tables it touches,
+    /// sorted by table position — the cond-table grid as one flat
+    /// offsets+values arena.
+    cond: FlatVecVec<CondTable>,
+    /// Every conditional sampler's consistent row values, packed back to
+    /// back (see [`CondTable::rows_start`]).
+    cond_rows: Vec<u32>,
 }
 
 impl UnionSampler {
@@ -266,10 +290,13 @@ impl UnionSampler {
         for (i, emb) in embeddings.iter().enumerate() {
             masks[i * stride..(i + 1) * stride].copy_from_slice(&projection.mask_of(emb));
         }
-        let cond = embeddings
-            .iter()
-            .map(|emb| conditional_tables(&projection, emb))
-            .collect();
+        let mut cond = FlatVecVec::with_capacity(embeddings.len(), 0);
+        let mut cond_rows = Vec::new();
+        let mut tmp = Vec::new();
+        for emb in embeddings {
+            conditional_tables(&projection, emb, &mut tmp, &mut cond_rows);
+            cond.push_row(tmp.drain(..));
+        }
         Some(UnionSampler {
             projection,
             total_weight,
@@ -277,6 +304,7 @@ impl UnionSampler {
             masks,
             stride,
             cond,
+            cond_rows,
         })
     }
 
@@ -301,13 +329,14 @@ impl UnionSampler {
     pub fn sample_trial<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut [u64]) -> bool {
         let chosen = self.embedding_alias.sample(rng);
         scratch.fill(0);
-        let conds = &self.cond[chosen];
+        let conds = self.cond.row(chosen);
         let mut ci = 0usize;
         for (tp, t) in self.projection.tables.iter().enumerate() {
             let row = match conds.get(ci) {
                 Some(c) if c.table_pos as usize == tp => {
                     ci += 1;
-                    c.rows[c.alias.sample(rng)] as u64
+                    debug_assert!(c.rows_len > 0, "conditional sampler with no rows");
+                    self.cond_rows[c.rows_start as usize + c.alias.sample(rng)] as u64
                 }
                 _ => t.alias.sample(rng) as u64,
             };
@@ -366,10 +395,16 @@ impl UnionSampler {
 }
 
 /// Resolves one embedding's conditioning against every projected table it
-/// touches: the consistent rows of each table plus an alias over their
-/// renormalised probabilities.
-fn conditional_tables(projection: &ProjectedWorlds, embedding: &[EdgeId]) -> Vec<CondTable> {
-    let mut out: Vec<CondTable> = Vec::new();
+/// touches: the consistent rows of each table (appended onto the shared
+/// `cond_rows` arena) plus an alias over their renormalised probabilities.
+/// The resulting `CondTable`s are pushed onto `out` (cleared first).
+fn conditional_tables(
+    projection: &ProjectedWorlds,
+    embedding: &[EdgeId],
+    out: &mut Vec<CondTable>,
+    cond_rows: &mut Vec<u32>,
+) {
+    out.clear();
     for (tp, t) in projection.tables.iter().enumerate() {
         // Row-local fixed bits: embedding edges inside this table's block.
         let mut fixed = 0u32;
@@ -383,11 +418,11 @@ fn conditional_tables(projection: &ProjectedWorlds, embedding: &[EdgeId]) -> Vec
         if fixed == 0 {
             continue;
         }
-        let mut rows: Vec<u32> = Vec::new();
+        let rows_start = cond_rows.len();
         let mut weights: Vec<f64> = Vec::new();
-        for (row, &p) in t.probs.iter().enumerate() {
+        for (row, &p) in projection.table_probs(tp).iter().enumerate() {
             if row as u32 & fixed == fixed {
-                rows.push(row as u32);
+                cond_rows.push(row as u32);
                 weights.push(p);
             }
         }
@@ -395,16 +430,17 @@ fn conditional_tables(projection: &ProjectedWorlds, embedding: &[EdgeId]) -> Vec
             // Zero conditional mass means Pr(Bf_i) = 0, so this embedding is
             // never chosen by the alias over weights; still honour the fixed
             // bits so the sampler stays well-defined.
-            rows = vec![fixed];
+            cond_rows.truncate(rows_start);
+            cond_rows.push(fixed);
             AliasTable::new(&[1.0]).expect("singleton distribution")
         });
         out.push(CondTable {
             table_pos: tp as u32,
-            rows,
+            rows_start: rows_start as u32,
+            rows_len: (cond_rows.len() - rows_start) as u32,
             alias,
         });
     }
-    out
 }
 
 #[cfg(test)]

@@ -545,6 +545,48 @@ pub struct QueryEngine {
     config: EngineConfig,
 }
 
+/// Reusable flat scratch for the shard fan-out of phases 2 and 3: one
+/// counting-sort pass groups a candidate list into per-shard sublists inside
+/// two flat buffers — no per-shard `Vec`s and no fresh nested allocation per
+/// grouping.  Built lazily per query (only multi-shard queries pay for it)
+/// and shared by both phases.
+#[derive(Debug)]
+struct ShardScratch {
+    /// Per shard: grouping counts, then reused as the scatter cursors.
+    counts: Vec<u32>,
+    /// Row boundaries: shard `s`'s sublist is
+    /// `items[offsets[s]..offsets[s + 1]]`.
+    offsets: Vec<u32>,
+    /// The grouped candidate ids, all shards back to back.
+    items: Vec<usize>,
+    /// `perm[i]` is where input item `i` landed in `items` — the O(n) map
+    /// from grouped-order results back to input order.
+    perm: Vec<u32>,
+}
+
+impl ShardScratch {
+    fn new(shard_count: usize) -> ShardScratch {
+        ShardScratch {
+            counts: vec![0; shard_count],
+            offsets: vec![0; shard_count + 1],
+            items: Vec::new(),
+            perm: Vec::new(),
+        }
+    }
+
+    /// The grouped candidate ids of the current grouping, shard-contiguous.
+    fn grouped(&self) -> &[usize] {
+        &self.items
+    }
+
+    /// Inverse of the grouping: reorders results computed over
+    /// [`Self::grouped`] back into the order of the list that was grouped.
+    fn ungroup<T: Copy>(&self, grouped: &[T]) -> Vec<T> {
+        debug_assert_eq!(grouped.len(), self.perm.len());
+        self.perm.iter().map(|&p| grouped[p as usize]).collect()
+    }
+}
+
 impl QueryEngine {
     /// Builds the engine (including the PMI, partitioned into
     /// [`EngineConfig::shards`] shards) over a database.  An out-of-range
@@ -766,6 +808,14 @@ impl QueryEngine {
         }
         let query_hash = hash_query(q);
         let mut stats = PhaseStats::default();
+        // With a single pool worker the shard regroup/permute machinery of
+        // phases 2 and 3 cannot improve wall-clock — everything runs
+        // sequentially anyway — so those phases fall back to the direct maps
+        // (byte-identical results, see below).
+        let workers = resolve_threads(threads);
+        // Lazily-built flat fan-out scratch, shared by the phase-2 and
+        // phase-3 shard groupings of this query.
+        let mut shard_scratch: Option<ShardScratch> = None;
 
         // Phase 1: structural pruning via the S-Index — the query summary is
         // computed once, posting-list deficit accumulation touches only
@@ -818,18 +868,36 @@ impl QueryEngine {
                         &mut rng,
                     )
                 };
-                // Sharded, each shard prunes its own candidates in one pool
-                // task (the PMI column reads then stay within one segment per
-                // worker); every candidate's RNG is derived from its content
-                // salt either way, so the decisions — reassembled into the
-                // merged candidate order — are byte-identical.
-                let decisions: Vec<PruneDecision> = if shard_count > 1 {
-                    let by_shard = self.group_by_shard(&structural, shard_count);
-                    let per_shard =
-                        par_map_chunked_costed(&by_shard, threads, CostHint::HEAVY, |_, list| {
-                            list.iter().map(|&gi| prune_one(gi)).collect::<Vec<_>>()
-                        });
-                    self.reassemble(&structural, &per_shard)
+                // Sharded: candidates are regrouped shard-contiguously so a
+                // worker's PMI column reads mostly stay within one segment,
+                // but the pool still chunks per *candidate* (not per shard) —
+                // an uneven shard split cannot serialize the phase.  Every
+                // candidate's RNG is derived from its content salt either
+                // way, so the decisions — permuted back into the merged
+                // candidate order — are byte-identical.
+                let decisions: Vec<PruneDecision> = if shard_count > 1 && workers > 1 {
+                    let scratch =
+                        shard_scratch.get_or_insert_with(|| ShardScratch::new(shard_count));
+                    let active = self.group_by_shard(&structural, scratch);
+                    if active.len() <= 1 {
+                        // Every candidate lives in one shard: the regroup and
+                        // permute-back would be pure overhead, so map directly.
+                        par_map_chunked_costed(
+                            &structural,
+                            threads,
+                            CostHint::MODERATE,
+                            |_, &gi| prune_one(gi),
+                        )
+                    } else {
+                        let scratch: &ShardScratch = scratch;
+                        let grouped = par_map_chunked_costed(
+                            scratch.grouped(),
+                            threads,
+                            CostHint::MODERATE,
+                            |_, &gi| prune_one(gi),
+                        );
+                        scratch.ungroup(&grouped)
+                    }
                 } else {
                     par_map_chunked_costed(&structural, threads, CostHint::MODERATE, |_, &gi| {
                         prune_one(gi)
@@ -853,7 +921,6 @@ impl QueryEngine {
         let t2 = Instant::now();
         let mut answers = outcome.accepted.clone();
         stats.verified = outcome.candidates.len();
-        let workers = resolve_threads(threads);
         let verify_one = |gi: usize, within: usize| {
             let mut rng = self.candidate_rng(query_hash, SEED_PHASE_VERIFY, gi);
             let verdict = verify_ssp_with_stats(
@@ -874,26 +941,39 @@ impl QueryEngine {
         // The sampler's trials come from a fixed chunk layout and derived
         // seeds, so all three dispatch shapes below yield byte-identical
         // verdicts — the choice is purely a wall-clock decision.
-        let verdicts: Vec<(bool, usize, bool)> =
-            if shard_count > 1 && outcome.candidates.len() >= workers {
-                // Sharded with enough candidates: one pool task per shard,
-                // each verifying its own members sequentially.
-                let by_shard = self.group_by_shard(&outcome.candidates, shard_count);
-                let per_shard =
-                    par_map_chunked_costed(&by_shard, threads, CostHint::HEAVY, |_, list| {
-                        list.iter().map(|&gi| verify_one(gi, 1)).collect::<Vec<_>>()
-                    });
-                self.reassemble(&outcome.candidates, &per_shard)
-            } else {
-                let (across, within) = if outcome.candidates.len() >= workers {
-                    (workers, 1)
-                } else {
-                    (1, workers)
-                };
-                par_map_chunked_costed(&outcome.candidates, across, CostHint::HEAVY, |_, &gi| {
-                    verify_one(gi, within)
+        let verdicts: Vec<(bool, usize, bool)> = if shard_count > 1
+            && workers > 1
+            && outcome.candidates.len() >= workers
+        {
+            // Sharded with enough candidates: verify in shard-contiguous
+            // order (segment locality) but chunked per candidate.  When a
+            // single shard holds every candidate the regroup is skipped.
+            let scratch = shard_scratch.get_or_insert_with(|| ShardScratch::new(shard_count));
+            let active = self.group_by_shard(&outcome.candidates, scratch);
+            if active.len() <= 1 {
+                par_map_chunked_costed(&outcome.candidates, threads, CostHint::HEAVY, |_, &gi| {
+                    verify_one(gi, 1)
                 })
+            } else {
+                let scratch: &ShardScratch = scratch;
+                let grouped = par_map_chunked_costed(
+                    scratch.grouped(),
+                    threads,
+                    CostHint::HEAVY,
+                    |_, &gi| verify_one(gi, 1),
+                );
+                scratch.ungroup(&grouped)
+            }
+        } else {
+            let (across, within) = if outcome.candidates.len() >= workers {
+                (workers, 1)
+            } else {
+                (1, workers)
             };
+            par_map_chunked_costed(&outcome.candidates, across, CostHint::HEAVY, |_, &gi| {
+                verify_one(gi, within)
+            })
+        };
         for (&gi, &(keep, samples, exact)) in outcome.candidates.iter().zip(&verdicts) {
             if keep {
                 answers.push(gi);
@@ -920,30 +1000,41 @@ impl QueryEngine {
         ]))
     }
 
-    /// Splits a global candidate list into per-shard sublists, preserving the
-    /// input's relative order within each shard (the shard fan-out unit of
-    /// phases 2 and 3).
-    fn group_by_shard(&self, list: &[usize], shard_count: usize) -> Vec<Vec<usize>> {
-        let mut by_shard = vec![Vec::new(); shard_count];
+    /// Counting-sorts a global candidate list into per-shard sublists inside
+    /// `scratch`'s flat buffers, preserving the input's relative order within
+    /// each shard (the shard fan-out unit of phases 2 and 3).  Returns the
+    /// non-empty shard ids, ascending.  No per-shard `Vec`s: one reused
+    /// offsets table and one reused items buffer carry every grouping.
+    fn group_by_shard(&self, list: &[usize], scratch: &mut ShardScratch) -> Vec<u32> {
+        let shard_count = scratch.counts.len();
+        scratch.counts.fill(0);
         for &gi in list {
-            by_shard[self.pmi.shard_of_graph(gi)].push(gi);
+            scratch.counts[self.pmi.shard_of_graph(gi)] += 1;
         }
-        by_shard
-    }
-
-    /// Inverse of [`Self::group_by_shard`]: stitches per-shard result lists
-    /// back into the original candidate order (each shard's list is consumed
-    /// front to back, so per-item results land exactly where a direct map
-    /// over `list` would have put them).
-    fn reassemble<T: Copy>(&self, list: &[usize], per_shard: &[Vec<T>]) -> Vec<T> {
-        let mut cursors = vec![0usize; per_shard.len()];
-        list.iter()
-            .map(|&gi| {
-                let s = self.pmi.shard_of_graph(gi);
-                let r = per_shard[s][cursors[s]];
-                cursors[s] += 1;
-                r
-            })
+        let mut running = 0u32;
+        scratch.offsets[0] = 0;
+        for s in 0..shard_count {
+            running += scratch.counts[s];
+            scratch.offsets[s + 1] = running;
+        }
+        // Fill cursors from the offsets, then scatter (stable within a shard),
+        // recording each input item's grouped position for `ungroup`.
+        scratch
+            .counts
+            .copy_from_slice(&scratch.offsets[..shard_count]);
+        scratch.items.clear();
+        scratch.items.resize(list.len(), 0);
+        scratch.perm.clear();
+        scratch.perm.reserve(list.len());
+        for &gi in list {
+            let s = self.pmi.shard_of_graph(gi);
+            let pos = scratch.counts[s];
+            scratch.items[pos as usize] = gi;
+            scratch.perm.push(pos);
+            scratch.counts[s] += 1;
+        }
+        (0..shard_count as u32)
+            .filter(|&s| scratch.offsets[s as usize + 1] > scratch.offsets[s as usize])
             .collect()
     }
 

@@ -101,7 +101,7 @@ pub fn structural_candidates_indexed(
 ) -> (Vec<usize>, StructuralFilterStats) {
     debug_assert_eq!(index.graph_count(), skeletons.len());
     let tester = SimilarityTester::new(q, delta);
-    let outcome = index.filter_candidates(tester.query_summary(), delta);
+    let outcome = index.filter_candidates(tester.query_summary().view(), delta);
     let stats = StructuralFilterStats {
         posting_entries_scanned: outcome.posting_entries_scanned,
         filter_survivors: outcome.candidates.len(),
@@ -139,12 +139,68 @@ pub fn structural_candidates_sharded(
     threads: usize,
 ) -> (Vec<usize>, StructuralFilterStats) {
     let tester = SimilarityTester::new(q, delta);
+    if pgs_graph::parallel::resolve_threads(threads) <= 1 {
+        // Single worker: fuse the per-shard scans into ONE global deficit
+        // accumulation (`StructuralIndex::accumulate_mass_into`) — a graph's
+        // postings live entirely in its owning shard, so mapping local ids
+        // through the member lists on the fly accumulates exactly the
+        // per-shard masses into one database-wide array, with one touched
+        // list and one sort instead of one per shard plus a survivor
+        // re-sort.  Same entries scanned, same survivors, no fan-out to pay
+        // for.
+        let view = tester.query_summary().view();
+        let m = view.edge_count();
+        let mut stats = StructuralFilterStats::default();
+        let mut survivors: Vec<(u32, u32, u32)> = Vec::new();
+        if m <= delta {
+            // Vacuous filter (mirrors `filter_into`): every graph survives
+            // and no posting list is walked.
+            for (s, &(index, members)) in shards.iter().enumerate() {
+                debug_assert_eq!(index.graph_count(), members.len());
+                stats.filter_survivors += members.len();
+                survivors.extend(
+                    members
+                        .iter()
+                        .enumerate()
+                        .map(|(li, &g)| (g, s as u32, li as u32)),
+                );
+            }
+        } else {
+            let mut mass = vec![0u32; skeletons.len()];
+            let mut touched: Vec<(u32, u32, u32)> = Vec::new();
+            for (s, &(index, members)) in shards.iter().enumerate() {
+                debug_assert_eq!(index.graph_count(), members.len());
+                stats.posting_entries_scanned +=
+                    index.accumulate_mass_into(view, s as u32, members, &mut mass, &mut touched);
+            }
+            let need = (m - delta) as u32;
+            survivors.extend(
+                touched
+                    .into_iter()
+                    .filter(|&(g, ..)| mass[g as usize] >= need),
+            );
+            stats.filter_survivors = survivors.len();
+        }
+        // Global ids are unique across shards, so sorting the triples sorts
+        // by global id; the exact checks then scan the skeletons ascending.
+        survivors.sort_unstable();
+        let mut candidates = Vec::new();
+        for &(gi, s, li) in &survivors {
+            if tester.matches(
+                &skeletons[gi as usize],
+                shards[s as usize].0.summary(li as usize),
+            ) {
+                candidates.push(gi as usize);
+            }
+        }
+        return (candidates, stats);
+    }
     // One worker per shard: the inner exact checks run sequentially inside
     // it (threads = 1) so the pool is not oversubscribed.
     let per_shard =
         par_map_chunked_costed(shards, threads, CostHint::HEAVY, |_, &(index, members)| {
             debug_assert_eq!(index.graph_count(), members.len());
-            let outcome = index.filter_candidates(tester.query_summary(), delta);
+            let outcome = index.filter_candidates(tester.query_summary().view(), delta);
             let survivors = outcome.candidates.len();
             let kept: Vec<usize> = outcome
                 .candidates
