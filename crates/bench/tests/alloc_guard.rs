@@ -31,17 +31,29 @@ static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
 // SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc` — the layout is forwarded
+    // unchanged and the returned pointer comes straight from `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; we pass the
+        // layout through untouched.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as `System::dealloc` — ptr/layout are forwarded
+    // exactly as received from the paired `alloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: caller guarantees `ptr` was allocated by this allocator
+        // with `layout`, which is exactly `System`'s requirement.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same contract as `System::realloc` — all arguments are
+    // forwarded unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract; arguments
+        // pass through untouched.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -112,6 +112,7 @@ impl PpiDataset {
 
 /// Generates a synthetic PPI-style dataset.
 pub fn generate_ppi_dataset(config: &PpiDatasetConfig) -> PpiDataset {
+    // pgs-lint: allow(unseeded-rng, dataset generators are seeded by the scenario config, outside the engine's derive_seed tree)
     let mut rng = StdRng::seed_from_u64(config.seed);
     let organism_count = config.organism_count.max(1);
     // Organism templates are larger than the member graphs so members can be
@@ -214,6 +215,7 @@ fn attach_probabilities(
         .map(|grp| build_table(grp, config, rng))
         .collect();
     ProbabilisticGraph::new(skeleton, tables, true)
+        // pgs-lint: allow(panic-in-library, generator invariant: the neighbor-edge grouping partitions each vertex's edges)
         .expect("generated grouping is a valid neighbor-edge partition")
 }
 
@@ -224,9 +226,11 @@ fn build_table(group: &[EdgeId], config: &PpiDatasetConfig, rng: &mut StdRng) ->
         .collect();
     match config.correlation {
         CorrelationModel::MaxRule => {
+            // pgs-lint: allow(panic-in-library, sample_edge_probability clamps every probability into (0, 1))
             JointProbTable::from_max_rule(&edge_probs).expect("valid max-rule table")
         }
         CorrelationModel::Independent => {
+            // pgs-lint: allow(panic-in-library, sample_edge_probability clamps every probability into (0, 1))
             JointProbTable::independent(&edge_probs).expect("valid independent table")
         }
         CorrelationModel::StrongPositive => strong_positive_table(&edge_probs),
@@ -240,6 +244,7 @@ fn strong_positive_table(edge_probs: &[(EdgeId, f64)]) -> JointProbTable {
     let k = edge_probs.len();
     let mean_p: f64 = edge_probs.iter().map(|&(_, p)| p).sum::<f64>() / k as f64;
     let w = 0.6;
+    // pgs-lint: allow(panic-in-library, sample_edge_probability clamps every probability into (0, 1))
     let independent = JointProbTable::independent(edge_probs).expect("valid independent table");
     let mut probs: Vec<f64> = independent
         .row_probabilities()
@@ -249,6 +254,7 @@ fn strong_positive_table(edge_probs: &[(EdgeId, f64)]) -> JointProbTable {
     let all_mask = (1usize << k) - 1;
     probs[all_mask] += w * mean_p;
     probs[0] += w * (1.0 - mean_p);
+    // pgs-lint: allow(panic-in-library, the mixture re-normalises row mass, so the table stays a distribution)
     JointProbTable::new(independent.edges().to_vec(), probs).expect("mixture table is normalised")
 }
 

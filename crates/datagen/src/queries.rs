@@ -51,6 +51,7 @@ pub fn generate_query_workload(
     dataset: &PpiDataset,
     config: &QueryWorkloadConfig,
 ) -> Vec<WorkloadQuery> {
+    // pgs-lint: allow(unseeded-rng, dataset generators are seeded by the scenario config, outside the engine's derive_seed tree)
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut out = Vec::with_capacity(config.count);
     if dataset.graphs.is_empty() || config.count == 0 {

@@ -77,6 +77,7 @@ pub fn paper_scale(scale: DatasetScale) -> PpiDatasetConfig {
 /// point is to exercise snapshot *size* (one PMI column and one structural
 /// summary per graph), not query selectivity.
 pub fn bulk_skeletons(count: usize, seed: u64) -> Vec<ProbabilisticGraph> {
+    // pgs-lint: allow(unseeded-rng, dataset generators are seeded by the scenario config, outside the engine's derive_seed tree)
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|i| {
@@ -92,6 +93,7 @@ pub fn bulk_skeletons(count: usize, seed: u64) -> Vec<ProbabilisticGraph> {
             let probs: Vec<f64> = (0..skeleton.edge_count())
                 .map(|_| rng.gen_range(0.15..0.95))
                 .collect();
+            // pgs-lint: allow(panic-in-library, generated probabilities are fixed inside (0, 1) by the formula above)
             ProbabilisticGraph::independent(skeleton, &probs).expect("probabilities are in (0, 1)")
         })
         .collect()
@@ -128,14 +130,17 @@ pub fn verification_candidate(
         (EdgeId(1), 0.6),
         (EdgeId(2), 0.8),
     ])
+    // pgs-lint: allow(panic-in-library, hard-coded row masses sum to 1, a valid JPT by construction)
     .expect("valid triangle JPT")];
     for i in 0..extra {
         tables.push(
             JointProbTable::independent(&[(EdgeId(3 + i as u32), 0.2 + 0.05 * (i % 10) as f64)])
+                // pgs-lint: allow(panic-in-library, hard-coded probabilities lie inside (0, 1))
                 .expect("valid pendant JPT"),
         );
     }
     let pg = pgs_prob::model::ProbabilisticGraph::new(skeleton, tables, true)
+        // pgs-lint: allow(panic-in-library, generator invariant: pendant tables partition the neighbor edges)
         .expect("pendant tables are neighbor-edge sets");
     let query = GraphBuilder::new()
         .vertices(&[0, 1, 2])

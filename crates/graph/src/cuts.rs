@@ -169,17 +169,20 @@ pub fn parallel_graph(
         let mut prev = g.add_vertex(Label(0));
         // stub s -- first node
         g.add_edge(s, prev, Label(u32::MAX))
+            // pgs-lint: allow(panic-in-library, cG vertices are freshly numbered, so the edge cannot be a duplicate)
             .expect("cG construction is simple");
         origin.push(None);
         for &orig in emb {
             let next = g.add_vertex(Label(0));
             g.add_edge(prev, next, Label(orig.0))
+                // pgs-lint: allow(panic-in-library, cG vertices are freshly numbered, so the edge cannot be a duplicate)
                 .expect("cG construction is simple");
             origin.push(Some(orig));
             prev = next;
         }
         // stub last node -- t
         g.add_edge(prev, t, Label(u32::MAX))
+            // pgs-lint: allow(panic-in-library, cG vertices are freshly numbered, so the edge cannot be a duplicate)
             .expect("cG construction is simple");
         origin.push(None);
     }

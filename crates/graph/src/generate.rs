@@ -59,6 +59,7 @@ pub fn random_connected_graph<R: Rng>(config: &RandomGraphConfig, rng: &mut R) -
         let j = rng.gen_range(0..i);
         let label = Label(rng.gen_range(0..config.edge_labels.max(1)));
         g.add_edge(VertexId(i as u32), VertexId(j as u32), label)
+            // pgs-lint: allow(panic-in-library, spanning-tree edges connect a fresh vertex each, never a duplicate)
             .expect("spanning tree edges are unique");
     }
     let mut attempts = 0usize;
@@ -83,6 +84,7 @@ pub fn random_connected_graph<R: Rng>(config: &RandomGraphConfig, rng: &mut R) -
             continue;
         }
         let label = Label(rng.gen_range(0..config.edge_labels.max(1)));
+        // pgs-lint: allow(panic-in-library, the has_edge check directly above rules out duplicates)
         g.add_edge(u, v, label).expect("checked for duplicates");
     }
     g
@@ -119,6 +121,7 @@ pub fn random_connected_subgraph<R: Rng>(
             if frontier.is_empty() {
                 break;
             }
+            // pgs-lint: allow(panic-in-library, the surrounding loop only runs while the frontier is non-empty)
             let &e = frontier.choose(rng).expect("frontier is non-empty");
             chosen_edges.push(e);
             let edge = g.edge(e);

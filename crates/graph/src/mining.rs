@@ -182,6 +182,7 @@ fn single_edge_patterns(db: &[Graph], options: &MiningOptions) -> Vec<MinedPatte
         let a = g.add_vertex(crate::model::Label(l1));
         let b = g.add_vertex(crate::model::Label(l2));
         g.add_edge(a, b, crate::model::Label(elabel))
+            // pgs-lint: allow(panic-in-library, a single edge between two fresh vertices cannot be a duplicate)
             .expect("single edge pattern");
         out.push(MinedPattern { graph: g, support });
     }

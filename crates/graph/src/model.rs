@@ -363,6 +363,7 @@ impl Graph {
             let edge = self.edge(e);
             // Safe: endpoints and uniqueness come from an existing simple graph.
             g.add_edge(edge.u, edge.v, edge.label)
+                // pgs-lint: allow(panic-in-library, edges of a simple source graph stay unique under projection)
                 .expect("edge_subgraph: source graph must be simple");
         }
         g
@@ -387,6 +388,7 @@ impl Graph {
         for (_, e) in self.edge_entries() {
             if let (Some(&nu), Some(&nv)) = (map.get(&e.u), map.get(&e.v)) {
                 g.add_edge(nu, nv, e.label)
+                    // pgs-lint: allow(panic-in-library, edges of a simple source graph stay unique under renumbering)
                     .expect("induced_subgraph: source graph must be simple");
             }
         }
@@ -463,6 +465,7 @@ impl GraphBuilder {
     /// fallible construction goes through [`Graph`] directly).
     pub fn build(self) -> Graph {
         self.try_build()
+            // pgs-lint: allow(panic-in-library, documented panic: build() panics on invalid input; try_build is the fallible variant)
             .expect("GraphBuilder produced an invalid graph")
     }
 

@@ -153,13 +153,16 @@ where
             .enumerate()
             .map(|(j, t)| f(start + j, t))
             .collect();
+        // pgs-lint: allow(panic-in-library, slot poisoning means another chunk panicked; the pool re-raises that panic)
         *slots_ref[ci].lock().expect("chunk slot poisoned") = Some(mapped);
     });
     slots
         .into_iter()
         .flat_map(|slot| {
             slot.into_inner()
+                // pgs-lint: allow(panic-in-library, slot poisoning means another chunk panicked; the pool re-raises that panic)
                 .expect("chunk slot poisoned")
+                // pgs-lint: allow(panic-in-library, the pool blocks until every chunk ran, so every slot is filled)
                 .expect("pool completed the job, so every chunk slot is filled")
         })
         .collect()

@@ -90,6 +90,7 @@ impl Job {
                 return;
             }
             let outcome = catch_unwind(AssertUnwindSafe(|| (self.task)(ci)));
+            // pgs-lint: allow(panic-in-library, lock poisoning means a sibling worker panicked; propagating is the designed behavior)
             let mut done = self.done.lock().expect("pool job state poisoned");
             if let Err(payload) = outcome {
                 done.panic.get_or_insert(payload);
@@ -144,6 +145,7 @@ impl WorkerPool {
     /// Worker threads spawned so far.  Stable across repeated dispatches at
     /// the same worker count — the reuse guarantee the leak tests pin.
     pub fn spawned_workers(&self) -> usize {
+        // pgs-lint: allow(panic-in-library, lock poisoning means a sibling worker panicked; propagating is the designed behavior)
         *self.spawned.lock().expect("pool spawn count poisoned")
     }
 
@@ -182,6 +184,7 @@ impl WorkerPool {
             done_cv: Condvar::new(),
         });
         {
+            // pgs-lint: allow(panic-in-library, lock poisoning means a sibling worker panicked; propagating is the designed behavior)
             let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
             queue.push_back(job.clone());
         }
@@ -190,11 +193,13 @@ impl WorkerPool {
         job.run_chunks();
 
         let payload = {
+            // pgs-lint: allow(panic-in-library, lock poisoning means a sibling worker panicked; propagating is the designed behavior)
             let mut done = job.done.lock().expect("pool job state poisoned");
             while done.completed < job.chunks {
                 done = job
                     .done_cv
                     .wait(done)
+                    // pgs-lint: allow(panic-in-library, lock poisoning means a sibling worker panicked; propagating is the designed behavior)
                     .expect("pool job state poisoned while waiting");
             }
             done.panic.take()
@@ -202,6 +207,7 @@ impl WorkerPool {
         // Drop our queue entry eagerly instead of leaving it for the next
         // worker scan (the job is exhausted, so workers would skip it anyway).
         {
+            // pgs-lint: allow(panic-in-library, lock poisoning means a sibling worker panicked; propagating is the designed behavior)
             let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
             if let Some(pos) = queue.iter().position(|j| Arc::ptr_eq(j, &job)) {
                 queue.remove(pos);
@@ -214,12 +220,14 @@ impl WorkerPool {
 
     /// Tops the pool up to `target` parked workers.
     fn ensure_workers(&self, target: usize) {
+        // pgs-lint: allow(panic-in-library, lock poisoning means a sibling worker panicked; propagating is the designed behavior)
         let mut spawned = self.spawned.lock().expect("pool spawn count poisoned");
         while *spawned < target {
             let shared = self.shared.clone();
             std::thread::Builder::new()
                 .name(format!("pgs-pool-{spawned}"))
                 .spawn(move || worker_loop(&shared))
+                // pgs-lint: allow(panic-in-library, no worker threads means no executor; spawn failure is fatal by design)
                 .expect("spawning a pool worker thread");
             *spawned += 1;
         }
@@ -231,6 +239,7 @@ impl WorkerPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
+            // pgs-lint: allow(panic-in-library, lock poisoning means a sibling worker panicked; propagating is the designed behavior)
             let mut queue = shared.queue.lock().expect("pool queue poisoned");
             loop {
                 // Exhausted jobs at the front are finished work whose
@@ -244,6 +253,7 @@ fn worker_loop(shared: &Shared) {
                 queue = shared
                     .work_cv
                     .wait(queue)
+                    // pgs-lint: allow(panic-in-library, lock poisoning means a sibling worker panicked; propagating is the designed behavior)
                     .expect("pool queue poisoned while parked");
             }
         };

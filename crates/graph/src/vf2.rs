@@ -222,6 +222,7 @@ impl<'a> Matcher<'a> {
         // neighbour, only the target neighbours of that neighbour's image can
         // host it; otherwise every unused target vertex is a candidate.
         let candidates: Vec<VertexId> = if let Some(&(anchor, _)) = anchored.first() {
+            // pgs-lint: allow(panic-in-library, matcher invariant: anchored pairs only list already-mapped pattern vertices)
             let image = state.mapping[anchor.index()].expect("anchor must be mapped");
             self.target
                 .neighbors(image)
@@ -268,6 +269,7 @@ impl<'a> Matcher<'a> {
         // Every already-mapped pattern neighbour must be connected with a
         // matching edge label.
         for &(pn, elabel) in anchored {
+            // pgs-lint: allow(panic-in-library, matcher invariant: anchored pairs only list already-mapped pattern vertices)
             let image = state.mapping[pn.index()].expect("anchored neighbour is mapped");
             match self.target.find_edge(cand, image) {
                 Some(te) if self.target.edge_label(te) == elabel => {}
@@ -302,6 +304,7 @@ impl<'a> Matcher<'a> {
         let vertex_map: Vec<VertexId> = state
             .mapping
             .iter()
+            // pgs-lint: allow(panic-in-library, a complete state maps every pattern vertex by definition)
             .map(|m| m.expect("complete mapping"))
             .collect();
         let mut edges: Vec<EdgeId> = Vec::with_capacity(self.pattern.edge_count());
@@ -311,6 +314,7 @@ impl<'a> Matcher<'a> {
             let te = self
                 .target
                 .find_edge(tu, tv)
+                // pgs-lint: allow(panic-in-library, feasibility checked this edge before the mapping was completed)
                 .expect("mapped pattern edge must exist in target");
             edges.push(te);
         }
@@ -353,6 +357,7 @@ fn matching_order(pattern: &Graph) -> Vec<VertexId> {
             .vertices()
             .filter(|v| !placed[v.index()])
             .max_by_key(|v| (pattern.degree(*v), std::cmp::Reverse(v.index())))
+            // pgs-lint: allow(panic-in-library, caller checks the state is incomplete, so an unplaced vertex exists)
             .expect("there are unplaced vertices");
         placed[seed.index()] = true;
         order.push(seed);

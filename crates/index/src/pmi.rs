@@ -241,6 +241,7 @@ impl Pmi {
     /// lookup returns exactly what the 1-shard build returns.
     pub fn build_sharded(db: &[ProbabilisticGraph], params: &PmiBuildParams, shards: usize) -> Pmi {
         let shards = shards.clamp(1, MAX_SHARDS);
+        // pgs-lint: allow(wall-clock-in-query-path, build_seconds is snapshot-head metadata for reporting, never control flow)
         let start = Instant::now();
         let skeletons: Vec<Graph> = db.iter().map(|g| g.skeleton().clone()).collect();
         let sindex = StructuralIndex::build(&skeletons);
@@ -349,6 +350,7 @@ impl Pmi {
         self.segment(s)
             .sindex
             .as_ref()
+            // pgs-lint: allow(panic-in-library, engine invariant: ensure_sindex runs before any shard S-Index access)
             .expect("engine invariant: ensure_sindex runs before any shard S-Index access")
     }
 
@@ -474,6 +476,7 @@ impl Pmi {
                 len += 8 + seg
                     .sindex
                     .as_ref()
+                    // pgs-lint: allow(panic-in-library, has_sindex was checked by the caller, and it implies every segment carries one)
                     .expect("has_sindex implies every segment carries one")
                     .summary_views()
                     .map(snapshot::summary_len)
@@ -508,6 +511,7 @@ impl Pmi {
             let src = self
                 .lazy
                 .as_ref()
+                // pgs-lint: allow(panic-in-library, documented panic (see section above): only external interference with the snapshot file after open)
                 .expect("segment neither materialized nor backed by a snapshot file");
             let (offset, len) = src.table[s];
             match snapshot::load_segment_from_file(
@@ -535,6 +539,7 @@ impl Pmi {
         self.segment(s);
         self.segments[s]
             .get_mut()
+            // pgs-lint: allow(panic-in-library, the segment(s) call on the previous line materialized this slot)
             .expect("segment was just materialized")
     }
 
@@ -704,6 +709,7 @@ impl Pmi {
             snapshot::FORMAT_V1
         };
         self.to_bytes_versioned(version)
+            // pgs-lint: allow(panic-in-library, encoding current/v1 formats cannot fail; only unknown versions error)
             .expect("current/v1 versions are always encodable")
     }
 
@@ -730,6 +736,7 @@ impl Pmi {
                     sindex: seg
                         .sindex
                         .as_ref()
+                        // pgs-lint: allow(panic-in-library, has_sindex was checked by the caller, and it implies every segment carries one)
                         .expect("has_sindex implies every segment carries one"),
                 })
                 .collect();
@@ -779,6 +786,7 @@ impl Pmi {
                     self.segment(s as usize)
                         .sindex
                         .as_ref()
+                        // pgs-lint: allow(panic-in-library, has_sindex was checked by the caller, and it implies every segment carries one)
                         .expect("has_sindex implies every segment carries one")
                         .summary(l as usize)
                         .to_owned_summary()
@@ -942,6 +950,7 @@ impl Pmi {
             self.features.len(),
             self.graph_count()
         )
+        // pgs-lint: allow(panic-in-library, fmt::Write into a String is infallible)
         .expect("writing to String cannot fail");
         for f in &self.features {
             writeln!(
@@ -951,11 +960,13 @@ impl Pmi {
                 f.graph.edge_count(),
                 f.frequency
             )
+            // pgs-lint: allow(panic-in-library, fmt::Write into a String is infallible)
             .expect("writing to String cannot fail");
         }
         for gi in 0..self.graph_count() {
             for (fi, b) in self.graph_entries(gi) {
                 writeln!(out, "cell {gi} {fi} {:.6} {:.6}", b.lower, b.upper)
+                    // pgs-lint: allow(panic-in-library, fmt::Write into a String is infallible)
                     .expect("writing to String cannot fail");
             }
         }

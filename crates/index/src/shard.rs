@@ -65,6 +65,7 @@ pub fn members_of(salts: &[u64], shard_count: usize) -> FlatVecVec<u32> {
         values[cursor[s] as usize] = g as u32;
         cursor[s] += 1;
     }
+    // pgs-lint: allow(panic-in-library, offsets come from a prefix sum over the same values, always monotone)
     FlatVecVec::from_raw(offsets, values).expect("prefix-sum offsets are always valid")
 }
 

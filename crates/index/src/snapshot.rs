@@ -861,7 +861,7 @@ pub(crate) fn open_head(path: &Path) -> Result<OpenedSnapshot, SnapshotError> {
     if prefix.len() < 12 || prefix[..8] != MAGIC {
         return Ok(OpenedSnapshot::Legacy);
     }
-    let version = u32::from_le_bytes(prefix[8..12].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(fixed::<4>(&prefix[8..12])?);
     if version != FORMAT_VERSION {
         return Ok(OpenedSnapshot::Legacy);
     }
@@ -870,7 +870,7 @@ pub(crate) fn open_head(path: &Path) -> Result<OpenedSnapshot, SnapshotError> {
             "v3 snapshot truncated inside the fixed prefix".into(),
         ));
     }
-    let head_len = u64::from_le_bytes(prefix[20..28].try_into().expect("8 bytes"));
+    let head_len = u64::from_le_bytes(fixed::<8>(&prefix[20..28])?);
     if head_len < 28 || head_len > file_len {
         return Err(SnapshotError::Corrupt(format!(
             "head length {head_len} outside the {file_len}-byte file"
@@ -1076,6 +1076,21 @@ impl Writer {
     }
 }
 
+/// Converts a length-checked slice into a fixed-size array with a typed
+/// error instead of a panic path.  The mismatch arm is unreachable as long as
+/// every caller pairs `fixed::<N>` with an `N`-byte slice, but snapshot
+/// loading is a hard no-panic zone (`panic-in-library`): a future refactor
+/// that breaks the pairing must surface as a [`SnapshotError::Corrupt`] a
+/// caller can handle, never as a process abort mid-load.
+fn fixed<const N: usize>(b: &[u8]) -> Result<[u8; N], SnapshotError> {
+    b.try_into().map_err(|_| {
+        SnapshotError::Corrupt(format!(
+            "internal: expected a {N}-byte field, got {} bytes",
+            b.len()
+        ))
+    })
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -1113,12 +1128,12 @@ impl<'a> Reader<'a> {
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
         let b = self.bytes(4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(fixed::<4>(b)?))
     }
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
         let b = self.bytes(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(fixed::<8>(b)?))
     }
 
     fn f64(&mut self) -> Result<f64, SnapshotError> {
@@ -1319,6 +1334,41 @@ mod tests {
                 matches!(err, SnapshotError::Corrupt(_) | SnapshotError::BadMagic),
                 "cut at {cut}: unexpected error {err:?}"
             );
+        }
+    }
+
+    #[test]
+    fn fixed_width_fields_error_instead_of_panicking() {
+        // Regression: the fixed-width LE field reads (`Reader::u32`/`u64`,
+        // the v3 prefix in `open_head`) used to be `try_into().expect(…)`
+        // panic paths; malformed input must surface as typed errors instead.
+        match fixed::<4>(&[1, 2, 3]) {
+            Err(SnapshotError::Corrupt(why)) => assert!(why.contains("4-byte")),
+            other => panic!("expected Corrupt, got {:?}", other.err()),
+        }
+        assert!(matches!(
+            Reader::new(&[0; 3]).u32(),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Reader::new(&[0; 7]).u64(),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // A v3 file cut anywhere inside its fixed prefix must come back from
+        // `open_head` as a typed error (or the legacy fallback for cuts too
+        // short to classify) — never a panic.
+        let bytes = sample_v3();
+        let dir = std::env::temp_dir().join("pgs-snapshot-fixed-width-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        for cut in [0, 5, 9, 12, 13, 20, 27] {
+            let path = dir.join(format!("cut{cut}.bin"));
+            std::fs::write(&path, &bytes[..cut]).expect("write truncated snapshot");
+            match open_head(&path) {
+                Ok(OpenedSnapshot::Legacy) | Err(SnapshotError::Corrupt(_)) => {}
+                Ok(OpenedSnapshot::V3(_)) => panic!("cut at {cut}: classified as v3"),
+                Err(e) => panic!("cut at {cut}: unexpected error {e:?}"),
+            }
         }
     }
 

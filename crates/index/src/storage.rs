@@ -80,6 +80,7 @@ impl SparseMatrix {
     pub fn push_column(&mut self, entries: impl IntoIterator<Item = (usize, SipBounds)>) {
         for (fi, b) in entries {
             debug_assert!(
+                // pgs-lint: allow(panic-in-library, debug_assert-only check; from_raw guarantees offsets is non-empty)
                 self.feature_ids.len() == *self.offsets.last().expect("offsets never empty")
                     || (self.feature_ids.last().copied().unwrap_or(0) as usize) < fi,
                 "feature ids must be strictly increasing within a column"

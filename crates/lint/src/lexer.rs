@@ -1,0 +1,505 @@
+//! A minimal Rust lexer: just enough structure for lint rules to reason about
+//! *code* tokens without being fooled by the contents of string literals,
+//! character literals, or comments.
+//!
+//! The lexer is deliberately lossy — it does not classify keywords, fold
+//! multi-character operators, or validate literals — but it is exact about the
+//! three things the rule engine depends on:
+//!
+//! 1. **Comment extraction.**  Line comments (`//`, `///`, `//!`) and nested
+//!    block comments are lifted out of the token stream into a side list with
+//!    positions, so pragma parsing ([`crate::pragma`]) and `// SAFETY:`
+//!    detection see comment text and nothing else.
+//! 2. **String opacity.**  Plain, byte, and raw strings (any `#` depth) are
+//!    single [`TokKind::Str`] tokens: the word `unsafe` inside a string can
+//!    never trip a rule.
+//! 3. **Lifetime vs. char disambiguation.**  `'a` in `&'a str` is a
+//!    [`TokKind::Lifetime`], `'a'` is a [`TokKind::Char`], so generic code
+//!    does not produce phantom unbalanced quotes.
+
+/// Classification of one code token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish them).
+    Ident,
+    /// `'a` style lifetime (or loop label).
+    Lifetime,
+    /// Numeric literal, including suffixes (`1024u64`, `0x7f`, `1.5e-3`).
+    Number,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// A single punctuation character (`.`, `(`, `::` arrives as two `:`).
+    Punct,
+}
+
+/// One code token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text.  For [`TokKind::Punct`] this is the single character; for
+    /// strings it is the full literal including quotes.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// True when nothing but whitespace precedes the comment on its line.
+    pub own_line: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Whether any non-whitespace byte has been seen on the current line.
+    line_has_code: bool,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) {
+        let Some(b) = self.peek() else {
+            return;
+        };
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.line_has_code = false;
+        } else if b & 0xC0 != 0x80 {
+            // Count characters, not continuation bytes, so columns line up
+            // with what editors display.
+            self.col += 1;
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into code tokens and comments.
+///
+/// The lexer never fails: unterminated literals simply swallow the rest of
+/// the file, which is the behavior that keeps rules quiet rather than noisy
+/// on malformed input (rustc will reject such a file anyway).
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        line_has_code: false,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = c.peek() {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                let own_line = !c.line_has_code;
+                let start = c.pos;
+                while let Some(nb) = c.peek() {
+                    if nb == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                out.comments.push(Comment {
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    col,
+                    own_line,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                let own_line = !c.line_has_code;
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                // Block comments participate in "line has code" only through
+                // what follows them; the marker flag is left untouched so a
+                // trailing `/* … */ code` line still counts its code tokens.
+                out.comments.push(Comment {
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    col,
+                    own_line,
+                });
+            }
+            b'"' => {
+                let text = lex_plain_string(&mut c, src);
+                c.line_has_code = true;
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'r' if matches!(c.peek_at(1), Some(b'"') | Some(b'#')) && is_raw_string_ahead(&c) => {
+                let text = lex_raw_string(&mut c, src);
+                c.line_has_code = true;
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'b' if c.peek_at(1) == Some(b'"') => {
+                c.bump(); // consume `b`; the quote is lexed as a plain string
+                let text = lex_plain_string(&mut c, src);
+                c.line_has_code = true;
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: format!("b{text}"),
+                    line,
+                    col,
+                });
+            }
+            b'b' if c.peek_at(1) == Some(b'\'') => {
+                c.bump();
+                let text = lex_char(&mut c, src);
+                c.line_has_code = true;
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: format!("b{text}"),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'a'`, `'\n'`).
+                let tok = if is_lifetime_ahead(&c) {
+                    let start = c.pos;
+                    c.bump(); // '
+                    while c.peek().map(is_ident_continue).unwrap_or(false) {
+                        c.bump();
+                    }
+                    Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..c.pos].to_string(),
+                        line,
+                        col,
+                    }
+                } else {
+                    Tok {
+                        kind: TokKind::Char,
+                        text: lex_char(&mut c, src),
+                        line,
+                        col,
+                    }
+                };
+                c.line_has_code = true;
+                out.tokens.push(tok);
+            }
+            _ if is_ident_start(b) => {
+                let start = c.pos;
+                while c.peek().map(is_ident_continue).unwrap_or(false) {
+                    c.bump();
+                }
+                c.line_has_code = true;
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let start = c.pos;
+                c.bump();
+                while let Some(nb) = c.peek() {
+                    if nb.is_ascii_alphanumeric() || nb == b'_' {
+                        c.bump();
+                    } else if nb == b'.'
+                        && c.peek_at(1).map(|d| d.is_ascii_digit()).unwrap_or(false)
+                    {
+                        // `1.5` continues the number; `0..n` does not.
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                c.line_has_code = true;
+                out.tokens.push(Tok {
+                    kind: TokKind::Number,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                c.bump();
+                c.line_has_code = true;
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True when the cursor (sitting on `r`) starts a raw string like `r"…"` or
+/// `r##"…"##` rather than a raw identifier (`r#ident`).
+fn is_raw_string_ahead(c: &Cursor) -> bool {
+    let mut off = 1;
+    while c.peek_at(off) == Some(b'#') {
+        off += 1;
+    }
+    c.peek_at(off) == Some(b'"')
+}
+
+fn lex_plain_string(c: &mut Cursor, src: &str) -> String {
+    let start = c.pos;
+    c.bump(); // opening quote
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'"' => {
+                c.bump();
+                break;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+    src[start..c.pos].to_string()
+}
+
+fn lex_raw_string(c: &mut Cursor, src: &str) -> String {
+    let start = c.pos;
+    c.bump(); // r
+    let mut hashes = 0usize;
+    while c.peek() == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    c.bump(); // opening quote
+    'outer: while let Some(b) = c.peek() {
+        c.bump();
+        if b == b'"' {
+            for i in 0..hashes {
+                if c.peek_at(i) != Some(b'#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                c.bump();
+            }
+            break;
+        }
+    }
+    src[start..c.pos].to_string()
+}
+
+fn lex_char(c: &mut Cursor, src: &str) -> String {
+    let start = c.pos;
+    c.bump(); // opening quote
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'\'' => {
+                c.bump();
+                break;
+            }
+            // An unterminated char literal must not swallow the file.
+            b'\n' => break,
+            _ => {
+                c.bump();
+            }
+        }
+    }
+    src[start..c.pos].to_string()
+}
+
+fn is_lifetime_ahead(c: &Cursor) -> bool {
+    // `'` followed by an identifier is a lifetime unless the identifier is a
+    // single character immediately closed by another `'` (a char literal).
+    match c.peek_at(1) {
+        Some(b) if is_ident_start(b) => {
+            let mut off = 2;
+            while c.peek_at(off).map(is_ident_continue).unwrap_or(false) {
+                off += 1;
+            }
+            c.peek_at(off) != Some(b'\'')
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // unsafe in a line comment
+            /* unsafe in a /* nested */ block */
+            let s = "unsafe { thread_rng() }";
+            let r = r#"unsafe "quoted" raw"#;
+            let b = b"unsafe bytes";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unsafe" || i == "thread_rng"));
+        assert_eq!(ids, vec!["let", "s", "let", "r", "let", "b"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unsafe in a line comment"));
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let a = '\''; let b = '\\'; let c = '\n'; let d = b'\0';";
+        let lexed = lex(src);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec![r"'\''", r"'\\'", r"'\n'", r"b'\0'"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let src = "ab\n  cd";
+        let lexed = lex(src);
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn own_line_detection() {
+        let src = "let x = 1; // trailing\n// leading\nlet y = 2;";
+        let lexed = lex(src);
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let src = "let r#mod = 1;";
+        let lexed = lex(src);
+        // `r` + `#` + `mod` arrive as separate tokens; what matters is that
+        // no string literal is hallucinated.
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokKind::Str));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let src = "for i in 0..10 { let f = 1.5e-3; }";
+        let lexed = lex(src);
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e", "3"]);
+    }
+}

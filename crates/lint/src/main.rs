@@ -1,0 +1,123 @@
+//! CLI for `pgs-lint`.
+//!
+//! ```text
+//! pgs-lint --workspace [--root DIR] [--json]
+//! pgs-lint [--assume-crate NAME] [--assume-kind KIND] [--json] FILE…
+//! ```
+//!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` usage or I/O error.
+//! Explicit files are linted under the *strictest* identity by default
+//! (library code of `pgs-query`), which is what the fixture suite relies on.
+
+use pgs_lint::{lint_paths, lint_workspace, render_json, render_text, workspace, FileKind};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pgs-lint: static analysis enforcing the determinism & safety contract
+
+USAGE:
+    pgs-lint --workspace [--root DIR] [--json]
+    pgs-lint [--assume-crate NAME] [--assume-kind KIND] [--json] FILE...
+
+OPTIONS:
+    --workspace          lint every file reachable from the workspace roots
+    --root DIR           workspace root (default: walk up from the cwd)
+    --json               emit diagnostics as a JSON array instead of text
+    --assume-crate NAME  crate identity for explicit FILEs (default: pgs-query)
+    --assume-kind KIND   library|bin|test|bench|example (default: library)
+    --help               print this help
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut use_workspace = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut assume_crate = String::from("pgs-query");
+    let mut assume_kind = FileKind::Library;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => use_workspace = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--assume-crate" => match args.next() {
+                Some(name) => assume_crate = name,
+                None => return usage_error("--assume-crate needs a crate name"),
+            },
+            "--assume-kind" => match args.next().as_deref() {
+                Some("library") => assume_kind = FileKind::Library,
+                Some("bin") => assume_kind = FileKind::Bin,
+                Some("test") => assume_kind = FileKind::Test,
+                Some("bench") => assume_kind = FileKind::Bench,
+                Some("example") => assume_kind = FileKind::Example,
+                _ => return usage_error("--assume-kind needs library|bin|test|bench|example"),
+            },
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown option `{other}`"));
+            }
+            file => paths.push(PathBuf::from(file)),
+        }
+    }
+
+    let report = if use_workspace {
+        if !paths.is_empty() {
+            return usage_error("--workspace does not take file arguments");
+        }
+        let cwd = match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("pgs-lint: cannot determine cwd: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(root) = root.or_else(|| workspace::find_root(&cwd)) else {
+            eprintln!("pgs-lint: no workspace root found above {}", cwd.display());
+            return ExitCode::from(2);
+        };
+        lint_workspace(&root)
+    } else {
+        if paths.is_empty() {
+            return usage_error("nothing to lint: pass --workspace or FILEs");
+        }
+        lint_paths(&paths, &assume_crate, assume_kind)
+    };
+
+    for warning in &report.warnings {
+        eprintln!("pgs-lint: warning: {warning}");
+    }
+    if report.files_checked == 0 {
+        eprintln!("pgs-lint: no files checked");
+        return ExitCode::from(2);
+    }
+
+    if json {
+        print!("{}", render_json(&report.diagnostics));
+    } else {
+        print!("{}", render_text(&report.diagnostics));
+        eprintln!(
+            "pgs-lint: {} file(s) checked, {} diagnostic(s)",
+            report.files_checked,
+            report.diagnostics.len()
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("pgs-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,229 @@
+//! `// pgs-lint: allow(rule-id, reason)` pragma parsing and attachment.
+//!
+//! A pragma suppresses one rule on one line:
+//!
+//! * written on its own line, it applies to the **next** line that contains
+//!   code (consecutive pragma lines stack onto the same target);
+//! * written as a trailing comment, it applies to its **own** line.
+//!
+//! The reason is not optional.  A pragma without a reason — or naming an
+//! unknown rule — is itself a diagnostic (`invalid-pragma`), so suppressions
+//! stay auditable: every allow in the tree says *why* the contract is safe to
+//! relax at that point.
+
+use crate::lexer::{Comment, Tok};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The marker every pragma comment must contain.
+pub const MARKER: &str = "pgs-lint:";
+
+/// One successfully parsed pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    pub rule: String,
+    pub reason: String,
+    /// Line the pragma comment itself sits on.
+    pub line: u32,
+    pub col: u32,
+    /// Line whose diagnostics it suppresses.
+    pub target_line: u32,
+}
+
+/// A malformed pragma: still carries a position so the rule engine can report
+/// it, plus a message explaining what is wrong.
+#[derive(Debug, Clone)]
+pub struct BadPragma {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// All pragmas of one file, indexed by the line they suppress.
+#[derive(Debug, Default)]
+pub struct PragmaIndex {
+    by_target: BTreeMap<u32, Vec<Pragma>>,
+    pub bad: Vec<BadPragma>,
+}
+
+impl PragmaIndex {
+    /// True when `rule` is allowed on `line`.
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        self.by_target
+            .get(&line)
+            .map(|ps| ps.iter().any(|p| p.rule == rule))
+            .unwrap_or(false)
+    }
+
+    /// All parsed pragmas, in source order.
+    pub fn iter(&self) -> impl Iterator<Item = &Pragma> {
+        self.by_target.values().flatten()
+    }
+}
+
+/// Extracts the pragma index of one lexed file.
+///
+/// `known_rules` drives unknown-rule detection; `tokens` supplies the code
+/// lines that own-line pragmas attach to.
+pub fn index(comments: &[Comment], tokens: &[Tok], known_rules: &[&str]) -> PragmaIndex {
+    let code_lines: BTreeSet<u32> = tokens.iter().map(|t| t.line).collect();
+    let mut out = PragmaIndex::default();
+    for comment in comments {
+        // A pragma must *start* the comment: strip exactly one `//` or `/*`
+        // marker, then expect `pgs-lint:`.  Doc comments (`///`, `//!`) keep
+        // a leading `/` or `!` after the strip, so prose *describing* the
+        // pragma syntax can never accidentally declare one.
+        let body = comment
+            .text
+            .strip_prefix("//")
+            .or_else(|| comment.text.strip_prefix("/*"))
+            .unwrap_or(&comment.text)
+            .trim_start();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        let rest = rest.trim_end_matches("*/").trim();
+        match parse_allow(rest) {
+            Ok((rule, reason)) => {
+                if !known_rules.contains(&rule.as_str()) {
+                    out.bad.push(BadPragma {
+                        line: comment.line,
+                        col: comment.col,
+                        message: format!(
+                            "pragma names unknown rule `{rule}` (known: {})",
+                            known_rules.join(", ")
+                        ),
+                    });
+                    continue;
+                }
+                let target_line = if comment.own_line {
+                    // Attach to the next line carrying code.  Pragmas at end
+                    // of file (no such line) keep their own line and simply
+                    // never match anything.
+                    code_lines
+                        .range(comment.line + 1..)
+                        .next()
+                        .copied()
+                        .unwrap_or(comment.line)
+                } else {
+                    comment.line
+                };
+                out.by_target.entry(target_line).or_default().push(Pragma {
+                    rule,
+                    reason,
+                    line: comment.line,
+                    col: comment.col,
+                    target_line,
+                });
+            }
+            Err(message) => out.bad.push(BadPragma {
+                line: comment.line,
+                col: comment.col,
+                message,
+            }),
+        }
+    }
+    out
+}
+
+/// Parses `allow(rule-id, reason…)`; returns `(rule, reason)`.
+fn parse_allow(rest: &str) -> Result<(String, String), String> {
+    let Some(inner) = rest.strip_prefix("allow") else {
+        return Err(format!(
+            "expected `allow(rule-id, reason)` after `{MARKER}`, found `{rest}`"
+        ));
+    };
+    let inner = inner.trim_start();
+    let Some(inner) = inner.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".into());
+    };
+    let Some(inner) = inner.strip_suffix(')') else {
+        return Err("pragma is missing its closing `)`".into());
+    };
+    let Some((rule, reason)) = inner.split_once(',') else {
+        return Err(
+            "pragma has no reason — write `allow(rule-id, why this is safe)`; \
+             the reason is mandatory"
+                .into(),
+        );
+    };
+    let rule = rule.trim().to_string();
+    let reason = reason.trim().to_string();
+    if rule.is_empty() {
+        return Err("pragma has an empty rule id".into());
+    }
+    if reason.is_empty() {
+        return Err("pragma has an empty reason — the reason is mandatory".into());
+    }
+    Ok((rule, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const RULES: &[&str] = &["panic-in-library", "unseeded-rng"];
+
+    fn idx(src: &str) -> PragmaIndex {
+        let lexed = lex(src);
+        index(&lexed.comments, &lexed.tokens, RULES)
+    }
+
+    #[test]
+    fn own_line_pragma_targets_next_code_line() {
+        let src = "\
+// pgs-lint: allow(panic-in-library, lock poisoning is fatal by design)
+let x = m.lock().unwrap();";
+        let p = idx(src);
+        assert!(p.allows("panic-in-library", 2));
+        assert!(!p.allows("panic-in-library", 1));
+        assert!(p.bad.is_empty());
+    }
+
+    #[test]
+    fn trailing_pragma_targets_its_own_line() {
+        let src =
+            "let x = m.lock().unwrap(); // pgs-lint: allow(panic-in-library, poisoned = dead)";
+        let p = idx(src);
+        assert!(p.allows("panic-in-library", 1));
+    }
+
+    #[test]
+    fn stacked_pragmas_share_a_target() {
+        let src = "\
+// pgs-lint: allow(panic-in-library, reason one)
+// pgs-lint: allow(unseeded-rng, reason two)
+let x = 1;";
+        let p = idx(src);
+        assert!(p.allows("panic-in-library", 3));
+        assert!(p.allows("unseeded-rng", 3));
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let p = idx("// pgs-lint: allow(panic-in-library)\nlet x = 1;");
+        assert_eq!(p.bad.len(), 1);
+        assert!(p.bad[0].message.contains("reason"));
+        assert!(!p.allows("panic-in-library", 2));
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let p = idx("// pgs-lint: allow(panic-in-library,   )\nlet x = 1;");
+        assert_eq!(p.bad.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let p = idx("// pgs-lint: allow(no-such-rule, because)\nlet x = 1;");
+        assert_eq!(p.bad.len(), 1);
+        assert!(p.bad[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn pragma_inside_string_is_ignored() {
+        let p = idx("let s = \"// pgs-lint: allow(panic-in-library)\";");
+        assert!(p.bad.is_empty());
+        assert_eq!(p.iter().count(), 0);
+    }
+}

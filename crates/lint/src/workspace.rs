@@ -1,0 +1,450 @@
+//! Workspace discovery and `mod`-tree file resolution.
+//!
+//! `--workspace` walks the root `Cargo.toml` members list (skipping the
+//! vendored shims under `vendor/`, which are API-compatibility stand-ins and
+//! not ours to lint), reads each member's package name, and then resolves the
+//! actual file set the compiler would see: starting from each crate root
+//! (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`) it follows `mod name;`
+//! declarations through the `name.rs` / `name/mod.rs` convention.  Top-level
+//! files under `tests/`, `benches/`, and `examples/` are their own roots.
+//!
+//! Resolving through the mod tree — instead of globbing `**/*.rs` — is what
+//! keeps deliberately-violating lint fixtures (`crates/lint/tests/fixtures/`)
+//! out of a self-run: they are not reachable from any crate root, exactly as
+//! rustc never compiles them.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, TokKind};
+
+/// How a file participates in the build — drives per-rule scoping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Reached from `src/lib.rs`: the crate's library code.
+    Library,
+    /// Reached from `src/main.rs` or `src/bin/*.rs`.
+    Bin,
+    /// A `tests/*.rs` integration-test root (or a module under one).
+    Test,
+    /// A `benches/*.rs` root.
+    Bench,
+    /// An `examples/*.rs` root.
+    Example,
+}
+
+/// One source file scheduled for linting.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root (diagnostics print this).
+    pub rel_path: PathBuf,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    /// Package name of the owning crate (e.g. `pgs-query`).
+    pub crate_name: String,
+    pub kind: FileKind,
+}
+
+/// A non-fatal problem met while resolving the workspace (unresolvable `mod`,
+/// unreadable file).  Reported to stderr, never silently dropped.
+#[derive(Debug)]
+pub struct ResolveWarning {
+    pub path: PathBuf,
+    pub message: String,
+}
+
+/// The resolved workspace: every file the linter will read.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub warnings: Vec<ResolveWarning>,
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Resolves the full lintable file set of the workspace rooted at `root`.
+pub fn resolve(root: &Path) -> Workspace {
+    let mut ws = Workspace::default();
+    let manifest = root.join("Cargo.toml");
+    let manifest_text = match fs::read_to_string(&manifest) {
+        Ok(t) => t,
+        Err(e) => {
+            ws.warnings.push(ResolveWarning {
+                path: manifest,
+                message: format!("cannot read workspace manifest: {e}"),
+            });
+            return ws;
+        }
+    };
+
+    let mut member_dirs: Vec<PathBuf> = members(&manifest_text)
+        .into_iter()
+        .filter(|m| !m.starts_with("vendor/"))
+        .map(|m| root.join(m))
+        .collect();
+    // The workspace root is itself a package (the `pgs` umbrella crate).
+    if manifest_text.lines().any(|l| l.trim() == "[package]") {
+        member_dirs.push(root.to_path_buf());
+    }
+
+    for dir in member_dirs {
+        let name = match package_name(&dir.join("Cargo.toml")) {
+            Some(n) => n,
+            None => {
+                ws.warnings.push(ResolveWarning {
+                    path: dir.join("Cargo.toml"),
+                    message: "member has no readable `name = \"…\"`".into(),
+                });
+                continue;
+            }
+        };
+        add_crate(&mut ws, root, &dir, &name);
+    }
+
+    ws.files
+        .sort_by(|a, b| a.rel_path.cmp(&b.rel_path).then(a.kind_order(b)));
+    ws.files.dedup_by(|a, b| a.rel_path == b.rel_path);
+    ws
+}
+
+impl SourceFile {
+    fn kind_order(&self, other: &SourceFile) -> std::cmp::Ordering {
+        (self.kind as u8).cmp(&(other.kind as u8))
+    }
+}
+
+/// Extracts the `members = [ … ]` list from a workspace manifest.
+fn members(manifest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if !in_members {
+            if let Some(rest) = line.strip_prefix("members") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    in_members = true;
+                    collect_quoted(rest, &mut out);
+                    if rest.contains(']') {
+                        in_members = false;
+                    }
+                }
+            }
+        } else {
+            collect_quoted(line, &mut out);
+            if line.contains(']') {
+                in_members = false;
+            }
+        }
+    }
+    out
+}
+
+fn collect_quoted(line: &str, out: &mut Vec<String>) {
+    let mut rest = line;
+    while let Some(open) = rest.find('"') {
+        let Some(close_rel) = rest[open + 1..].find('"') else {
+            break;
+        };
+        out.push(rest[open + 1..open + 1 + close_rel].to_string());
+        rest = &rest[open + 1 + close_rel + 1..];
+    }
+}
+
+/// Reads the `[package] name` out of a crate manifest.
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim();
+                let mut names = Vec::new();
+                collect_quoted(rest, &mut names);
+                return names.into_iter().next();
+            }
+        }
+    }
+    None
+}
+
+fn add_crate(ws: &mut Workspace, root: &Path, dir: &Path, name: &str) {
+    for (rel, kind) in [
+        ("src/lib.rs", FileKind::Library),
+        ("src/main.rs", FileKind::Bin),
+    ] {
+        let path = dir.join(rel);
+        if path.is_file() {
+            add_mod_tree(ws, root, &path, name, kind, true);
+        }
+    }
+    for (sub, kind) in [
+        ("src/bin", FileKind::Bin),
+        ("tests", FileKind::Test),
+        ("benches", FileKind::Bench),
+        ("examples", FileKind::Example),
+    ] {
+        let Ok(entries) = fs::read_dir(dir.join(sub)) else {
+            continue;
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|x| x == "rs").unwrap_or(false) && p.is_file())
+            .collect();
+        paths.sort();
+        for path in paths {
+            add_mod_tree(ws, root, &path, name, kind, true);
+        }
+    }
+}
+
+/// Adds `path` and every file its `mod` declarations reach.
+fn add_mod_tree(
+    ws: &mut Workspace,
+    root: &Path,
+    path: &Path,
+    crate_name: &str,
+    kind: FileKind,
+    is_root_file: bool,
+) {
+    let rel_path = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    if ws.files.iter().any(|f| f.rel_path == rel_path) {
+        return;
+    }
+    let src = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            ws.warnings.push(ResolveWarning {
+                path: path.to_path_buf(),
+                message: format!("cannot read file: {e}"),
+            });
+            return;
+        }
+    };
+    ws.files.push(SourceFile {
+        rel_path,
+        abs_path: path.to_path_buf(),
+        crate_name: crate_name.to_string(),
+        kind,
+    });
+
+    // The directory children resolve in: `src/` for crate roots and
+    // `foo/mod.rs`, `foo/` for a non-root file `foo.rs`.
+    let file_stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+    let parent = path.parent().unwrap_or(Path::new("."));
+    let child_dir = if is_root_file || file_stem == "mod" {
+        parent.to_path_buf()
+    } else {
+        parent.join(file_stem)
+    };
+
+    for (child, under_cfg_test) in out_of_line_mods(&src) {
+        let file_child = child_dir.join(format!("{child}.rs"));
+        let dir_child = child_dir.join(&child).join("mod.rs");
+        let target = if file_child.is_file() {
+            file_child
+        } else if dir_child.is_file() {
+            dir_child
+        } else {
+            ws.warnings.push(ResolveWarning {
+                path: path.to_path_buf(),
+                message: format!(
+                    "cannot resolve `mod {child};` (tried {file_child:?} and {dir_child:?})"
+                ),
+            });
+            continue;
+        };
+        let child_kind = if under_cfg_test { FileKind::Test } else { kind };
+        add_mod_tree(ws, root, &target, crate_name, child_kind, false);
+    }
+}
+
+/// Scans a file for out-of-line module declarations (`mod name;`), returning
+/// `(name, declared_under_cfg_test)` pairs.  Inline `mod name { … }` bodies
+/// stay in the same file and need no resolution.
+fn out_of_line_mods(src: &str) -> Vec<(String, bool)> {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("mod") && i + 2 <= toks.len() {
+            // Reject `mod` used as a path segment or raw identifier; a real
+            // declaration is preceded by nothing, `pub`, `;`, `}`, `{`, or an
+            // attribute closer.
+            let prev_ok = i == 0
+                || toks[i - 1].is_ident("pub")
+                || toks[i - 1].is_punct(';')
+                || toks[i - 1].is_punct('}')
+                || toks[i - 1].is_punct('{')
+                || toks[i - 1].is_punct(']')
+                || toks[i - 1].is_punct(')');
+            if prev_ok
+                && toks[i + 1].kind == TokKind::Ident
+                && i + 2 < toks.len()
+                && toks[i + 2].is_punct(';')
+            {
+                out.push((toks[i + 1].text.clone(), preceded_by_cfg_test(toks, i)));
+                i += 3;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True when the item starting at token `i` carries a `#[cfg(test)]`-style
+/// attribute (scans backwards across contiguous attributes and `pub`).
+fn preceded_by_cfg_test(toks: &[crate::lexer::Tok], mut i: usize) -> bool {
+    while i > 0 && toks[i - 1].is_ident("pub") {
+        i -= 1;
+    }
+    // Walk attribute groups `#[ … ]` immediately before the item.
+    while i > 0 && toks[i - 1].is_punct(']') {
+        let mut depth = 0usize;
+        let mut j = i - 1;
+        loop {
+            if toks[j].is_punct(']') {
+                depth += 1;
+            } else if toks[j].is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == 0 {
+                return false;
+            }
+            j -= 1;
+        }
+        if j == 0 || !toks[j - 1].is_punct('#') {
+            return false;
+        }
+        let body: Vec<&str> = toks[j..i]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        if body.contains(&"cfg") && body.contains(&"test") {
+            return true;
+        }
+        i = j - 1;
+    }
+    false
+}
+
+/// Returns the line ranges (inclusive) of `#[cfg(test)] mod … { … }` regions
+/// in a file, so rules can exempt unit-test code embedded in library files.
+pub fn cfg_test_regions(src: &str) -> Vec<(u32, u32)> {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("mod") && preceded_by_cfg_test(toks, i) {
+            // Find the opening brace of this mod (skip the name).
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let start_line = toks[i].line;
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                    } else if toks[j].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let end_line = toks.get(j).map(|t| t.line).unwrap_or(u32::MAX);
+                out.push((start_line, end_line));
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_parse_multiline_lists() {
+        let manifest = "[workspace]\nmembers = [\n  \"crates/a\", # comment\n  \"vendor/x\",\n]\n";
+        assert_eq!(members(manifest), vec!["crates/a", "vendor/x"]);
+    }
+
+    #[test]
+    fn package_name_reads_package_section_only() {
+        let dir = std::env::temp_dir().join("pgs-lint-ws-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let manifest = dir.join("Cargo.toml");
+        std::fs::write(
+            &manifest,
+            "[dependencies]\nname-like = \"1\"\n[package]\nname = \"pgs-demo\"\n",
+        )
+        .expect("write manifest");
+        assert_eq!(package_name(&manifest).as_deref(), Some("pgs-demo"));
+    }
+
+    #[test]
+    fn out_of_line_mods_skip_inline_bodies() {
+        let src = "pub mod a;\nmod b { fn f() {} }\n#[cfg(test)]\nmod c;\n";
+        let mods = out_of_line_mods(src);
+        assert_eq!(
+            mods,
+            vec![("a".to_string(), false), ("c".to_string(), true)]
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_spans_the_mod_body() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn more() {}\n";
+        let regions = cfg_test_regions(src);
+        assert_eq!(regions, vec![(3, 5)]);
+    }
+
+    #[test]
+    fn live_workspace_resolves_this_crate() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let ws = resolve(&root);
+        let names: Vec<_> = ws
+            .files
+            .iter()
+            .map(|f| f.rel_path.to_string_lossy().into_owned())
+            .collect();
+        assert!(names.contains(&"crates/lint/src/lexer.rs".to_string()));
+        assert!(names.contains(&"crates/query/src/pipeline.rs".to_string()));
+        // Fixtures are unreachable from any crate root and must stay unlinted.
+        assert!(!names.iter().any(|n| n.contains("tests/fixtures")));
+        // Vendored shims are out of scope.
+        assert!(!names.iter().any(|n| n.starts_with("vendor/")));
+    }
+}

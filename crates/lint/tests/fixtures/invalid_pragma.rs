@@ -1,0 +1,13 @@
+//! Fixture: pragmas that fail the mandatory-reason contract.
+//! Expected: [invalid-pragma] at lines 6 and 11, and because neither pragma
+//! is valid, [panic-in-library] still fires at lines 7 and 12.
+
+pub fn missing_reason(v: &[u32]) -> u32 {
+    // pgs-lint: allow(panic-in-library)
+    *v.first().unwrap()
+}
+
+pub fn unknown_rule(v: &[u32]) -> u32 {
+    // pgs-lint: allow(no-such-rule, because the rule id has a typo)
+    *v.first().unwrap()
+}

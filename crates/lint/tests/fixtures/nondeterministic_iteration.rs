@@ -1,0 +1,18 @@
+//! Fixture: observes hash iteration order in a determinism-critical crate.
+//! Expected: [nondeterministic-iteration] at lines 8 and 13.
+
+use std::collections::HashMap;
+
+pub fn order_leak(scores: &HashMap<u64, f64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for key in scores.keys() {
+        out.push(*key);
+    }
+    let weights: HashMap<u64, f64> = HashMap::new();
+    let mut total = 0.0;
+    for (_, w) in &weights {
+        total += w;
+    }
+    out.push(total as u64);
+    out
+}

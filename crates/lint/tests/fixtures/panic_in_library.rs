@@ -1,0 +1,20 @@
+//! Fixture: panics reachable from non-test library code.
+//! Expected: [panic-in-library] at lines 5 and 9.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("fixture: deliberately panicky")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        // Inside a `#[cfg(test)]` region the rule must NOT fire.
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: a correctly-written pragma suppresses its diagnostic.
+//! Expected: no diagnostics at all — exit code 0.
+
+pub fn first(v: &[u32]) -> u32 {
+    // pgs-lint: allow(panic-in-library, fixture demonstrates a valid suppression)
+    *v.first().unwrap()
+}
+
+pub fn trailing(v: &[u32]) -> u32 {
+    *v.first().unwrap() // pgs-lint: allow(panic-in-library, trailing form, also valid)
+}

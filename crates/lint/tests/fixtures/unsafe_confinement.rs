@@ -1,0 +1,6 @@
+//! Fixture: `unsafe` outside the audited whitelist.
+//! Expected: [unsafe-confinement] at line 5.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,19 @@
+//! Fixture: constructs RNGs outside the `derive_seed` tree.
+//! Expected: [unseeded-rng] at lines 5 and 10.
+
+pub fn entropy_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn raw_seed_rng() -> u64 {
+    let mut rng = SmallRng::seed_from_u64(42);
+    rng.next_u64()
+}
+
+pub fn derived_rng(path: &[u64]) -> u64 {
+    // A seed routed through `derive_seed` is the sanctioned construction and
+    // must NOT be flagged.
+    let mut rng = SmallRng::seed_from_u64(derive_seed(path));
+    rng.next_u64()
+}

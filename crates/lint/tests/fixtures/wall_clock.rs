@@ -1,0 +1,14 @@
+//! Fixture: reads the wall clock in query-path code.
+//! Expected: [wall-clock-in-query-path] at lines 7 and 12.
+
+use std::time::Instant;
+
+pub fn timed_query() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn stamp() -> u64 {
+    let t = SystemTime::now();
+    t.duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}

@@ -1,0 +1,222 @@
+//! Golden tests for `pgs-lint`.
+//!
+//! Each fixture under `tests/fixtures/` deliberately violates exactly one
+//! rule (plus `invalid_pragma.rs`, which violates two by design); the tests
+//! pin the *exact* rule id and line of every diagnostic, so a rule drifting
+//! by one line or one token is a test failure, not a silent behavior change.
+//!
+//! The fixtures are not reachable from any crate root, so the `--workspace`
+//! self-run never sees them — which the self-clean test at the bottom
+//! depends on.
+
+use pgs_lint::{lint_paths, lint_workspace, rules, FileKind};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Lints one fixture under the strictest identity (library code of
+/// `pgs-query`) and returns every `(rule, line)` pair, sorted.
+fn rule_lines(name: &str) -> Vec<(String, u32)> {
+    let report = lint_paths(&[fixture(name)], "pgs-query", FileKind::Library);
+    assert!(
+        report.warnings.is_empty(),
+        "fixture {name} produced warnings: {:?}",
+        report.warnings
+    );
+    assert_eq!(report.files_checked, 1);
+    let mut out: Vec<(String, u32)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect();
+    out.sort();
+    out
+}
+
+fn expect(rule: &str, lines: &[u32]) -> Vec<(String, u32)> {
+    let mut out: Vec<(String, u32)> = lines.iter().map(|&l| (rule.to_string(), l)).collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn nondeterministic_iteration_fixture() {
+    assert_eq!(
+        rule_lines("nondeterministic_iteration.rs"),
+        expect(rules::NONDETERMINISTIC_ITERATION, &[8, 13])
+    );
+}
+
+#[test]
+fn unseeded_rng_fixture() {
+    assert_eq!(
+        rule_lines("unseeded_rng.rs"),
+        expect(rules::UNSEEDED_RNG, &[5, 10])
+    );
+}
+
+#[test]
+fn unsafe_confinement_fixture() {
+    assert_eq!(
+        rule_lines("unsafe_confinement.rs"),
+        expect(rules::UNSAFE_CONFINEMENT, &[5])
+    );
+}
+
+#[test]
+fn wall_clock_fixture() {
+    assert_eq!(
+        rule_lines("wall_clock.rs"),
+        expect(rules::WALL_CLOCK, &[7, 12])
+    );
+}
+
+#[test]
+fn panic_in_library_fixture() {
+    assert_eq!(
+        rule_lines("panic_in_library.rs"),
+        expect(rules::PANIC_IN_LIBRARY, &[5, 9])
+    );
+}
+
+#[test]
+fn invalid_pragma_fixture() {
+    // A malformed pragma is itself a diagnostic AND fails to suppress the
+    // diagnostic it was aimed at.
+    let mut want = expect(rules::INVALID_PRAGMA, &[6, 11]);
+    want.extend(expect(rules::PANIC_IN_LIBRARY, &[7, 12]));
+    want.sort();
+    assert_eq!(rule_lines("invalid_pragma.rs"), want);
+}
+
+#[test]
+fn valid_pragmas_suppress_cleanly() {
+    assert_eq!(rule_lines("suppressed_clean.rs"), Vec::new());
+}
+
+// ---------------------------------------------------------------------------
+// Binary-level checks: exit codes and output formats.
+// ---------------------------------------------------------------------------
+
+fn run_bin(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pgs-lint"))
+        .args(args)
+        .output()
+        .expect("failed to spawn pgs-lint binary")
+}
+
+#[test]
+fn binary_exits_nonzero_on_every_violating_fixture() {
+    for (name, rule) in [
+        (
+            "nondeterministic_iteration.rs",
+            "nondeterministic-iteration",
+        ),
+        ("unseeded_rng.rs", "unseeded-rng"),
+        ("unsafe_confinement.rs", "unsafe-confinement"),
+        ("wall_clock.rs", "wall-clock-in-query-path"),
+        ("panic_in_library.rs", "panic-in-library"),
+        ("invalid_pragma.rs", "invalid-pragma"),
+    ] {
+        let out = run_bin(&[fixture(name).to_str().unwrap()]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "fixture {name} should exit 1; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!("[{rule}]")),
+            "fixture {name} output should mention [{rule}]; got:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_suppressed_fixture() {
+    let out = run_bin(&[fixture("suppressed_clean.rs").to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn binary_text_output_is_file_line_col_rule_message() {
+    let path = fixture("unsafe_confinement.rs");
+    let out = run_bin(&[path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.lines().next().expect("one diagnostic line");
+    // `<file>:5:5 [unsafe-confinement] …`
+    let rest = line
+        .strip_prefix(&format!("{}:5:5 [unsafe-confinement] ", path.display()))
+        .unwrap_or_else(|| panic!("unexpected diagnostic shape: {line}"));
+    assert!(!rest.is_empty(), "diagnostic must carry a message");
+}
+
+#[test]
+fn binary_json_output_is_wellformed() {
+    let out = run_bin(&["--json", fixture("panic_in_library.rs").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('['));
+    assert!(stdout.trim_end().ends_with(']'));
+    assert!(stdout.contains("\"rule\":\"panic-in-library\""));
+    assert!(stdout.contains("\"line\":5"));
+    assert!(stdout.contains("\"line\":9"));
+}
+
+#[test]
+fn binary_usage_error_exits_two() {
+    let out = run_bin(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+// ---------------------------------------------------------------------------
+// Self-clean: the live workspace must produce zero diagnostics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn live_workspace_is_clean() {
+    let report = lint_workspace(&workspace_root());
+    assert!(
+        report.files_checked > 50,
+        "workspace resolution collapsed: only {} files checked",
+        report.files_checked
+    );
+    assert!(
+        report.warnings.is_empty(),
+        "workspace resolution warnings: {:#?}",
+        report.warnings
+    );
+    assert!(
+        report.is_clean(),
+        "live workspace has diagnostics:\n{}",
+        pgs_lint::render_text(&report.diagnostics)
+    );
+}
+
+#[test]
+fn binary_workspace_run_is_clean() {
+    let root = workspace_root();
+    let out = run_bin(&["--workspace", "--root", root.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "self-run found diagnostics:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -16,6 +16,7 @@ use crate::model::ProbabilisticGraph;
 pub fn to_independent_model(pg: &ProbabilisticGraph) -> ProbabilisticGraph {
     let tables = pg.tables().iter().map(|t| t.to_independent()).collect();
     ProbabilisticGraph::new(pg.skeleton().clone(), tables, false)
+        // pgs-lint: allow(panic-in-library, marginals of a validated model stay valid probabilities)
         .expect("independent counterpart of a valid model is valid")
 }
 

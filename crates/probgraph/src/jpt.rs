@@ -419,6 +419,7 @@ impl JointProbTable {
             .iter()
             .map(|&e| (e, self.edge_marginal(e)))
             .collect();
+        // pgs-lint: allow(panic-in-library, marginals of a validated table are probabilities in [0, 1])
         JointProbTable::independent(&edge_probs).expect("marginals of a valid table are valid")
     }
 }

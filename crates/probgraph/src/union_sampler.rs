@@ -116,6 +116,7 @@ impl ProjectedWorlds {
             }
             let probs_start = table.marginal_rows_into(&keep, &mut probs);
             let alias = AliasTable::new(&probs[probs_start..])
+                // pgs-lint: allow(panic-in-library, a validated JPT marginal is a non-empty distribution with positive mass)
                 .expect("a valid JPT marginal is a non-empty distribution");
             tables.push(ProjectedTable {
                 offset,
@@ -174,6 +175,7 @@ impl ProjectedWorlds {
         for &e in edges {
             let bit = self
                 .bit_of(e)
+                // pgs-lint: allow(panic-in-library, projection invariant: events only name edges inside the relevant set)
                 .expect("event edge outside the projection's relevant set");
             mask[bit as usize / 64] |= 1u64 << (bit % 64);
         }
@@ -432,6 +434,7 @@ fn conditional_tables(
             // bits so the sampler stays well-defined.
             cond_rows.truncate(rows_start);
             cond_rows.push(fixed);
+            // pgs-lint: allow(panic-in-library, a singleton weight of 1.0 is a valid distribution)
             AliasTable::new(&[1.0]).expect("singleton distribution")
         });
         out.push(CondTable {

@@ -764,6 +764,7 @@ impl QueryEngine {
         if queries.iter().any(|q| q.edge_count() == 0) {
             return Err(QueryError::EmptyQuery);
         }
+        // pgs-lint: allow(wall-clock-in-query-path, phase timers feed PhaseStats reporting only, never control flow)
         let t0 = Instant::now();
         let threads = resolve_threads(self.config.threads);
         let results: Vec<QueryResult> = if queries.len() >= threads && threads > 1 {
@@ -824,12 +825,14 @@ impl QueryEngine {
         // over filter survivors; sharded each shard's index generates and
         // checks its own members in one pool task and the global-id lists
         // merge ascending — the outputs are byte-identical either way.
+        // pgs-lint: allow(wall-clock-in-query-path, phase timers feed PhaseStats reporting only, never control flow)
         let t0 = Instant::now();
         let shard_count = self.pmi.shard_count();
         let (structural, filter_stats) = if shard_count == 1 {
             let sindex = self
                 .pmi
                 .sindex()
+                // pgs-lint: allow(panic-in-library, engine invariant: build/from_parts always attach an S-Index to the PMI)
                 .expect("engine invariant: the PMI always carries an S-Index");
             structural_candidates_indexed(sindex, &self.skeletons, q, params.delta, threads)
         } else {
@@ -846,6 +849,7 @@ impl QueryEngine {
         // Phase 2: probabilistic pruning (parallel over candidates).  The
         // relaxed query set is computed exactly once and shared with the
         // verification phase below.
+        // pgs-lint: allow(wall-clock-in-query-path, phase timers feed PhaseStats reporting only, never control flow)
         let t1 = Instant::now();
         let relaxed = relax_query_clamped(q, params.delta);
         let outcome = match params.variant {
@@ -918,6 +922,7 @@ impl QueryEngine {
         // Either way every candidate's trials come from the same fixed chunk
         // layout and derived seeds, so the split is purely a wall-clock
         // decision — the answers are byte-identical for every thread count.
+        // pgs-lint: allow(wall-clock-in-query-path, phase timers feed PhaseStats reporting only, never control flow)
         let t2 = Instant::now();
         let mut answers = outcome.accepted.clone();
         stats.verified = outcome.candidates.len();
@@ -1058,6 +1063,7 @@ impl QueryEngine {
             return Err(QueryError::EmptyQuery);
         }
         let query_hash = hash_query(q);
+        // pgs-lint: allow(wall-clock-in-query-path, phase timers feed PhaseStats reporting only, never control flow)
         let t0 = Instant::now();
         // Shared by every graph that falls back to sampling; computed once.
         let relaxed = relax_query_clamped(q, params.delta);
