@@ -20,13 +20,15 @@
 use pgs_bench::{bench_engine_config, bench_feature_params, build_setup_with, format_row};
 use pgs_datagen::ppi::{generate_ppi_dataset, CorrelationModel, PpiDatasetConfig};
 use pgs_datagen::queries::{generate_query_workload, QueryWorkloadConfig};
-use pgs_datagen::scenarios::{bulk_skeletons, paper_scale, verification_candidate, DatasetScale};
+use pgs_datagen::scenarios::{
+    bulk_path_queries, bulk_skeletons, paper_scale, verification_candidate, DatasetScale,
+};
 use pgs_index::feature::FeatureSelectionParams;
 use pgs_index::pmi::{Pmi, PmiBuildParams};
 use pgs_index::sindex::StructuralIndex;
 use pgs_index::sip_bounds::BoundsConfig;
 use pgs_prob::independent::to_independent_model;
-use pgs_query::pipeline::{EngineConfig, PruningVariant, QueryEngine, QueryParams};
+use pgs_query::pipeline::{EngineConfig, PruningVariant, QueryEngine, QueryParams, TopkParams};
 use pgs_query::structural::{structural_candidates_indexed, structural_candidates_threaded};
 use pgs_query::verify::{verify_ssp_exact, verify_ssp_sampled, VerifyOptions};
 use rand::rngs::StdRng;
@@ -48,6 +50,7 @@ fn main() {
     let bench_verify_requested = args.iter().any(|a| a == "bench-verify");
     let bench_shard_requested = args.iter().any(|a| a == "bench-shard");
     let bench_arena_requested = args.iter().any(|a| a == "bench-arena");
+    let bench_topk_requested = args.iter().any(|a| a == "bench-topk");
     let arg_after = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -65,6 +68,7 @@ fn main() {
         && !bench_verify_requested
         && !bench_shard_requested
         && !bench_arena_requested
+        && !bench_topk_requested
         && index_save_path.is_none()
         && index_load_path.is_none()
         && index_open_path.is_none())
@@ -112,6 +116,9 @@ fn main() {
     }
     if bench_arena_requested {
         bench_arena();
+    }
+    if bench_topk_requested {
+        bench_topk();
     }
     if let Some(path) = index_save_path {
         index_save(&path);
@@ -1075,6 +1082,215 @@ fn bench_shard() {
     );
     std::fs::write("BENCH_shard.json", json).expect("writing BENCH_shard.json");
     println!("wrote BENCH_shard.json\n");
+}
+
+/// Bound-adaptive verification benchmark (this PR's acceptance bar): the
+/// fixed-budget Karp–Luby sampler vs the early-stopping adaptive sampler on a
+/// 10k-skeleton threshold workload, plus best-first `query_topk` vs the
+/// rank-everything-then-truncate baseline, recorded in `BENCH_topk.json`.
+/// Before any ratio is reported the adaptive answer sets are asserted
+/// identical to the fixed-budget ones, and the adaptive top-k lists are
+/// asserted byte-identical to the truncated full ranking.
+fn bench_topk() {
+    println!("## bench-topk — adaptive early stopping vs fixed budget, best-first top-k");
+    // Lean mining parameters (as in bench-shard): the corpus exercises the
+    // verification phase, not feature quality, and the twin engines share one
+    // PMI so only sampler behaviour differs.
+    let lean_pmi = PmiBuildParams {
+        features: FeatureSelectionParams {
+            max_l: 2,
+            max_features: 8,
+            max_embeddings: 8,
+            ..bench_feature_params()
+        },
+        bounds: BoundsConfig {
+            max_embeddings: 8,
+            max_cuts: 16,
+            ..BoundsConfig::default()
+        },
+        threads: 0,
+        seed: 0x5A4D,
+    };
+    let adaptive_verify = VerifyOptions {
+        exact_cutoff: 0, // force the sampling path on every candidate
+        mc: pgs_prob::montecarlo::MonteCarloConfig {
+            tau: 0.05,
+            xi: 0.01,
+            max_samples: 20_000,
+        },
+        adaptive: true,
+        ..VerifyOptions::default()
+    };
+    let adaptive_config = EngineConfig {
+        pmi: lean_pmi,
+        verify: adaptive_verify,
+        ..bench_engine_config(0x5A4D)
+    };
+    let fixed_config = EngineConfig {
+        verify: VerifyOptions {
+            adaptive: false,
+            ..adaptive_verify
+        },
+        ..adaptive_config
+    };
+    let graphs = bulk_skeletons(10_000, 0xB17);
+    let t = Instant::now();
+    let adaptive = QueryEngine::build(graphs.clone(), adaptive_config);
+    let build_seconds = t.elapsed().as_secs_f64();
+    // The fixed-budget twin shares the adaptive engine's index (identical
+    // mining fingerprint) so the second build costs nothing.
+    let fixed = QueryEngine::from_parts(graphs, adaptive.pmi().clone(), fixed_config)
+        .expect("the fixed twin shares the adaptive engine's index");
+
+    let queries = bulk_path_queries(16);
+    let params = QueryParams {
+        epsilon: 0.1,
+        delta: 1,
+        variant: PruningVariant::OptSspBound,
+    };
+
+    // --- Threshold workload: equal answers first, then the samples ratio.
+    let ab = adaptive.query_batch(&queries, &params).unwrap();
+    let fb = fixed.query_batch(&queries, &params).unwrap();
+    let answers_identical = ab
+        .results
+        .iter()
+        .zip(&fb.results)
+        .all(|(x, y)| x.answers == y.answers);
+    assert!(
+        answers_identical,
+        "adaptive and fixed-budget threshold answers must be identical"
+    );
+    // Every sampled candidate carries the same per-candidate budget on both
+    // engines, so drawn + saved on the adaptive side must reconstruct the
+    // fixed side's draw count exactly.
+    assert_eq!(
+        ab.stats.samples_drawn + ab.stats.samples_saved,
+        fb.stats.samples_drawn,
+        "adaptive drawn + saved must equal the fixed-budget draw count"
+    );
+    let reduction = fb.stats.samples_drawn as f64 / ab.stats.samples_drawn.max(1) as f64;
+    assert!(
+        reduction >= 1.5,
+        "acceptance: adaptive stopping must cut >= 1.5x samples on the threshold \
+         workload at equal answers (measured {reduction:.2}x)"
+    );
+    let mut adaptive_secs = f64::INFINITY;
+    let mut fixed_secs = f64::INFINITY;
+    for _ in 0..3 {
+        adaptive_secs = adaptive_secs.min(
+            adaptive
+                .query_batch(&queries, &params)
+                .unwrap()
+                .wall_seconds,
+        );
+        fixed_secs = fixed_secs.min(fixed.query_batch(&queries, &params).unwrap().wall_seconds);
+    }
+    println!(
+        "{}",
+        format_row(
+            "threshold, 10k graphs",
+            &[
+                format!("fixed {} samp", fb.stats.samples_drawn),
+                format!("adaptive {} samp", ab.stats.samples_drawn),
+                format!("{reduction:.1}x fewer"),
+                format!("{:.2}s vs {:.2}s", fixed_secs, adaptive_secs),
+            ]
+        )
+    );
+
+    // --- Top-k: best-first with a moving lower-bound threshold vs ranking the
+    // whole candidate set at full budget and truncating.
+    let k = 10usize;
+    let topk_params = TopkParams {
+        k,
+        delta: 1,
+        variant: PruningVariant::OptSspBound,
+    };
+    let baseline_params = TopkParams {
+        k: 10_000,
+        delta: 1,
+        variant: PruningVariant::OptSspBound,
+    };
+    let at = adaptive.query_topk_batch(&queries, &topk_params).unwrap();
+    let ft = fixed.query_topk_batch(&queries, &baseline_params).unwrap();
+    let topk_identical = at.results.iter().zip(&ft.results).all(|(x, y)| {
+        let lhs: Vec<(usize, u64)> = x
+            .ranked
+            .iter()
+            .map(|r| (r.graph, r.ssp.to_bits()))
+            .collect();
+        let rhs: Vec<(usize, u64)> = y
+            .ranked
+            .iter()
+            .take(k)
+            .map(|r| (r.graph, r.ssp.to_bits()))
+            .collect();
+        lhs == rhs
+    });
+    assert!(
+        topk_identical,
+        "best-first top-{k} must be byte-identical to the truncated full ranking"
+    );
+    let mut topk_secs = f64::INFINITY;
+    let mut baseline_secs = f64::INFINITY;
+    for _ in 0..3 {
+        topk_secs = topk_secs.min(
+            adaptive
+                .query_topk_batch(&queries, &topk_params)
+                .unwrap()
+                .wall_seconds,
+        );
+        baseline_secs = baseline_secs.min(
+            fixed
+                .query_topk_batch(&queries, &baseline_params)
+                .unwrap()
+                .wall_seconds,
+        );
+    }
+    let topk_speedup = baseline_secs / topk_secs.max(1e-12);
+    println!(
+        "{}",
+        format_row(
+            &format!("top-{k}, 10k graphs"),
+            &[
+                format!("rank-all {baseline_secs:.2}s"),
+                format!("best-first {topk_secs:.2}s"),
+                format!("{topk_speedup:.1}x"),
+                format!("{} pruned", at.stats.topk_pruned),
+            ]
+        )
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"adaptive_topk\",\n  \"database_graphs\": 10000,\n  \
+         \"build_seconds\": {build_seconds:.6},\n  \
+         \"threshold\": {{ \"queries\": {q}, \"epsilon\": 0.1, \"delta\": 1, \
+         \"answers_identical\": {answers_identical},\n    \
+         \"fixed\": {{ \"samples_drawn\": {fdrawn}, \"wall_seconds\": {fixed_secs:.6} }},\n    \
+         \"adaptive\": {{ \"samples_drawn\": {adrawn}, \"samples_saved\": {asaved}, \
+         \"early_accepts\": {eacc}, \"early_rejects\": {erej}, \"wall_seconds\": {adaptive_secs:.6} }},\n    \
+         \"samples_reduction\": {reduction:.3} }},\n  \
+         \"topk\": {{ \"queries\": {q}, \"k\": {k}, \"baseline_k\": 10000, \
+         \"top_k_identical\": {topk_identical},\n    \
+         \"baseline\": {{ \"samples_drawn\": {bdrawn}, \"wall_seconds\": {baseline_secs:.6} }},\n    \
+         \"best_first\": {{ \"samples_drawn\": {tdrawn}, \"samples_saved\": {tsaved}, \
+         \"early_rejects\": {terej}, \"topk_pruned\": {tpruned}, \"wall_seconds\": {topk_secs:.6} }},\n    \
+         \"speedup\": {topk_speedup:.3} }}\n}}\n",
+        q = queries.len(),
+        fdrawn = fb.stats.samples_drawn,
+        adrawn = ab.stats.samples_drawn,
+        asaved = ab.stats.samples_saved,
+        eacc = ab.stats.early_accepts,
+        erej = ab.stats.early_rejects,
+        bdrawn = ft.stats.samples_drawn,
+        tdrawn = at.stats.samples_drawn,
+        tsaved = at.stats.samples_saved,
+        terej = at.stats.early_rejects,
+        tpruned = at.stats.topk_pruned,
+    );
+    std::fs::write("BENCH_topk.json", json).expect("writing BENCH_topk.json");
+    println!("wrote BENCH_topk.json\n");
 }
 
 fn bench_arena() {

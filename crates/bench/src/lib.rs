@@ -59,6 +59,7 @@ pub fn bench_engine_config(seed: u64) -> EngineConfig {
             },
             max_embeddings: 128,
             exact_cutoff: 14,
+            ..VerifyOptions::default()
         },
         exact: pgs_query::pipeline::ExactScanConfig::default(),
         cross_term: pgs_query::prune::CrossTermRule::SafeMin,

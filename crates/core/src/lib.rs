@@ -41,7 +41,7 @@ use pgs_index::snapshot::SnapshotError;
 use pgs_prob::model::ProbabilisticGraph;
 use pgs_query::pipeline::{
     BatchResult, EngineConfig, EngineLoadError, IndexMismatch, PruningVariant, QueryEngine,
-    QueryError, QueryParams, QueryResult,
+    QueryError, QueryParams, QueryResult, TopkBatchResult, TopkParams, TopkResult,
 };
 use std::fmt;
 use std::path::Path;
@@ -62,7 +62,7 @@ pub mod prelude {
     pub use pgs_prob::model::ProbabilisticGraph;
     pub use pgs_query::pipeline::{
         BatchResult, EngineConfig, ExactScanConfig, PruningVariant, QueryError, QueryParams,
-        QueryResult,
+        QueryResult, RankedAnswer, TopkBatchResult, TopkParams, TopkResult,
     };
 }
 
@@ -90,6 +90,9 @@ pub enum DbError {
     /// The engine's shard count is zero or exceeds the shard ceiling
     /// (`pgs_index::shard::MAX_SHARDS`).
     InvalidShardConfig(String),
+    /// The requested top-k answer count is zero or exceeds the supported
+    /// ceiling (`pgs_query::pipeline::MAX_TOPK`).
+    InvalidK(String),
     /// Saving or loading an index snapshot failed.
     Snapshot(String),
     /// A loaded index snapshot does not match the database contents.
@@ -111,6 +114,7 @@ impl fmt::Display for DbError {
             DbError::InvalidVerifyConfig(e) => write!(f, "{e}"),
             DbError::InvalidThreadConfig(e) => write!(f, "{e}"),
             DbError::InvalidShardConfig(e) => write!(f, "{e}"),
+            DbError::InvalidK(e) => write!(f, "{e}"),
             DbError::Snapshot(e) => write!(f, "index snapshot error: {e}"),
             DbError::IndexMismatch(e) => write!(f, "index/database mismatch: {e}"),
         }
@@ -128,6 +132,7 @@ impl From<QueryError> for DbError {
             QueryError::InvalidVerifyOptions { .. } => DbError::InvalidVerifyConfig(e.to_string()),
             QueryError::InvalidThreads { .. } => DbError::InvalidThreadConfig(e.to_string()),
             QueryError::InvalidShards { .. } => DbError::InvalidShardConfig(e.to_string()),
+            QueryError::InvalidK { .. } => DbError::InvalidK(e.to_string()),
         }
     }
 }
@@ -290,6 +295,57 @@ impl ProbGraphDatabase {
     pub fn exact_scan(&self, query: &Graph, params: &QueryParams) -> Result<QueryResult, DbError> {
         let engine = self.engine.as_ref().ok_or(DbError::IndexNotBuilt)?;
         Ok(engine.exact_scan(query, params)?)
+    }
+
+    /// Answers a top-k probabilistic subgraph similarity query: the `k`
+    /// graphs with the highest subgraph similarity probability to `query`
+    /// under distance threshold `delta`, best first.  Graphs whose SSP is
+    /// zero are never returned, so fewer than `k` matches are possible.
+    pub fn query_topk(
+        &self,
+        query: &Graph,
+        k: usize,
+        delta: usize,
+    ) -> Result<Vec<QueryMatch>, DbError> {
+        let result = self.query_topk_detailed(
+            query,
+            &TopkParams {
+                k,
+                delta,
+                variant: PruningVariant::OptSspBound,
+            },
+        )?;
+        Ok(result
+            .ranked
+            .iter()
+            .map(|r| QueryMatch {
+                graph_index: r.graph,
+                name: self.graphs[r.graph].name().to_string(),
+            })
+            .collect())
+    }
+
+    /// Answers a top-k query with full control over the parameters and access
+    /// to the ranked SSP estimates and per-phase statistics.
+    pub fn query_topk_detailed(
+        &self,
+        query: &Graph,
+        params: &TopkParams,
+    ) -> Result<TopkResult, DbError> {
+        let engine = self.engine.as_ref().ok_or(DbError::IndexNotBuilt)?;
+        Ok(engine.query_topk(query, params)?)
+    }
+
+    /// Answers a batch of top-k queries in one dispatch on the persistent
+    /// worker pool.  Every result is byte-identical to a standalone
+    /// [`Self::query_topk_detailed`] call with the same parameters.
+    pub fn query_topk_batch(
+        &self,
+        queries: &[Graph],
+        params: &TopkParams,
+    ) -> Result<TopkBatchResult, DbError> {
+        let engine = self.engine.as_ref().ok_or(DbError::IndexNotBuilt)?;
+        Ok(engine.query_topk_batch(queries, params)?)
     }
 }
 
@@ -464,6 +520,20 @@ impl DynamicDatabase {
     /// The `Exact` baseline scan (see `QueryEngine::exact_scan`).
     pub fn exact_scan(&self, query: &Graph, params: &QueryParams) -> Result<QueryResult, DbError> {
         Ok(self.engine.exact_scan(query, params)?)
+    }
+
+    /// Answers a top-k query (see `QueryEngine::query_topk`).
+    pub fn query_topk(&self, query: &Graph, params: &TopkParams) -> Result<TopkResult, DbError> {
+        Ok(self.engine.query_topk(query, params)?)
+    }
+
+    /// Answers a batch of top-k queries (see `QueryEngine::query_topk_batch`).
+    pub fn query_topk_batch(
+        &self,
+        queries: &[Graph],
+        params: &TopkParams,
+    ) -> Result<TopkBatchResult, DbError> {
+        Ok(self.engine.query_topk_batch(queries, params)?)
     }
 }
 
@@ -805,6 +875,126 @@ mod tests {
             built.query(&q, &params).unwrap().answers
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn topk_facade_ranks_by_probability() {
+        let mut db = ProbGraphDatabase::new();
+        db.extend([triangle("a", 0.9), triangle("b", 0.4), triangle("c", 0.05)]);
+        db.build_index();
+        let q = GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .build();
+        let top2 = db.query_topk(&q, 2, 0).unwrap();
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].name, "a");
+        assert_eq!(top2[1].name, "b");
+
+        let detailed = db
+            .query_topk_detailed(
+                &q,
+                &TopkParams {
+                    k: 2,
+                    delta: 0,
+                    variant: PruningVariant::OptSspBound,
+                },
+            )
+            .unwrap();
+        assert_eq!(detailed.ranked.len(), 2);
+        assert_eq!(detailed.ranked[0].graph, 0);
+        assert!(detailed.ranked[0].ssp >= detailed.ranked[1].ssp);
+
+        // The dynamic facade agrees with the static one.
+        let dynamic = DynamicDatabase::build(db.graphs().to_vec(), EngineConfig::default());
+        let dyn_top = dynamic
+            .query_topk(
+                &q,
+                &TopkParams {
+                    k: 2,
+                    delta: 0,
+                    variant: PruningVariant::OptSspBound,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            dyn_top.ranked.iter().map(|r| r.graph).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+
+        // Batch answers are byte-identical to solo answers.
+        let batch = db
+            .query_topk_batch(
+                std::slice::from_ref(&q),
+                &TopkParams {
+                    k: 2,
+                    delta: 0,
+                    variant: PruningVariant::OptSspBound,
+                },
+            )
+            .unwrap();
+        assert_eq!(batch.results.len(), 1);
+        assert_eq!(batch.results[0].ranked, detailed.ranked);
+        let dyn_batch = dynamic
+            .query_topk_batch(
+                std::slice::from_ref(&q),
+                &TopkParams {
+                    k: 2,
+                    delta: 0,
+                    variant: PruningVariant::OptSspBound,
+                },
+            )
+            .unwrap();
+        assert_eq!(dyn_batch.results[0].ranked, detailed.ranked);
+    }
+
+    #[test]
+    fn topk_facade_surfaces_typed_errors() {
+        let q = GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 0).build();
+        let unindexed = ProbGraphDatabase::new();
+        assert_eq!(
+            unindexed.query_topk(&q, 1, 0).unwrap_err(),
+            DbError::IndexNotBuilt
+        );
+
+        let mut db = ProbGraphDatabase::new();
+        db.insert(triangle("a", 0.5));
+        db.build_index();
+        let err = db.query_topk(&q, 0, 0).unwrap_err();
+        assert!(matches!(err, DbError::InvalidK(_)));
+        assert!(err.to_string().contains("top-k"));
+        let params = TopkParams {
+            k: 0,
+            delta: 0,
+            variant: PruningVariant::OptSspBound,
+        };
+        assert!(matches!(
+            db.query_topk_detailed(&q, &params).unwrap_err(),
+            DbError::InvalidK(_)
+        ));
+        assert!(matches!(
+            db.query_topk_batch(std::slice::from_ref(&q), &params)
+                .unwrap_err(),
+            DbError::InvalidK(_)
+        ));
+        let empty = Graph::new();
+        assert_eq!(
+            db.query_topk(&empty, 1, 0).unwrap_err(),
+            DbError::EmptyQuery
+        );
+
+        let dynamic = DynamicDatabase::build(vec![triangle("a", 0.5)], EngineConfig::default());
+        assert!(matches!(
+            dynamic.query_topk(&q, &params).unwrap_err(),
+            DbError::InvalidK(_)
+        ));
+        assert!(matches!(
+            dynamic
+                .query_topk_batch(std::slice::from_ref(&q), &params)
+                .unwrap_err(),
+            DbError::InvalidK(_)
+        ));
     }
 
     #[test]

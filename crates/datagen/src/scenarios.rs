@@ -99,6 +99,25 @@ pub fn bulk_skeletons(count: usize, seed: u64) -> Vec<ProbabilisticGraph> {
         .collect()
 }
 
+/// A fixed deterministic query workload over the [`bulk_skeletons`] label
+/// alphabet: `count` three-vertex paths cycling through the five vertex
+/// labels and two edge labels, so each query matches a different slice of a
+/// bulk corpus.  Shared by the `bench-topk` harness and the top-k
+/// integration tests.
+pub fn bulk_path_queries(count: usize) -> Vec<pgs_graph::model::Graph> {
+    use pgs_graph::model::GraphBuilder;
+    (0..count as u32)
+        .map(|i| {
+            GraphBuilder::new()
+                .name(format!("path-query-{i}"))
+                .vertices(&[i % 5, (i + 1) % 5, (i + 2) % 5])
+                .edge(0, 1, i % 2)
+                .edge(1, 2, (i + 1) % 2)
+                .build()
+        })
+        .collect()
+}
+
 /// A verification-phase candidate shared by the `bench-verify` harness and
 /// the verifier's test suite: a labelled triangle region (vertex labels 0/1/2,
 /// edge label 9, one correlated max-rule JPT) the returned query embeds into
@@ -198,6 +217,24 @@ mod tests {
             bulk_skeletons(1, 1)[0].skeleton().structural_hash(),
             bulk_skeletons(1, 2)[0].skeleton().structural_hash()
         );
+    }
+
+    #[test]
+    fn bulk_path_queries_cycle_the_bulk_label_alphabet() {
+        let qs = bulk_path_queries(16);
+        assert_eq!(qs.len(), 16);
+        for (i, q) in qs.iter().enumerate() {
+            assert_eq!(q.name(), format!("path-query-{i}"));
+            assert_eq!(q.vertex_count(), 3);
+            assert_eq!(q.edge_count(), 2);
+        }
+        // Deterministic: the workload is a pure function of the count.
+        assert_eq!(
+            qs[3].structural_hash(),
+            bulk_path_queries(16)[3].structural_hash()
+        );
+        // Distinct queries hit distinct label combinations.
+        assert_ne!(qs[0].structural_hash(), qs[1].structural_hash());
     }
 
     #[test]

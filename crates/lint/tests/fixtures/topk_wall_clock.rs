@@ -1,0 +1,19 @@
+//! Fixture: a best-first top-k walk that stops on the wall clock.  Time-based
+//! stopping would make the answer set depend on machine load, breaking the
+//! byte-identical determinism contract the top-k path promises.
+//! Expected: [wall-clock-in-query-path] at lines 9 and 13.
+
+use std::time::Instant;
+
+pub fn best_first_topk(upper_bounds: &[f64], k: usize) -> Vec<usize> {
+    let deadline = Instant::now();
+    let mut picked = Vec::new();
+    for (i, _ub) in upper_bounds.iter().enumerate() {
+        if picked.len() >= k || deadline.elapsed().as_millis() > 50 {
+            let _lap = Instant::now();
+            break;
+        }
+        picked.push(i);
+    }
+    picked
+}

@@ -81,6 +81,17 @@ fn wall_clock_fixture() {
 }
 
 #[test]
+fn topk_wall_clock_fixture() {
+    // The top-k walk variant of the wall-clock rule: a load-dependent
+    // deadline in the best-first loop is exactly the non-determinism the
+    // rule exists to keep out of the query path.
+    assert_eq!(
+        rule_lines("topk_wall_clock.rs"),
+        expect(rules::WALL_CLOCK, &[9, 13])
+    );
+}
+
+#[test]
 fn panic_in_library_fixture() {
     assert_eq!(
         rule_lines("panic_in_library.rs"),
@@ -124,6 +135,7 @@ fn binary_exits_nonzero_on_every_violating_fixture() {
         ("unseeded_rng.rs", "unseeded-rng"),
         ("unsafe_confinement.rs", "unsafe-confinement"),
         ("wall_clock.rs", "wall-clock-in-query-path"),
+        ("topk_wall_clock.rs", "wall-clock-in-query-path"),
         ("panic_in_library.rs", "panic-in-library"),
         ("invalid_pragma.rs", "invalid-pragma"),
     ] {

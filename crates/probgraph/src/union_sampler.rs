@@ -41,6 +41,60 @@ use rand::{Rng, SeedableRng};
 /// trial count, never on the worker count.
 const CHUNK_TRIALS: usize = 1024;
 
+/// The sequential stopping rule evaluated by
+/// [`UnionSampler::estimate_adaptive`] at its fixed chunk-round boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    /// The decision threshold the union probability is compared against
+    /// (`ε` for threshold queries, the running k-th-best lower bound for
+    /// top-k queries).
+    pub threshold: f64,
+    /// Failure budget `ξ` of the whole check sequence: the per-check
+    /// confidence intervals are widened by a union bound over the number of
+    /// boundaries, so the probability that *any* early decision disagrees
+    /// with the sign of `p − threshold` is at most `ξ`.
+    pub xi: f64,
+    /// Whether the "interval entirely at or above the threshold" stop may
+    /// fire.  Threshold queries set it (an accept is an accept); the top-k
+    /// path clears it because ranked answers need their full-budget
+    /// estimates — only clear losers may stop early there.
+    pub accept_early: bool,
+}
+
+/// The result of one [`UnionSampler::estimate_adaptive`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveEstimate {
+    /// `V · cnt / m` over the `m` trials actually drawn, clamped to `[0, 1]`.
+    /// When no early stop fires this is bit-identical to what
+    /// [`UnionSampler::estimate_chunked`] returns for the same `(n, seed)`.
+    pub estimate: f64,
+    /// Trials actually drawn (`≤ n`; `0` when the `[0, min(V, 1)]` prior
+    /// interval already decided).
+    pub samples_drawn: usize,
+    /// `Some(true)` when the interval separated at or above the threshold,
+    /// `Some(false)` when it separated below, `None` when the full budget ran.
+    pub decision: Option<bool>,
+}
+
+/// The deterministic round schedule of [`UnionSampler::estimate_adaptive`]:
+/// chunk counts `1, 1, 2, 4, 8, …` (capped by the remainder), so stopping
+/// checks are dense early — where the savings are — while later rounds grow
+/// enough to amortise dispatch.  A pure function of the chunk count, never of
+/// the worker count: the check boundaries are part of the determinism
+/// contract.
+fn adaptive_rounds(chunks: usize) -> Vec<usize> {
+    let mut rounds = Vec::new();
+    let mut done = 0usize;
+    while done < chunks {
+        // Each round doubles the cumulative chunk count, so the check
+        // boundaries sit at 1, 2, 4, 8, … chunks.
+        let take = done.max(1).min(chunks - done);
+        rounds.push(take);
+        done += take;
+    }
+    rounds
+}
+
 /// A probabilistic graph projected onto the JPT tables touched by a set of
 /// relevant edges, with the relevant edges renumbered into a compact bitset
 /// universe and one alias table per projected table row distribution.
@@ -394,6 +448,118 @@ impl UnionSampler {
         let count: usize = counts.iter().sum();
         (self.total_weight * count as f64 / n as f64).clamp(0.0, 1.0)
     }
+
+    /// [`Self::estimate_chunked`] with a sequential stopping rule: the same
+    /// deterministic chunks (chunk `c` always draws from
+    /// `derive_seed([seed, c])`) run through the worker pool in rounds of the
+    /// fixed [`adaptive_rounds`] schedule, and after each round the running
+    /// Hoeffding interval of the union probability is compared against
+    /// `rule.threshold` — once the interval lies entirely below (or, with
+    /// `rule.accept_early`, entirely at or above) the threshold, the
+    /// remaining rounds are skipped.
+    ///
+    /// Determinism: the chunk layout, the round boundaries and the interval
+    /// are pure functions of `(n, seed)` and the deterministic chunk-prefix
+    /// counts, so the result is byte-identical for every thread count.  When
+    /// no stop fires, `estimate` is bit-identical to
+    /// [`Self::estimate_chunked`] for the same `(n, seed)` — same chunks,
+    /// same integer count sum, same final expression.
+    ///
+    /// Soundness: each check uses the two-sided Hoeffding half-width at
+    /// confidence `1 − ξ / checks` on the Bernoulli mean `p / V`, so by a
+    /// union bound over the check sequence an early decision disagrees with
+    /// the sign of `p − threshold` with probability at most `ξ`.  The prior
+    /// interval `[0, min(V, 1)]` is exact (union bound over the embedding
+    /// events), so its zero-sample decisions are always right — and always
+    /// agree with the fixed-budget decision, since the estimate can never
+    /// leave that interval.
+    pub fn estimate_adaptive(
+        &self,
+        n: usize,
+        seed: u64,
+        threads: usize,
+        rule: &StoppingRule,
+    ) -> AdaptiveEstimate {
+        if n == 0 {
+            return AdaptiveEstimate {
+                estimate: 0.0,
+                samples_drawn: 0,
+                decision: None,
+            };
+        }
+        let v = self.total_weight;
+        // The union probability lives in [0, min(V, 1)] before any trial.
+        let upper_cap = v.min(1.0);
+        if upper_cap < rule.threshold {
+            return AdaptiveEstimate {
+                estimate: 0.0,
+                samples_drawn: 0,
+                decision: Some(false),
+            };
+        }
+        if rule.accept_early && rule.threshold <= 0.0 {
+            return AdaptiveEstimate {
+                estimate: 0.0,
+                samples_drawn: 0,
+                decision: Some(true),
+            };
+        }
+        let rounds = adaptive_rounds(n.div_ceil(CHUNK_TRIALS));
+        // One early check per round boundary except the last (running to the
+        // final round is the full-budget answer, not an early decision).
+        let checks = (rounds.len() - 1).max(1) as f64;
+        let mut drawn = 0usize;
+        let mut count = 0usize;
+        let mut next_chunk = 0usize;
+        for (ri, &round) in rounds.iter().enumerate() {
+            let chunk_ids: Vec<usize> = (next_chunk..next_chunk + round).collect();
+            next_chunk += round;
+            let counts: Vec<usize> =
+                par_map_chunked_costed(&chunk_ids, threads, CostHint::HEAVY, |_, &c| {
+                    let mut rng = StdRng::seed_from_u64(derive_seed(&[seed, c as u64]));
+                    let trials = CHUNK_TRIALS.min(n - c * CHUNK_TRIALS);
+                    let mut scratch = vec![0u64; self.stride];
+                    let mut chunk_count = 0usize;
+                    for _ in 0..trials {
+                        if self.sample_trial(&mut rng, &mut scratch) {
+                            chunk_count += 1;
+                        }
+                    }
+                    chunk_count
+                });
+            for (&c, &k) in chunk_ids.iter().zip(&counts) {
+                drawn += CHUNK_TRIALS.min(n - c * CHUNK_TRIALS);
+                count += k;
+            }
+            if ri + 1 == rounds.len() {
+                break;
+            }
+            let m = drawn as f64;
+            let mu = count as f64 / m;
+            let eps = ((2.0 * checks / rule.xi).ln() / (2.0 * m)).sqrt();
+            let lower = (v * (mu - eps)).max(0.0);
+            let upper = (v * (mu + eps)).min(upper_cap);
+            if upper < rule.threshold {
+                return AdaptiveEstimate {
+                    estimate: (v * count as f64 / m).clamp(0.0, 1.0),
+                    samples_drawn: drawn,
+                    decision: Some(false),
+                };
+            }
+            if rule.accept_early && lower >= rule.threshold {
+                return AdaptiveEstimate {
+                    estimate: (v * count as f64 / m).clamp(0.0, 1.0),
+                    samples_drawn: drawn,
+                    decision: Some(true),
+                };
+            }
+        }
+        AdaptiveEstimate {
+            estimate: (v * count as f64 / n as f64).clamp(0.0, 1.0),
+            samples_drawn: drawn,
+            decision: None,
+        }
+    }
 }
 
 /// Resolves one embedding's conditioning against every projected table it
@@ -600,6 +766,149 @@ mod tests {
         assert_eq!(sampler.estimate_chunked(n, 0xFACE, 4), reference);
         let other = sampler.estimate_chunked(n, 0xBEEF, 4);
         assert!((other - reference).abs() < 0.05);
+    }
+
+    #[test]
+    fn adaptive_rounds_schedule_is_doubling_and_exhaustive() {
+        assert!(adaptive_rounds(0).is_empty());
+        assert_eq!(adaptive_rounds(1), vec![1]);
+        assert_eq!(adaptive_rounds(2), vec![1, 1]);
+        assert_eq!(adaptive_rounds(9), vec![1, 1, 2, 4, 1]);
+        assert_eq!(adaptive_rounds(16), vec![1, 1, 2, 4, 8]);
+        for chunks in [1usize, 2, 3, 7, 31, 100] {
+            assert_eq!(adaptive_rounds(chunks).iter().sum::<usize>(), chunks);
+        }
+    }
+
+    /// A rule that can never fire (threshold above any reachable upper
+    /// bound would reject immediately; a threshold of 1 + V with accepts
+    /// disabled never separates), so the adaptive run must degrade to the
+    /// fixed-budget estimate bit for bit.
+    #[test]
+    fn adaptive_without_a_stop_matches_estimate_chunked_bitwise() {
+        let pg = fixture_002();
+        let embeddings: Vec<Vec<EdgeId>> = vec![
+            vec![EdgeId(0), EdgeId(1)],
+            vec![EdgeId(1), EdgeId(2)],
+            vec![EdgeId(3), EdgeId(4)],
+        ];
+        let sampler = UnionSampler::new(&pg, &embeddings).unwrap();
+        let n = 5 * 1024 + 321;
+        let rule = StoppingRule {
+            threshold: 0.0,
+            xi: 0.05,
+            accept_early: false,
+        };
+        for seed in [0xFACEu64, 0xBEEF, 7] {
+            let adaptive = sampler.estimate_adaptive(n, seed, 1, &rule);
+            assert_eq!(adaptive.decision, None);
+            assert_eq!(adaptive.samples_drawn, n);
+            assert_eq!(
+                adaptive.estimate.to_bits(),
+                sampler.estimate_chunked(n, seed, 1).to_bits(),
+                "seed {seed:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_decisions_are_thread_count_invariant_and_repeatable() {
+        let pg = fixture_002();
+        let embeddings: Vec<Vec<EdgeId>> = vec![
+            vec![EdgeId(0), EdgeId(1)],
+            vec![EdgeId(0), EdgeId(2)],
+            vec![EdgeId(1), EdgeId(2)],
+            vec![EdgeId(3), EdgeId(4)],
+        ];
+        let sampler = UnionSampler::new(&pg, &embeddings).unwrap();
+        let n = 9 * 1024;
+        // Exercise reject, accept and no-stop thresholds; all must be
+        // byte-identical across worker counts and across repeats.
+        for (threshold, accept_early) in [(0.05, true), (0.99, true), (0.5, false), (0.5, true)] {
+            let rule = StoppingRule {
+                threshold,
+                xi: 0.05,
+                accept_early,
+            };
+            let reference = sampler.estimate_adaptive(n, 0xFACE, 1, &rule);
+            for threads in [2usize, 3, 4, 8, 0] {
+                assert_eq!(
+                    sampler.estimate_adaptive(n, 0xFACE, threads, &rule),
+                    reference,
+                    "threshold={threshold} accept_early={accept_early} threads={threads}"
+                );
+            }
+            assert_eq!(sampler.estimate_adaptive(n, 0xFACE, 4, &rule), reference);
+        }
+    }
+
+    #[test]
+    fn adaptive_stops_early_on_clear_decisions() {
+        let pg = fixture_002();
+        let embeddings: Vec<Vec<EdgeId>> = vec![
+            vec![EdgeId(0), EdgeId(1)],
+            vec![EdgeId(0), EdgeId(2)],
+            vec![EdgeId(1), EdgeId(2)],
+        ];
+        let sampler = UnionSampler::new(&pg, &embeddings).unwrap();
+        let exact = exact_union_probability(&pg, &embeddings, 22).unwrap();
+        let n = 64 * 1024;
+        // Threshold far below the union probability: early accept.
+        let accept = sampler.estimate_adaptive(
+            n,
+            0xACCE,
+            1,
+            &StoppingRule {
+                threshold: exact / 4.0,
+                xi: 0.05,
+                accept_early: true,
+            },
+        );
+        assert_eq!(accept.decision, Some(true));
+        assert!(
+            accept.samples_drawn < n,
+            "must save samples on a clear accept"
+        );
+        // The same threshold with accepts disabled (the top-k mode) must run
+        // the full budget instead.
+        let no_accept = sampler.estimate_adaptive(
+            n,
+            0xACCE,
+            1,
+            &StoppingRule {
+                threshold: exact / 4.0,
+                xi: 0.05,
+                accept_early: false,
+            },
+        );
+        assert_eq!(no_accept.decision, None);
+        assert_eq!(no_accept.samples_drawn, n);
+        // Threshold far above: early reject.
+        let reject = sampler.estimate_adaptive(
+            n,
+            0xACCE,
+            1,
+            &StoppingRule {
+                threshold: (exact + 1.0) / 2.0,
+                xi: 0.05,
+                accept_early: true,
+            },
+        );
+        assert_eq!(reject.decision, Some(false));
+        assert!(reject.samples_drawn < n);
+        // A threshold above min(V, 1) rejects before the first trial.
+        let hopeless = sampler.estimate_adaptive(
+            n,
+            0xACCE,
+            1,
+            &StoppingRule {
+                threshold: sampler.total_weight().min(1.0) + 0.01,
+                xi: 0.05,
+                accept_early: false,
+            },
+        );
+        assert_eq!(hopeless.decision, Some(false));
+        assert_eq!(hopeless.samples_drawn, 0);
     }
 
     #[test]

@@ -16,9 +16,9 @@
 //! The `Exact` baseline ([`QueryEngine::exact_scan`]) evaluates the SSP of
 //! every database graph directly.
 
-use crate::prune::{prune_candidate, CrossTermRule, PruneDecision, PruneOutcome};
+use crate::prune::{bound_candidate, prune_candidate, CrossTermRule, PruneDecision, PruneOutcome};
 use crate::structural::{structural_candidates_indexed, structural_candidates_sharded};
-use crate::verify::{verify_ssp_exact, verify_ssp_with_stats, VerifyOptions};
+use crate::verify::{verify_ssp_adaptive, verify_ssp_exact, verify_ssp_with_stats, VerifyOptions};
 use pgs_graph::model::Graph;
 use pgs_graph::parallel::{
     derive_seed, par_map_chunked_costed, resolve_threads, CostHint, MAX_THREADS,
@@ -247,6 +247,84 @@ impl QueryParams {
     }
 }
 
+/// Ceiling on the top-k answer count: the engine's internal graph ids are
+/// 32-bit, so no database can ever hold more than this many answers.
+pub const MAX_TOPK: usize = u32::MAX as usize;
+
+/// Per-query parameters of a ranked (top-k) query
+/// ([`QueryEngine::query_topk`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TopkParams {
+    /// Number of answers requested (`1 ..= `[`MAX_TOPK`]).
+    pub k: usize,
+    /// Subgraph distance threshold `δ`.
+    pub delta: usize,
+    /// Pruning stack to use.  `Structure` skips the probabilistic bounds, so
+    /// every structural candidate is verified with a trivial upper bound of
+    /// one — the best-first ordering degenerates and only the running
+    /// k-th-best cut prunes.
+    pub variant: PruningVariant,
+}
+
+impl Default for TopkParams {
+    fn default() -> Self {
+        TopkParams {
+            k: 10,
+            delta: 2,
+            variant: PruningVariant::OptSspBound,
+        }
+    }
+}
+
+impl TopkParams {
+    /// Validates the parameters, rejecting `k = 0` (an empty ranking by
+    /// construction) and `k > `[`MAX_TOPK`] with a typed error — both are
+    /// caller bugs that would otherwise look like a plausible (empty or
+    /// database-sized) result.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if self.k == 0 || self.k > MAX_TOPK {
+            return Err(QueryError::InvalidK { k: self.k });
+        }
+        Ok(())
+    }
+}
+
+/// One entry of a ranked answer list: a database graph and its SSP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedAnswer {
+    /// Index into the database.
+    pub graph: usize,
+    /// The graph's (estimated or exact) subgraph similarity probability.
+    pub ssp: f64,
+}
+
+/// The result of one top-k query ([`QueryEngine::query_topk`]).
+#[derive(Debug, Clone, Default)]
+pub struct TopkResult {
+    /// Up to `k` answers, best first: descending SSP, ties broken by the
+    /// graphs' content salts (then database index).  Graphs with SSP = 0
+    /// never appear, so the list is shorter than `k` when fewer graphs match
+    /// at all.
+    pub ranked: Vec<RankedAnswer>,
+    /// Per-phase statistics (including the top-k telemetry counters
+    /// `samples_saved`, `early_rejects` and `topk_pruned`).
+    pub stats: PhaseStats,
+}
+
+/// The result of a [`QueryEngine::query_topk_batch`] run.
+#[derive(Debug, Clone, Default)]
+pub struct TopkBatchResult {
+    /// One [`TopkResult`] per input query, in input order; each is
+    /// byte-identical to what [`QueryEngine::query_topk`] would have
+    /// returned for that query alone.
+    pub results: Vec<TopkResult>,
+    /// Field-wise sum of the per-query statistics (CPU seconds, not
+    /// wall-clock — see [`BatchResult::stats`]).
+    pub stats: PhaseStats,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+}
+
 /// A query was rejected before any work was done.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QueryError {
@@ -304,6 +382,14 @@ pub enum QueryError {
         /// The ceiling (`pgs_index::shard::MAX_SHARDS`).
         max: usize,
     },
+    /// The requested top-k answer count is unusable: zero (an empty ranking
+    /// by construction — almost certainly a caller bug) or beyond
+    /// [`MAX_TOPK`] (the engine's internal graph ids are 32-bit, so a larger
+    /// `k` could never be satisfied).
+    InvalidK {
+        /// The rejected value.
+        k: usize,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -339,6 +425,10 @@ impl fmt::Display for QueryError {
             QueryError::InvalidShards { shards, max } => write!(
                 f,
                 "invalid shard count {shards}: must be between 1 and {max}"
+            ),
+            QueryError::InvalidK { k } => write!(
+                f,
+                "invalid top-k answer count {k}: must be between 1 and {MAX_TOPK}"
             ),
         }
     }
@@ -464,6 +554,21 @@ pub struct PhaseStats {
     pub exact_verifications: usize,
     /// Monte-Carlo trials drawn across all sampled verifications.
     pub samples_drawn: usize,
+    /// Monte-Carlo trials the bound-adaptive stopping rule saved versus the
+    /// fixed `num_samples()` budget (zero when `VerifyOptions::adaptive` is
+    /// off or every sampler ran to completion).  DESIGN.md §16.
+    pub samples_saved: usize,
+    /// Sampled candidates the stopping rule accepted before exhausting the
+    /// budget (their confidence interval rose entirely above the threshold).
+    pub early_accepts: usize,
+    /// Sampled candidates the stopping rule rejected before exhausting the
+    /// budget (interval entirely below the threshold; includes zero-sample
+    /// rejections where the union weight already caps the SSP below it).
+    pub early_rejects: usize,
+    /// Top-k only: candidates skipped without drawing a single sample because
+    /// their phase-2 upper bound fell below the running k-th-best lower
+    /// bound (always zero for threshold queries).
+    pub topk_pruned: usize,
     /// Graphs surviving probabilistic pruning (accepted + to-verify); the
     /// paper's "candidate size" for Figures 10–12.
     pub probabilistic_candidates: usize,
@@ -493,6 +598,10 @@ impl PhaseStats {
         self.verified += other.verified;
         self.exact_verifications += other.exact_verifications;
         self.samples_drawn += other.samples_drawn;
+        self.samples_saved += other.samples_saved;
+        self.early_accepts += other.early_accepts;
+        self.early_rejects += other.early_rejects;
+        self.topk_pruned += other.topk_pruned;
         self.probabilistic_candidates += other.probabilistic_candidates;
         self.structural_seconds += other.structural_seconds;
         self.probabilistic_seconds += other.probabilistic_seconds;
@@ -585,6 +694,17 @@ impl ShardScratch {
         debug_assert_eq!(grouped.len(), self.perm.len());
         self.perm.iter().map(|&p| grouped[p as usize]).collect()
     }
+}
+
+/// Per-candidate verification verdict of the threshold path's phase 3 —
+/// the decision plus the work/telemetry counters folded into `PhaseStats`.
+#[derive(Debug, Clone, Copy)]
+struct CandidateVerdict {
+    keep: bool,
+    samples: usize,
+    saved: usize,
+    exact: bool,
+    early: Option<bool>,
 }
 
 impl QueryEngine {
@@ -788,6 +908,259 @@ impl QueryEngine {
         })
     }
 
+    /// Answers a ranked query: the `k` database graphs with the highest
+    /// `Pr(q ⊆sim g)`, best first.
+    ///
+    /// Candidates are visited best-first by their phase-2 upper bounds; a
+    /// deterministic running k-th-best lower bound (ties at the cut broken by
+    /// the graphs' content salts) prunes candidates whose upper bound cannot
+    /// reach the current top `k`, and the same moving threshold drives the
+    /// bound-adaptive sampler so clear losers stop after a few chunks while
+    /// potential winners run their full budget (DESIGN.md §16).  The ranked
+    /// list is byte-identical for every thread count, shard count and
+    /// database insertion order.
+    pub fn query_topk(&self, q: &Graph, params: &TopkParams) -> Result<TopkResult, QueryError> {
+        params.validate()?;
+        self.config.validate()?;
+        self.config.verify.validate()?;
+        if q.edge_count() == 0 {
+            return Err(QueryError::EmptyQuery);
+        }
+        Ok(self.query_topk_with_threads(q, params, self.config.threads))
+    }
+
+    /// Answers a batch of ranked queries in one pool dispatch, parallelised
+    /// across queries when the batch saturates the workers (mirroring
+    /// [`Self::query_batch`]); every [`TopkResult`] is identical to a
+    /// standalone [`Self::query_topk`] call.
+    pub fn query_topk_batch(
+        &self,
+        queries: &[Graph],
+        params: &TopkParams,
+    ) -> Result<TopkBatchResult, QueryError> {
+        params.validate()?;
+        self.config.validate()?;
+        self.config.verify.validate()?;
+        if queries.iter().any(|q| q.edge_count() == 0) {
+            return Err(QueryError::EmptyQuery);
+        }
+        // pgs-lint: allow(wall-clock-in-query-path, phase timers feed PhaseStats reporting only, never control flow)
+        let t0 = Instant::now();
+        let threads = resolve_threads(self.config.threads);
+        let results: Vec<TopkResult> = if queries.len() >= threads && threads > 1 {
+            par_map_chunked_costed(queries, threads, CostHint::HEAVY, |_, q| {
+                self.query_topk_with_threads(q, params, 1)
+            })
+        } else {
+            queries
+                .iter()
+                .map(|q| self.query_topk_with_threads(q, params, self.config.threads))
+                .collect()
+        };
+        let mut stats = PhaseStats::default();
+        for r in &results {
+            stats.accumulate(&r.stats);
+        }
+        Ok(TopkBatchResult {
+            results,
+            stats,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The best-first top-k pipeline with an explicit thread count.
+    ///
+    /// Phase 1 is the threshold path's structural pruning; phase 2 computes
+    /// the raw `(Usim, Lsim)` bound pair per candidate (no ε to prune
+    /// against) and orders candidates by descending capped upper bound, ties
+    /// broken by content salt then index; phase 3 walks that order
+    /// sequentially, maintaining the k best verified lower bounds — exact
+    /// verdicts contribute their SSP, sampled full-budget verdicts
+    /// `max(Lsim, ssp − τ)` — and skips the whole tail once the next upper
+    /// bound falls below the k-th best (every per-candidate computation uses
+    /// its own content-seeded RNG, so the walk order, cuts and estimates are
+    /// identical for every thread count, shard count and insertion order).
+    fn query_topk_with_threads(
+        &self,
+        q: &Graph,
+        params: &TopkParams,
+        threads: usize,
+    ) -> TopkResult {
+        let salts = self.pmi.graph_salts();
+        // Trivial relaxation (δ ≥ |E(q)|): SSP = 1 for every graph, so the
+        // ranking is decided purely by the deterministic tie-break.
+        if params.delta >= q.edge_count() {
+            let n = self.db.len();
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_unstable_by_key(|&gi| (salts[gi], gi));
+            order.truncate(params.k);
+            return TopkResult {
+                ranked: order
+                    .into_iter()
+                    .map(|gi| RankedAnswer {
+                        graph: gi,
+                        ssp: 1.0,
+                    })
+                    .collect(),
+                stats: PhaseStats {
+                    structural_candidates: n,
+                    accepted_by_lower: n,
+                    probabilistic_candidates: n,
+                    ..PhaseStats::default()
+                },
+            };
+        }
+        let query_hash = hash_query(q);
+        let mut stats = PhaseStats::default();
+
+        // Phase 1: structural pruning, identical to the threshold path.
+        // pgs-lint: allow(wall-clock-in-query-path, phase timers feed PhaseStats reporting only, never control flow)
+        let t0 = Instant::now();
+        let shard_count = self.pmi.shard_count();
+        let (structural, filter_stats) = if shard_count == 1 {
+            let sindex = self
+                .pmi
+                .sindex()
+                // pgs-lint: allow(panic-in-library, engine invariant: build/from_parts always attach an S-Index to the PMI)
+                .expect("engine invariant: the PMI always carries an S-Index");
+            structural_candidates_indexed(sindex, &self.skeletons, q, params.delta, threads)
+        } else {
+            let shards: Vec<(&StructuralIndex, &[u32])> = (0..shard_count)
+                .map(|s| (self.pmi.shard_sindex(s), self.pmi.shard_members(s)))
+                .collect();
+            structural_candidates_sharded(&shards, &self.skeletons, q, params.delta, threads)
+        };
+        stats.structural_seconds = t0.elapsed().as_secs_f64();
+        stats.structural_candidates = structural.len();
+        stats.posting_entries_scanned = filter_stats.posting_entries_scanned;
+        stats.filter_survivors = filter_stats.filter_survivors;
+
+        // Phase 2: raw bound pairs.  Same per-candidate RNG stream as the
+        // threshold path's pruning, so the bounds are bit-identical to what
+        // `prune_candidate` would have computed.
+        // pgs-lint: allow(wall-clock-in-query-path, phase timers feed PhaseStats reporting only, never control flow)
+        let t1 = Instant::now();
+        let relaxed = relax_query_clamped(q, params.delta);
+        let bounds: Vec<(f64, f64)> = match params.variant {
+            PruningVariant::Structure => vec![(1.0, 0.0); structural.len()],
+            PruningVariant::SspBound | PruningVariant::OptSspBound => {
+                let optimal = params.variant == PruningVariant::OptSspBound;
+                par_map_chunked_costed(&structural, threads, CostHint::MODERATE, |_, &gi| {
+                    let mut rng = self.candidate_rng(query_hash, SEED_PHASE_PRUNE, gi);
+                    bound_candidate(
+                        &self.pmi,
+                        gi,
+                        &relaxed,
+                        optimal,
+                        self.config.cross_term,
+                        &mut rng,
+                    )
+                })
+            }
+        };
+        // Best-first order: descending capped upper bound, ties broken by
+        // content salt (then index, which only matters for byte-identical
+        // duplicate graphs) — the salt tie-break keeps the walk, and with it
+        // the k-th boundary, invariant under database shuffles.
+        let mut order: Vec<usize> = (0..structural.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let ua = bounds[a].0.min(1.0);
+            let ub = bounds[b].0.min(1.0);
+            ub.total_cmp(&ua)
+                .then_with(|| salts[structural[a]].cmp(&salts[structural[b]]))
+                .then_with(|| structural[a].cmp(&structural[b]))
+        });
+        stats.probabilistic_seconds = t1.elapsed().as_secs_f64();
+        stats.probabilistic_candidates = structural.len();
+
+        // Phase 3: best-first verification under the moving k-th-best cut.
+        // The walk is sequential over candidates (each adaptive sampler fans
+        // its chunks out on up to `threads` workers) because every decision
+        // threshold depends on the verdicts before it; determinism comes for
+        // free since the walk order is fixed above.
+        // pgs-lint: allow(wall-clock-in-query-path, phase timers feed PhaseStats reporting only, never control flow)
+        let t2 = Instant::now();
+        let tau = self.config.verify.mc.tau;
+        // The k best verified lower bounds so far, best first, stored as the
+        // bit patterns of non-negative f64s (monotone, so no float compares
+        // in the hot insert; zero canonicalised to +0.0 bits).
+        let mut lowers: Vec<u64> = Vec::new();
+        let mut evaluated: Vec<(usize, f64)> = Vec::new();
+        for (pos, &ci) in order.iter().enumerate() {
+            let gi = structural[ci];
+            let upper = bounds[ci].0.min(1.0);
+            let kth_lower = if lowers.len() >= params.k {
+                f64::from_bits(lowers[params.k - 1])
+            } else {
+                0.0
+            };
+            if evaluated.len() >= params.k && upper < kth_lower {
+                // Order is descending in the upper bound: nothing after this
+                // candidate can reach the current top k either.
+                stats.topk_pruned += order.len() - pos;
+                break;
+            }
+            // The k-th-best lower bound is the sampler's rejection threshold;
+            // accepts never stop early because a ranked winner needs its
+            // full-budget estimate.  With the adaptive layer disabled the
+            // threshold drops to zero, which no interval can fall below —
+            // the sampler then always runs to completion (the fixed-budget
+            // baseline the benchmark compares against).
+            let stop_threshold = if self.config.verify.adaptive {
+                kth_lower
+            } else {
+                0.0
+            };
+            let mut rng = self.candidate_rng(query_hash, SEED_PHASE_VERIFY, gi);
+            let verdict = verify_ssp_adaptive(
+                &self.db[gi],
+                q,
+                params.delta,
+                &relaxed,
+                &self.config.verify,
+                stop_threshold,
+                false,
+                threads,
+                &mut rng,
+            );
+            stats.verified += 1;
+            stats.samples_drawn += verdict.samples_drawn;
+            stats.samples_saved += verdict.budget - verdict.samples_drawn;
+            stats.exact_verifications += usize::from(verdict.exact);
+            if verdict.early == Some(false) {
+                // The interval fell below the k-th-best lower bound: the
+                // candidate cannot enter the ranking.
+                stats.early_rejects += 1;
+                continue;
+            }
+            let lower = if verdict.exact {
+                verdict.ssp
+            } else {
+                (verdict.ssp - tau).max(bounds[ci].1)
+            };
+            let bits = if lower <= 0.0 { 0u64 } else { lower.to_bits() };
+            let at = lowers.partition_point(|&b| b > bits);
+            lowers.insert(at, bits);
+            evaluated.push((gi, verdict.ssp));
+        }
+        // Final ranking: descending SSP, ties broken by content salt then
+        // index (the satellite regression pins this against database
+        // shuffles); zero-probability graphs are not answers.
+        evaluated.sort_unstable_by(|a, b| {
+            b.1.total_cmp(&a.1)
+                .then_with(|| salts[a.0].cmp(&salts[b.0]))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let ranked: Vec<RankedAnswer> = evaluated
+            .into_iter()
+            .filter(|&(_, ssp)| ssp > 0.0)
+            .take(params.k)
+            .map(|(gi, ssp)| RankedAnswer { graph: gi, ssp })
+            .collect();
+        stats.verification_seconds = t2.elapsed().as_secs_f64();
+        TopkResult { ranked, stats }
+    }
+
     /// The three-phase pipeline with an explicit thread count (`0` = auto).
     fn query_with_threads(&self, q: &Graph, params: &QueryParams, threads: usize) -> QueryResult {
         // Trivial relaxation: when δ ≥ |E(q)| the relaxed query set collapses
@@ -928,25 +1301,53 @@ impl QueryEngine {
         stats.verified = outcome.candidates.len();
         let verify_one = |gi: usize, within: usize| {
             let mut rng = self.candidate_rng(query_hash, SEED_PHASE_VERIFY, gi);
-            let verdict = verify_ssp_with_stats(
-                &self.db[gi],
-                q,
-                params.delta,
-                &relaxed,
-                &self.config.verify,
-                within,
-                &mut rng,
-            );
-            (
-                verdict.ssp >= params.epsilon,
-                verdict.samples_drawn,
-                verdict.exact,
-            )
+            if self.config.verify.adaptive {
+                // Bound-adaptive sampling (DESIGN.md §16): the stopping rule
+                // checks the running Hoeffding interval against ε at the
+                // deterministic chunk boundaries and stops as soon as the
+                // decision is resolved.  The decision stays within the
+                // (τ, ξ) band of the fixed-budget estimate.
+                let verdict = verify_ssp_adaptive(
+                    &self.db[gi],
+                    q,
+                    params.delta,
+                    &relaxed,
+                    &self.config.verify,
+                    params.epsilon,
+                    true,
+                    within,
+                    &mut rng,
+                );
+                CandidateVerdict {
+                    keep: verdict.meets,
+                    samples: verdict.samples_drawn,
+                    saved: verdict.budget - verdict.samples_drawn,
+                    exact: verdict.exact,
+                    early: verdict.early,
+                }
+            } else {
+                let verdict = verify_ssp_with_stats(
+                    &self.db[gi],
+                    q,
+                    params.delta,
+                    &relaxed,
+                    &self.config.verify,
+                    within,
+                    &mut rng,
+                );
+                CandidateVerdict {
+                    keep: verdict.ssp >= params.epsilon,
+                    samples: verdict.samples_drawn,
+                    saved: 0,
+                    exact: verdict.exact,
+                    early: None,
+                }
+            }
         };
         // The sampler's trials come from a fixed chunk layout and derived
         // seeds, so all three dispatch shapes below yield byte-identical
         // verdicts — the choice is purely a wall-clock decision.
-        let verdicts: Vec<(bool, usize, bool)> = if shard_count > 1
+        let verdicts: Vec<CandidateVerdict> = if shard_count > 1
             && workers > 1
             && outcome.candidates.len() >= workers
         {
@@ -979,12 +1380,18 @@ impl QueryEngine {
                 verify_one(gi, within)
             })
         };
-        for (&gi, &(keep, samples, exact)) in outcome.candidates.iter().zip(&verdicts) {
-            if keep {
+        for (&gi, v) in outcome.candidates.iter().zip(&verdicts) {
+            if v.keep {
                 answers.push(gi);
             }
-            stats.samples_drawn += samples;
-            stats.exact_verifications += usize::from(exact);
+            stats.samples_drawn += v.samples;
+            stats.samples_saved += v.saved;
+            stats.exact_verifications += usize::from(v.exact);
+            match v.early {
+                Some(true) => stats.early_accepts += 1,
+                Some(false) => stats.early_rejects += 1,
+                None => {}
+            }
         }
         stats.verification_seconds = t2.elapsed().as_secs_f64();
         answers.sort_unstable();
@@ -1884,9 +2291,13 @@ mod tests {
             exact_run.stats.verified
         );
         assert_eq!(exact_run.stats.samples_drawn, 0);
-        // Forcing the sampling path flips the counters.
+        // Forcing the sampling path flips the counters.  The fixed-budget
+        // path is pinned explicitly: under the adaptive layer a candidate
+        // whose union weight already caps its SSP below ε legitimately draws
+        // zero samples (see `adaptive_counters_report_early_stops`).
         let mut config = *engine.config();
         config.verify.exact_cutoff = 0;
+        config.verify.adaptive = false;
         let sampling = QueryEngine::build(engine.db().to_vec(), config);
         let sampled_run = sampling.query(q, &params).unwrap();
         if sampled_run.stats.verified > 0 {
@@ -1982,5 +2393,276 @@ mod tests {
             .stats;
         assert!(s.samples_drawn > 0, "fallback trials must be counted");
         assert!(s.exact_verifications < engine.db().len());
+    }
+
+    #[test]
+    fn invalid_k_is_a_typed_error() {
+        let (engine, queries) = small_engine();
+        let q = &queries[0].graph;
+        for k in [0usize, MAX_TOPK + 1, usize::MAX] {
+            let params = TopkParams {
+                k,
+                delta: 1,
+                variant: PruningVariant::OptSspBound,
+            };
+            for result in [
+                engine.query_topk(q, &params).map(|r| r.ranked.len()),
+                engine
+                    .query_topk_batch(std::slice::from_ref(q), &params)
+                    .map(|b| b.results.len()),
+            ] {
+                match result {
+                    Err(QueryError::InvalidK { k: got }) => assert_eq!(got, k),
+                    other => panic!("k = {k}: got {other:?}"),
+                }
+            }
+        }
+        // The full valid range is accepted (MAX_TOPK just truncates to the
+        // database size).
+        for k in [1usize, MAX_TOPK] {
+            let params = TopkParams {
+                k,
+                delta: 1,
+                variant: PruningVariant::OptSspBound,
+            };
+            assert!(engine.query_topk(q, &params).is_ok());
+        }
+        assert!(QueryError::InvalidK { k: 0 }
+            .to_string()
+            .contains("between 1 and"));
+    }
+
+    #[test]
+    fn query_topk_matches_the_exact_ssp_ranking() {
+        // small_engine keeps verification exact (cutoff 18), so the ranking
+        // must reproduce the exact SSP order with the salt tie-break.
+        let (engine, queries) = small_engine();
+        let salts = engine.pmi().graph_salts().to_vec();
+        let n = engine.db().len();
+        for wq in &queries {
+            let full = engine
+                .query_topk(
+                    &wq.graph,
+                    &TopkParams {
+                        k: n,
+                        delta: 1,
+                        variant: PruningVariant::OptSspBound,
+                    },
+                )
+                .unwrap();
+            // The answer set is exactly the graphs with positive exact SSP.
+            let exact: Vec<f64> = engine
+                .db()
+                .iter()
+                .map(|pg| verify_ssp_exact(pg, &wq.graph, 1, 22).unwrap())
+                .collect();
+            let mut positives: Vec<usize> = (0..n).filter(|&gi| exact[gi] > 1e-12).collect();
+            positives.sort_unstable();
+            let mut got: Vec<usize> = full.ranked.iter().map(|r| r.graph).collect();
+            got.sort_unstable();
+            assert_eq!(got, positives, "query {}", wq.graph.name());
+            // Reported SSPs match the exact values and the list is ordered
+            // by (ssp desc, salt asc, index asc).
+            for r in &full.ranked {
+                assert!(
+                    (r.ssp - exact[r.graph]).abs() < 1e-9,
+                    "graph {}: reported {} vs exact {}",
+                    r.graph,
+                    r.ssp,
+                    exact[r.graph]
+                );
+            }
+            for w in full.ranked.windows(2) {
+                let key = |r: &RankedAnswer| (std::cmp::Reverse(r.ssp.to_bits()), salts[r.graph]);
+                assert!(key(&w[0]) <= key(&w[1]), "ranking out of order");
+            }
+            // Smaller k returns the exact prefix (pruning never drops a
+            // better-ranked answer).
+            for k in [1usize, 3, 7] {
+                let small = engine
+                    .query_topk(
+                        &wq.graph,
+                        &TopkParams {
+                            k,
+                            delta: 1,
+                            variant: PruningVariant::OptSspBound,
+                        },
+                    )
+                    .unwrap();
+                let want: Vec<(usize, u64)> = full
+                    .ranked
+                    .iter()
+                    .take(k)
+                    .map(|r| (r.graph, r.ssp.to_bits()))
+                    .collect();
+                let got: Vec<(usize, u64)> = small
+                    .ranked
+                    .iter()
+                    .map(|r| (r.graph, r.ssp.to_bits()))
+                    .collect();
+                assert_eq!(got, want, "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_is_thread_shard_and_batch_invariant() {
+        let (base, queries) = small_engine();
+        let params = TopkParams {
+            k: 5,
+            delta: 1,
+            variant: PruningVariant::OptSspBound,
+        };
+        let mut reference = *base.config();
+        reference.threads = 1;
+        reference.shards = 1;
+        let one = QueryEngine::build(base.db().to_vec(), reference);
+        let fingerprint = |r: &TopkResult| -> Vec<(usize, u64)> {
+            r.ranked
+                .iter()
+                .map(|a| (a.graph, a.ssp.to_bits()))
+                .collect()
+        };
+        for (threads, shards) in [(2usize, 1usize), (0, 1), (1, 8), (0, 8), (4, 3)] {
+            let mut config = *base.config();
+            config.threads = threads;
+            config.shards = shards;
+            let engine = QueryEngine::build(base.db().to_vec(), config);
+            for wq in &queries {
+                let a = one.query_topk(&wq.graph, &params).unwrap();
+                let b = engine.query_topk(&wq.graph, &params).unwrap();
+                assert_eq!(
+                    fingerprint(&a),
+                    fingerprint(&b),
+                    "threads={threads} shards={shards}"
+                );
+                assert_eq!(a.stats.verified, b.stats.verified);
+                assert_eq!(a.stats.samples_drawn, b.stats.samples_drawn);
+                assert_eq!(a.stats.samples_saved, b.stats.samples_saved);
+                assert_eq!(a.stats.topk_pruned, b.stats.topk_pruned);
+                assert_eq!(a.stats.early_rejects, b.stats.early_rejects);
+            }
+        }
+        // The batch path answers byte-identically to standalone calls.
+        let graphs: Vec<Graph> = queries.iter().map(|wq| wq.graph.clone()).collect();
+        let batch = one.query_topk_batch(&graphs, &params).unwrap();
+        assert_eq!(batch.results.len(), graphs.len());
+        assert!(batch.wall_seconds >= 0.0);
+        let mut expected_stats = PhaseStats::default();
+        for (q, br) in graphs.iter().zip(&batch.results) {
+            let solo = one.query_topk(q, &params).unwrap();
+            assert_eq!(fingerprint(br), fingerprint(&solo));
+            expected_stats.accumulate(&br.stats);
+        }
+        assert_eq!(batch.stats.verified, expected_stats.verified);
+        assert_eq!(batch.stats.samples_drawn, expected_stats.samples_drawn);
+        // Empty batch mirrors `empty_batch_is_empty`.
+        let empty = one.query_topk_batch(&[], &params).unwrap();
+        assert!(empty.results.is_empty());
+        assert_eq!(empty.stats, PhaseStats::default());
+        // Empty queries are rejected up front.
+        assert_eq!(
+            one.query_topk(&Graph::new(), &params).unwrap_err(),
+            QueryError::EmptyQuery
+        );
+        assert_eq!(
+            one.query_topk_batch(&[Graph::new()], &params).unwrap_err(),
+            QueryError::EmptyQuery
+        );
+    }
+
+    #[test]
+    fn trivial_relaxation_topk_ranks_by_salt() {
+        let (engine, queries) = small_engine();
+        let q = &queries[0].graph;
+        let salts = engine.pmi().graph_salts().to_vec();
+        let n = engine.db().len();
+        for k in [1usize, 5, n, n + 10] {
+            let result = engine
+                .query_topk(
+                    q,
+                    &TopkParams {
+                        k,
+                        delta: q.edge_count(),
+                        variant: PruningVariant::OptSspBound,
+                    },
+                )
+                .unwrap();
+            assert_eq!(result.ranked.len(), k.min(n));
+            assert!(result.ranked.iter().all(|r| r.ssp == 1.0));
+            for w in result.ranked.windows(2) {
+                assert!(
+                    (salts[w[0].graph], w[0].graph) < (salts[w[1].graph], w[1].graph),
+                    "trivial ranking must follow the salt order"
+                );
+            }
+            assert_eq!(result.stats.verified, 0, "the sampler must not run");
+        }
+    }
+
+    #[test]
+    fn adaptive_counters_report_early_stops() {
+        // Forced sampling (exact_cutoff 0) with the adaptive layer pinned on:
+        // a loose ε lets clear winners accept early, a strict ε lets clear
+        // losers reject early (including zero-sample rejects where the union
+        // weight already caps the SSP), and the saved/drawn counters always
+        // reconcile against the fixed budget.
+        let (base, queries) = small_engine();
+        let mut config = *base.config();
+        config.verify.exact_cutoff = 0;
+        config.verify.adaptive = true;
+        let engine = QueryEngine::build(base.db().to_vec(), config);
+        let budget = config.verify.mc.num_samples();
+        let mut early_accepts = 0usize;
+        let mut early_rejects = 0usize;
+        let mut full_budget_runs = 0usize;
+        for epsilon in [0.05, 0.4, 0.95] {
+            let params = QueryParams {
+                epsilon,
+                delta: 1,
+                variant: PruningVariant::OptSspBound,
+            };
+            for wq in &queries {
+                let s = engine.query(&wq.graph, &params).unwrap().stats;
+                let sampled = s.verified - s.exact_verifications;
+                assert_eq!(
+                    s.samples_drawn + s.samples_saved,
+                    sampled * budget,
+                    "ε={epsilon}: drawn + saved must reconcile with the budget"
+                );
+                assert!(s.early_accepts + s.early_rejects <= sampled);
+                early_accepts += s.early_accepts;
+                early_rejects += s.early_rejects;
+                full_budget_runs += sampled - s.early_accepts - s.early_rejects;
+            }
+        }
+        assert!(early_accepts > 0, "no early accept across the ε sweep");
+        assert!(early_rejects > 0, "no early reject across the ε sweep");
+        assert!(full_budget_runs > 0, "no sampler ran to completion");
+        // The fixed-budget path never saves a sample and never stops early.
+        let mut fixed_config = *base.config();
+        fixed_config.verify.exact_cutoff = 0;
+        fixed_config.verify.adaptive = false;
+        let fixed = QueryEngine::build(base.db().to_vec(), fixed_config);
+        for wq in &queries {
+            let s = fixed
+                .query(
+                    &wq.graph,
+                    &QueryParams {
+                        epsilon: 0.4,
+                        delta: 1,
+                        variant: PruningVariant::OptSspBound,
+                    },
+                )
+                .unwrap()
+                .stats;
+            assert_eq!(s.samples_saved, 0);
+            assert_eq!(s.early_accepts, 0);
+            assert_eq!(s.early_rejects, 0);
+            assert_eq!(
+                s.samples_drawn,
+                (s.verified - s.exact_verifications) * budget
+            );
+        }
     }
 }

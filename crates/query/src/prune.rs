@@ -279,6 +279,33 @@ pub fn prune_candidate<R: Rng + ?Sized>(
     cross: CrossTermRule,
     rng: &mut R,
 ) -> PruneDecision {
+    let (usim, lsim) = bound_candidate(pmi, graph_idx, relaxed, optimal, cross, rng);
+    if usim < epsilon {
+        PruneDecision::Pruned { usim }
+    } else if lsim >= epsilon {
+        PruneDecision::Accepted { lsim }
+    } else {
+        PruneDecision::Candidate { usim, lsim }
+    }
+}
+
+/// Computes the `(Usim, Lsim)` bound pair for a single candidate without
+/// applying either pruning rule — the ranked top-k path orders candidates by
+/// `Usim` and seeds its running k-th-best cut with `Lsim`, so it needs the
+/// raw bounds rather than an ε-decision.
+///
+/// [`prune_candidate`] is this function plus the two rules; both draw from
+/// `rng` in the same order (`usim_random` before `lsim_*`), so for a fixed
+/// seeded RNG the bounds here are bit-identical to what the threshold path
+/// computes.
+pub fn bound_candidate<R: Rng + ?Sized>(
+    pmi: &Pmi,
+    graph_idx: usize,
+    relaxed: &[Graph],
+    optimal: bool,
+    cross: CrossTermRule,
+    rng: &mut R,
+) -> (f64, f64) {
     let instance = BoundInstance::build(pmi, graph_idx, relaxed);
     let usim = if optimal {
         instance.usim_optimal()
@@ -290,13 +317,7 @@ pub fn prune_candidate<R: Rng + ?Sized>(
     } else {
         instance.lsim_random(cross, rng)
     };
-    if usim < epsilon {
-        PruneDecision::Pruned { usim }
-    } else if lsim >= epsilon {
-        PruneDecision::Accepted { lsim }
-    } else {
-        PruneDecision::Candidate { usim, lsim }
-    }
+    (usim, lsim)
 }
 
 /// Applies probabilistic pruning to `candidate_graphs` (indices into the PMI

@@ -36,7 +36,7 @@ use pgs_prob::error::ProbError;
 use pgs_prob::exact::exact_ssp;
 use pgs_prob::model::ProbabilisticGraph;
 use pgs_prob::montecarlo::MonteCarloConfig;
-use pgs_prob::union_sampler::UnionSampler;
+use pgs_prob::union_sampler::{StoppingRule, UnionSampler};
 use rand::Rng;
 use std::collections::HashSet;
 
@@ -52,6 +52,14 @@ pub struct VerifyOptions {
     /// embedding edges is at most this many edges the SSP is computed exactly
     /// instead of sampled.
     pub exact_cutoff: usize,
+    /// Whether the query pipeline may stop a candidate's sampler early once
+    /// its running confidence interval has separated from the decision
+    /// threshold (DESIGN.md §16).  Off, every sampled candidate draws the
+    /// full `mc.num_samples()` budget — the fixed-budget baseline path.
+    /// Defaults from [`default_adaptive`]; decisions stay within the
+    /// `(τ, ξ)` accuracy band and byte-identical across thread counts
+    /// either way.
+    pub adaptive: bool,
 }
 
 impl Default for VerifyOptions {
@@ -60,8 +68,20 @@ impl Default for VerifyOptions {
             mc: MonteCarloConfig::default(),
             max_embeddings: 256,
             exact_cutoff: 12,
+            adaptive: default_adaptive(),
         }
     }
+}
+
+/// Default for [`VerifyOptions::adaptive`]: disabled when the `PGS_ADAPTIVE`
+/// environment variable is set to `0`, `false` or `off` (CI uses it to pin
+/// the fixed-budget baseline path over the whole test suite), otherwise
+/// enabled.
+pub fn default_adaptive() -> bool {
+    !matches!(
+        std::env::var("PGS_ADAPTIVE").as_deref(),
+        Ok("0") | Ok("false") | Ok("off")
+    )
 }
 
 impl VerifyOptions {
@@ -193,6 +213,109 @@ pub fn verify_ssp_with_stats<R: Rng + ?Sized>(
         ssp: sampler.estimate_chunked(n, seed, threads),
         samples_drawn: n,
         exact: false,
+    }
+}
+
+/// The result of one bound-adaptive candidate verification (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveVerdict {
+    /// The (estimated or exact) subgraph similarity probability.  On an early
+    /// stop this is the running estimate at the stopping boundary — only its
+    /// relation to the threshold is resolved, not its full-budget value.
+    pub ssp: f64,
+    /// Whether the candidate meets the decision threshold (`ssp ≥ threshold`
+    /// resolved either by the stopping rule or by the final estimate).
+    pub meets: bool,
+    /// Monte-Carlo trials actually drawn (zero on the exact path).
+    pub samples_drawn: usize,
+    /// Trials a fixed-budget run would have drawn (`mc.num_samples()` on the
+    /// sampled path, zero on the exact path) — `budget - samples_drawn` is
+    /// the work the stopping rule saved.
+    pub budget: usize,
+    /// True when the answer came from the exact short-circuit.
+    pub exact: bool,
+    /// `Some(decision)` when the stopping rule fired before the budget was
+    /// exhausted, `None` when the sampler ran to completion (or the exact
+    /// path answered).
+    pub early: Option<bool>,
+}
+
+impl AdaptiveVerdict {
+    fn exactly(ssp: f64, threshold: f64) -> AdaptiveVerdict {
+        AdaptiveVerdict {
+            ssp,
+            meets: ssp >= threshold,
+            samples_drawn: 0,
+            budget: 0,
+            exact: true,
+            early: None,
+        }
+    }
+}
+
+/// Bound-adaptive verification: [`verify_ssp_with_stats`] with an early
+/// stopping rule on the sampler (DESIGN.md §16).
+///
+/// The exact short-circuits (trivial `δ`, no embeddings, relevant-edge set
+/// within `exact_cutoff`, zero-weight union) are identical to
+/// [`verify_ssp_with_stats`], and the sampled path draws its chunk seed from
+/// `rng` at the same point of the RNG stream — so with the stopping rule
+/// disabled the two entry points are bit-for-bit interchangeable.  With it
+/// enabled, [`UnionSampler::estimate_adaptive`] checks the running
+/// Hoeffding interval at deterministic chunk boundaries and stops as soon as
+/// the interval separates from `threshold`; `accept_early = false` restricts
+/// stopping to rejections (the top-k path needs full-budget estimates for
+/// its ranked winners).
+///
+/// Decisions are byte-identical across thread counts and repeats, and stay
+/// within the `(τ, ξ)` accuracy band of the fixed-budget estimate.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_ssp_adaptive<R: Rng + ?Sized>(
+    pg: &ProbabilisticGraph,
+    q: &Graph,
+    delta: usize,
+    relaxed: &[Graph],
+    options: &VerifyOptions,
+    threshold: f64,
+    accept_early: bool,
+    threads: usize,
+    rng: &mut R,
+) -> AdaptiveVerdict {
+    if q.edge_count() <= delta {
+        return AdaptiveVerdict::exactly(1.0, threshold);
+    }
+    let embeddings = collect_embeddings_of_relaxations(pg, relaxed, options.max_embeddings);
+    if embeddings.is_empty() {
+        return AdaptiveVerdict::exactly(0.0, threshold);
+    }
+    let mut relevant: Vec<_> = embeddings.iter().flatten().copied().collect();
+    relevant.sort_unstable();
+    relevant.dedup();
+    if relevant.len() <= options.exact_cutoff {
+        if let Ok(value) =
+            pgs_prob::exact::exact_union_probability(pg, &embeddings, options.exact_cutoff)
+        {
+            return AdaptiveVerdict::exactly(value, threshold);
+        }
+    }
+    let Some(sampler) = UnionSampler::with_relevant(pg, &embeddings, &relevant) else {
+        return AdaptiveVerdict::exactly(0.0, threshold);
+    };
+    let n = options.mc.num_samples();
+    let seed: u64 = rng.gen();
+    let rule = StoppingRule {
+        threshold,
+        xi: options.mc.xi,
+        accept_early,
+    };
+    let est = sampler.estimate_adaptive(n, seed, threads, &rule);
+    AdaptiveVerdict {
+        ssp: est.estimate,
+        meets: est.decision.unwrap_or(est.estimate >= threshold),
+        samples_drawn: est.samples_drawn,
+        budget: n,
+        exact: false,
+        early: est.decision,
     }
 }
 
@@ -579,6 +702,126 @@ mod tests {
                 other => panic!("expected a typed error, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn adaptive_without_a_stop_matches_with_stats_bitwise() {
+        // With a threshold the interval can never separate from (and early
+        // accepts disabled), the adaptive path must reproduce the fixed-budget
+        // estimate bit for bit: same short-circuits, same seed draw, same
+        // chunk arithmetic.
+        let (pg, q) = verification_candidate(8);
+        let options = VerifyOptions {
+            exact_cutoff: 0,
+            ..VerifyOptions::default()
+        };
+        let relaxed = relax_query_clamped(&q, 1);
+        let mut rng = StdRng::seed_from_u64(99);
+        let fixed = verify_ssp_with_stats(&pg, &q, 1, &relaxed, &options, 1, &mut rng);
+        let mut rng = StdRng::seed_from_u64(99);
+        let adaptive = verify_ssp_adaptive(&pg, &q, 1, &relaxed, &options, 0.0, false, 1, &mut rng);
+        assert_eq!(adaptive.ssp.to_bits(), fixed.ssp.to_bits());
+        assert_eq!(adaptive.samples_drawn, fixed.samples_drawn);
+        assert_eq!(adaptive.budget, options.mc.num_samples());
+        assert_eq!(adaptive.early, None);
+        assert!(adaptive.meets);
+    }
+
+    #[test]
+    fn adaptive_decisions_agree_with_the_fixed_budget_path() {
+        // Across thresholds spanning the whole range, the adaptive decision
+        // must match `estimate >= threshold` of the fixed-budget run whenever
+        // the fixed estimate is outside the (τ, ξ) band around the threshold
+        // (inside the band either answer is within the accuracy contract).
+        let (pg, q) = verification_candidate(10);
+        let options = VerifyOptions {
+            exact_cutoff: 0,
+            mc: MonteCarloConfig {
+                tau: 0.05,
+                xi: 0.01,
+                max_samples: 40_000,
+            },
+            ..VerifyOptions::default()
+        };
+        let relaxed = relax_query_clamped(&q, 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let fixed = verify_ssp_with_stats(&pg, &q, 1, &relaxed, &options, 1, &mut rng);
+        let mut saved_total = 0usize;
+        for threshold in [0.0, 0.05, 0.2, 0.5, 0.8, 0.95, 1.0] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let verdict =
+                verify_ssp_adaptive(&pg, &q, 1, &relaxed, &options, threshold, true, 1, &mut rng);
+            assert!(verdict.samples_drawn <= verdict.budget);
+            saved_total += verdict.budget - verdict.samples_drawn;
+            if (fixed.ssp - threshold).abs() > options.mc.tau {
+                assert_eq!(
+                    verdict.meets,
+                    fixed.ssp >= threshold,
+                    "threshold={threshold}: adaptive {} (early {:?}) vs fixed {}",
+                    verdict.ssp,
+                    verdict.early,
+                    fixed.ssp
+                );
+            }
+        }
+        // Clear thresholds (far above or below the true SSP) must stop early.
+        assert!(saved_total > 0, "no samples saved on any clear threshold");
+    }
+
+    #[test]
+    fn adaptive_exact_shortcuts_match_with_stats() {
+        let pg = fixture_002();
+        let q = query();
+        let relaxed = relax_query_clamped(&q, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let fixed =
+            verify_ssp_with_stats(&pg, &q, 1, &relaxed, &VerifyOptions::default(), 1, &mut rng);
+        assert!(fixed.exact);
+        let mut rng = StdRng::seed_from_u64(7);
+        let verdict = verify_ssp_adaptive(
+            &pg,
+            &q,
+            1,
+            &relaxed,
+            &VerifyOptions::default(),
+            0.5,
+            true,
+            1,
+            &mut rng,
+        );
+        assert!(verdict.exact);
+        assert_eq!(verdict.ssp.to_bits(), fixed.ssp.to_bits());
+        assert_eq!(verdict.samples_drawn, 0);
+        assert_eq!(verdict.budget, 0);
+        assert_eq!(verdict.meets, fixed.ssp >= 0.5);
+        // Trivial δ and no-embedding shortcuts.
+        let tiny = GraphBuilder::new().vertices(&[0, 1]).edge(0, 1, 9).build();
+        let verdict = verify_ssp_adaptive(
+            &pg,
+            &tiny,
+            1,
+            &[],
+            &VerifyOptions::default(),
+            0.5,
+            true,
+            1,
+            &mut rng,
+        );
+        assert!(verdict.exact && verdict.meets && verdict.ssp == 1.0);
+        let foreign = GraphBuilder::new().vertices(&[8, 9]).edge(0, 1, 9).build();
+        let relaxed = relax_query_clamped(&foreign, 0);
+        let verdict = verify_ssp_adaptive(
+            &pg,
+            &foreign,
+            0,
+            &relaxed,
+            &VerifyOptions::default(),
+            0.5,
+            true,
+            1,
+            &mut rng,
+        );
+        assert!(verdict.exact && !verdict.meets && verdict.ssp == 0.0);
     }
 
     #[test]

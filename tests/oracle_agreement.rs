@@ -118,6 +118,9 @@ fn sampled_verifier_agrees_with_exact_verifier() {
         },
         max_embeddings: 256,
         exact_cutoff: 0,
+        // This test exercises the fixed-budget estimator; the adaptive
+        // stopping rule has its own agreement tests.
+        adaptive: false,
     };
     let mut rng = StdRng::seed_from_u64(0xACC0);
     let mut compared = 0usize;

@@ -11,6 +11,7 @@ use pgs_graph::relax::relax_query;
 use pgs_graph::vf2::{contains_subgraph, enumerate_embeddings, MatchOptions};
 use pgs_index::sip_bounds::{sip_bounds, BoundsConfig};
 use pgs_prob::neighbor::{is_neighbor_edge_set, partition_with_triangles};
+use pgs_prob::union_sampler::{StoppingRule, UnionSampler};
 use pgs_query::verify::{
     collect_embeddings_of_relaxations, verify_ssp_sampled_baseline, verify_ssp_sampled_relaxed,
     VerifyOptions,
@@ -288,5 +289,44 @@ proptest! {
         prop_assert!(bounds.lower <= exact + 1e-9, "lower {} > exact {exact}", bounds.lower);
         prop_assert!(bounds.upper + 1e-9 >= exact, "upper {} < exact {exact}", bounds.upper);
         prop_assert!(bounds.is_valid());
+    }
+
+    #[test]
+    fn adaptive_estimate_is_byte_identical_across_threads(
+        pg in arb_probabilistic_graph(),
+        qsize in 2usize..4,
+        seed in 0u64..1000,
+        threshold in 0.0f64..1.0,
+    ) {
+        // The early-stopping estimator checks its interval only at fixed
+        // chunk boundaries, so its estimate, draw count and decision must be
+        // byte-identical at 1, 2 and auto threads — and across repeats.
+        prop_assume!(pg.edge_count() >= 3 && pg.edge_count() <= 12);
+        let mut rng = StdRng::seed_from_u64(41);
+        let q = pgs_graph::generate::random_connected_subgraph(pg.skeleton(), qsize, &mut rng);
+        prop_assume!(q.is_some());
+        let q = q.unwrap();
+        let relaxed = pgs_graph::relax::relax_query_clamped(&q, 1);
+        let embeddings = collect_embeddings_of_relaxations(&pg, &relaxed, 64);
+        prop_assume!(!embeddings.is_empty());
+        let sampler = UnionSampler::new(&pg, &embeddings);
+        prop_assume!(sampler.is_some());
+        let sampler = sampler.unwrap();
+        let rule = StoppingRule { threshold, xi: 0.05, accept_early: true };
+        let reference = sampler.estimate_adaptive(4096, seed, 1, &rule);
+        prop_assert!(reference.samples_drawn <= 4096);
+        for threads in [2usize, 0] {
+            let other = sampler.estimate_adaptive(4096, seed, threads, &rule);
+            prop_assert_eq!(
+                other.estimate.to_bits(), reference.estimate.to_bits(),
+                "estimate diverged at {} threads", threads
+            );
+            prop_assert_eq!(other.samples_drawn, reference.samples_drawn);
+            prop_assert_eq!(other.decision, reference.decision);
+        }
+        let again = sampler.estimate_adaptive(4096, seed, 1, &rule);
+        prop_assert_eq!(again.estimate.to_bits(), reference.estimate.to_bits());
+        prop_assert_eq!(again.samples_drawn, reference.samples_drawn);
+        prop_assert_eq!(again.decision, reference.decision);
     }
 }
